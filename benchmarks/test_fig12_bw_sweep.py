@@ -1,0 +1,53 @@
+"""Fig. 12 — bandwidth sweep on the heterogeneous accelerators (Mix task).
+
+Paper result: normalised to MAGMA, Herald-like and the RL methods fall
+further behind as the system bandwidth shrinks — e.g. on S2, MAGMA's
+advantage grows from ~1.2x at 16 GB/s to ~1.6x at 1 GB/s; the same trend
+appears on S4 between 256 GB/s and 1 GB/s.
+
+The benchmark sweeps the bandwidth on S2 and S4, checks that every method's
+absolute throughput decreases monotonically as bandwidth shrinks, that MAGMA
+stays on top (within tolerance), and that Herald-like's normalised value at
+the lowest bandwidth does not exceed its value at the highest bandwidth by
+more than a small margin (i.e. the gap does not close at low bandwidth).
+"""
+
+from repro.experiments.runner import run_fig12_bw_sweep
+
+
+def test_fig12_bandwidth_sweep(benchmark, scale, report_lines):
+    result = benchmark.pedantic(
+        run_fig12_bw_sweep,
+        kwargs={
+            "scale": scale,
+            "seed": 0,
+            "methods": ("herald-like", "a2c", "ppo2", "magma"),
+            "small_bandwidths": (1.0, 4.0, 16.0),
+            "large_bandwidths": (1.0, 16.0, 256.0),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    absolute = result["absolute"]
+    normalized = result["normalized"]
+
+    for sweep_name, per_bw in absolute.items():
+        bandwidths = sorted(per_bw)
+        for method in ("Herald-like", "MAGMA"):
+            values = [per_bw[bw][method] for bw in bandwidths]
+            # More bandwidth never reduces throughput.
+            assert all(b >= a * 0.99 for a, b in zip(values, values[1:])), (sweep_name, method, values)
+
+    for sweep_name, per_bw in normalized.items():
+        for bw, panel in per_bw.items():
+            assert panel["MAGMA"] == 1.0
+            assert max(panel.values()) < 1.25, (sweep_name, bw, panel)
+        lowest, highest = min(per_bw), max(per_bw)
+        # Herald's relative standing does not improve as bandwidth shrinks
+        # (in the paper it deteriorates from ~0.8 to ~0.6).
+        assert per_bw[lowest]["Herald-like"] <= per_bw[highest]["Herald-like"] * 1.15
+
+        report_lines.append(
+            f"fig12 {sweep_name:<9s} Herald-like normalised: "
+            + ", ".join(f"BW{bw:g}={per_bw[bw]['Herald-like']:.2f}" for bw in sorted(per_bw))
+        )

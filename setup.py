@@ -1,0 +1,9 @@
+"""Setuptools shim for legacy editable installs (pip --no-use-pep517).
+
+All project metadata lives in pyproject.toml; this file only exists so the
+package can be installed in environments without the `wheel` package.
+"""
+
+from setuptools import setup
+
+setup()

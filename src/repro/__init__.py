@@ -1,0 +1,106 @@
+"""repro — a reproduction of MAGMA (HPCA 2022).
+
+The package implements the M3E optimization framework for mapping multiple
+DNNs onto multi-core accelerators, the MAGMA genetic algorithm, the baseline
+optimizers and manual mappers the paper compares against, and the substrates
+they need (DNN model zoo, analytical cost model, bandwidth-allocation
+simulator).
+
+Quickstart
+----------
+>>> from repro import M3E, build_setting, build_task_workload, TaskType
+>>> platform = build_setting("S2", system_bandwidth_gbps=16)
+>>> group = build_task_workload(TaskType.MIX, group_size=20, seed=0,
+...                             num_sub_accelerators=platform.num_sub_accelerators)[0]
+>>> explorer = M3E(platform, sampling_budget=500)
+>>> result = explorer.search(group, optimizer="magma", seed=0)
+>>> result.throughput_gflops > 0
+True
+"""
+
+from repro.version import __version__
+from repro.exceptions import (
+    ReproError,
+    ConfigurationError,
+    WorkloadError,
+    CostModelError,
+    EncodingError,
+    SchedulingError,
+    OptimizationError,
+    ExperimentError,
+)
+from repro.workloads import (
+    TaskType,
+    WorkloadSpec,
+    BenchmarkBuilder,
+    build_task_workload,
+    Job,
+    JobBatch,
+    JobGroup,
+    partition_into_groups,
+    get_model,
+    list_models,
+)
+from repro.accelerator import (
+    SubAcceleratorConfig,
+    AcceleratorPlatform,
+    build_setting,
+    list_settings,
+)
+from repro.costmodel import AnalyticalCostModel, FlexibleArrayCostModel, DataflowStyle
+from repro.core import (
+    M3E,
+    SearchResult,
+    Mapping,
+    MappingCodec,
+    JobAnalyzer,
+    JobAnalysisTable,
+    BandwidthAllocator,
+    Schedule,
+    MappingEvaluator,
+    get_objective,
+)
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "WorkloadError",
+    "CostModelError",
+    "EncodingError",
+    "SchedulingError",
+    "OptimizationError",
+    "ExperimentError",
+    # workloads
+    "TaskType",
+    "WorkloadSpec",
+    "BenchmarkBuilder",
+    "build_task_workload",
+    "Job",
+    "JobBatch",
+    "JobGroup",
+    "partition_into_groups",
+    "get_model",
+    "list_models",
+    # accelerator
+    "SubAcceleratorConfig",
+    "AcceleratorPlatform",
+    "build_setting",
+    "list_settings",
+    # cost model
+    "AnalyticalCostModel",
+    "FlexibleArrayCostModel",
+    "DataflowStyle",
+    # core
+    "M3E",
+    "SearchResult",
+    "Mapping",
+    "MappingCodec",
+    "JobAnalyzer",
+    "JobAnalysisTable",
+    "BandwidthAllocator",
+    "Schedule",
+    "MappingEvaluator",
+    "get_objective",
+]

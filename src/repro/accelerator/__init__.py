@@ -1,0 +1,29 @@
+"""Accelerator platform substrate: sub-accelerator configs and multi-core platforms."""
+
+from repro.accelerator.subaccel import SubAcceleratorConfig
+from repro.accelerator.platform import AcceleratorPlatform
+from repro.accelerator.presets import (
+    ACCELERATOR_SETTINGS,
+    build_setting,
+    list_settings,
+    small_homogeneous,
+    small_heterogeneous,
+    large_homogeneous,
+    large_heterogeneous,
+    large_big_little,
+    large_scale_up,
+)
+
+__all__ = [
+    "SubAcceleratorConfig",
+    "AcceleratorPlatform",
+    "ACCELERATOR_SETTINGS",
+    "build_setting",
+    "list_settings",
+    "small_homogeneous",
+    "small_heterogeneous",
+    "large_homogeneous",
+    "large_heterogeneous",
+    "large_big_little",
+    "large_scale_up",
+]

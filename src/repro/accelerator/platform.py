@@ -1,0 +1,123 @@
+"""Multi-core accelerator platform.
+
+A platform houses several sub-accelerators that share the *system bandwidth*
+— the minimum of the host-to-accelerator link (PCIe/M.2) and the main memory
+(DRAM/HBM) bandwidth (Section II-B1).  The platform object is what the M3E
+framework optimizes mappings for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.accelerator.subaccel import SubAcceleratorConfig
+from repro.costmodel import DataflowStyle
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AcceleratorPlatform:
+    """A multi-core accelerator with a shared system-bandwidth budget.
+
+    Attributes
+    ----------
+    name:
+        Setting identifier (e.g. ``"S4"``).
+    sub_accelerators:
+        The cores that make up the platform.
+    system_bandwidth_gbps:
+        Shared bandwidth between host memory and the accelerator, in GB/s.
+        This is the constraint the BW allocator divides among cores.
+    """
+
+    name: str
+    sub_accelerators: Tuple[SubAcceleratorConfig, ...]
+    system_bandwidth_gbps: float
+
+    def __post_init__(self) -> None:
+        if not self.sub_accelerators:
+            raise ConfigurationError("a platform needs at least one sub-accelerator")
+        if self.system_bandwidth_gbps <= 0:
+            raise ConfigurationError(
+                f"system bandwidth must be positive, got {self.system_bandwidth_gbps}"
+            )
+        names = [sub.name for sub in self.sub_accelerators]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"sub-accelerator names must be unique, got {names}")
+        if not isinstance(self.sub_accelerators, tuple):
+            object.__setattr__(self, "sub_accelerators", tuple(self.sub_accelerators))
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.sub_accelerators)
+
+    def __iter__(self) -> Iterator[SubAcceleratorConfig]:
+        return iter(self.sub_accelerators)
+
+    def __getitem__(self, index: int) -> SubAcceleratorConfig:
+        return self.sub_accelerators[index]
+
+    @property
+    def num_sub_accelerators(self) -> int:
+        """Number of cores in the platform."""
+        return len(self.sub_accelerators)
+
+    @property
+    def total_pes(self) -> int:
+        """Total PE count across all cores."""
+        return sum(sub.num_pes for sub in self.sub_accelerators)
+
+    @property
+    def peak_gflops(self) -> float:
+        """Aggregate peak compute throughput of the platform in GFLOP/s."""
+        return sum(sub.peak_gflops for sub in self.sub_accelerators)
+
+    @property
+    def is_homogeneous(self) -> bool:
+        """True when every core has the same PE array, dataflow, and buffers."""
+        first = self.sub_accelerators[0]
+        return all(
+            sub.pe_rows == first.pe_rows
+            and sub.pe_cols == first.pe_cols
+            and sub.dataflow == first.dataflow
+            and sub.sg_kilobytes == first.sg_kilobytes
+            for sub in self.sub_accelerators
+        )
+
+    @property
+    def dataflow_styles(self) -> List[DataflowStyle]:
+        """Dataflow style of each core, in core order."""
+        return [sub.dataflow for sub in self.sub_accelerators]
+
+    def describe(self) -> str:
+        """Multi-line, human-readable description of the platform."""
+        lines = [
+            f"{self.name}: {self.num_sub_accelerators} sub-accelerators, "
+            f"system BW {self.system_bandwidth_gbps:g} GB/s, "
+            f"{'homogeneous' if self.is_homogeneous else 'heterogeneous'}"
+        ]
+        lines.extend(f"  - {sub.describe()}" for sub in self.sub_accelerators)
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def with_bandwidth(self, system_bandwidth_gbps: float) -> "AcceleratorPlatform":
+        """Return a copy of the platform with a different system bandwidth."""
+        return replace(self, system_bandwidth_gbps=system_bandwidth_gbps)
+
+    def with_flexible_arrays(self, flexible: bool = True) -> "AcceleratorPlatform":
+        """Return a copy in which every core has (or has not) a flexible PE array."""
+        subs = tuple(replace(sub, flexible=flexible) for sub in self.sub_accelerators)
+        suffix = "-flex" if flexible else "-fixed"
+        return AcceleratorPlatform(
+            name=self.name + suffix if not self.name.endswith(suffix) else self.name,
+            sub_accelerators=subs,
+            system_bandwidth_gbps=self.system_bandwidth_gbps,
+        )
+
+    def index_of(self, sub_name: str) -> int:
+        """Return the index of the core named *sub_name*."""
+        for i, sub in enumerate(self.sub_accelerators):
+            if sub.name == sub_name:
+                return i
+        raise ConfigurationError(f"no sub-accelerator named {sub_name!r} in platform {self.name}")

@@ -1,0 +1,124 @@
+"""Preset accelerator settings S1-S6 from Table III of the paper.
+
+All settings use a PE-array width of 64 and scale the height (32 / 64 / 128).
+"HB" cores use the high-bandwidth (NVDLA-like) dataflow; "LB" cores use the
+low-bandwidth (Eyeriss-like) dataflow.  Buffer sizes are the global
+scratchpad capacities listed in the table.
+
+Default system bandwidths follow Section VI-A3: Small settings are evaluated
+in the 1-16 GB/s range (default 16), Large settings in the 1-256 GB/s range
+(default 256).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.accelerator.platform import AcceleratorPlatform
+from repro.accelerator.subaccel import SubAcceleratorConfig
+from repro.costmodel import DataflowStyle
+from repro.exceptions import ConfigurationError
+
+#: Default system bandwidth (GB/s) for Small-class settings (DDR/PCIe range).
+DEFAULT_SMALL_BANDWIDTH_GBPS = 16.0
+#: Default system bandwidth (GB/s) for Large-class settings (HBM/PCIe5 range).
+DEFAULT_LARGE_BANDWIDTH_GBPS = 256.0
+
+
+def _sub(name: str, rows: int, dataflow: DataflowStyle, sg_kb: float) -> SubAcceleratorConfig:
+    return SubAcceleratorConfig(
+        name=name,
+        pe_rows=rows,
+        pe_cols=64,
+        dataflow=dataflow,
+        sg_kilobytes=sg_kb,
+    )
+
+
+def small_homogeneous(system_bandwidth_gbps: float = DEFAULT_SMALL_BANDWIDTH_GBPS) -> AcceleratorPlatform:
+    """S1 — Small homogeneous: 4 x (32-high, HB, 146KB)."""
+    subs = tuple(_sub(f"sub{i}", 32, DataflowStyle.HB, 146.0) for i in range(4))
+    return AcceleratorPlatform("S1", subs, system_bandwidth_gbps)
+
+
+def small_heterogeneous(system_bandwidth_gbps: float = DEFAULT_SMALL_BANDWIDTH_GBPS) -> AcceleratorPlatform:
+    """S2 — Small heterogeneous: 3 x (32, HB, 146KB) + 1 x (32, LB, 110KB)."""
+    subs = tuple(
+        [_sub(f"sub{i}", 32, DataflowStyle.HB, 146.0) for i in range(3)]
+        + [_sub("sub3", 32, DataflowStyle.LB, 110.0)]
+    )
+    return AcceleratorPlatform("S2", subs, system_bandwidth_gbps)
+
+
+def large_homogeneous(system_bandwidth_gbps: float = DEFAULT_LARGE_BANDWIDTH_GBPS) -> AcceleratorPlatform:
+    """S3 — Large homogeneous: 8 x (128, HB, 580KB)."""
+    subs = tuple(_sub(f"sub{i}", 128, DataflowStyle.HB, 580.0) for i in range(8))
+    return AcceleratorPlatform("S3", subs, system_bandwidth_gbps)
+
+
+def large_heterogeneous(system_bandwidth_gbps: float = DEFAULT_LARGE_BANDWIDTH_GBPS) -> AcceleratorPlatform:
+    """S4 — Large heterogeneous: 7 x (128, HB, 580KB) + 1 x (128, LB, 434KB)."""
+    subs = tuple(
+        [_sub(f"sub{i}", 128, DataflowStyle.HB, 580.0) for i in range(7)]
+        + [_sub("sub7", 128, DataflowStyle.LB, 434.0)]
+    )
+    return AcceleratorPlatform("S4", subs, system_bandwidth_gbps)
+
+
+def large_big_little(system_bandwidth_gbps: float = DEFAULT_LARGE_BANDWIDTH_GBPS) -> AcceleratorPlatform:
+    """S5 — Large heterogeneous BigLittle.
+
+    3 x (128, HB, 580KB) + 1 x (128, LB, 434KB) +
+    3 x (64, HB, 291KB) + 1 x (64, LB, 218KB).
+    """
+    subs = tuple(
+        [_sub(f"sub{i}", 128, DataflowStyle.HB, 580.0) for i in range(3)]
+        + [_sub("sub3", 128, DataflowStyle.LB, 434.0)]
+        + [_sub(f"sub{i}", 64, DataflowStyle.HB, 291.0) for i in range(4, 7)]
+        + [_sub("sub7", 64, DataflowStyle.LB, 218.0)]
+    )
+    return AcceleratorPlatform("S5", subs, system_bandwidth_gbps)
+
+
+def large_scale_up(system_bandwidth_gbps: float = DEFAULT_LARGE_BANDWIDTH_GBPS) -> AcceleratorPlatform:
+    """S6 — Large scale-up: 16 cores mixing big/little and HB/LB.
+
+    7 x (128, HB, 580KB) + 1 x (128, LB, 434KB) +
+    7 x (64, HB, 291KB) + 1 x (64, LB, 218KB).
+    """
+    subs = tuple(
+        [_sub(f"sub{i}", 128, DataflowStyle.HB, 580.0) for i in range(7)]
+        + [_sub("sub7", 128, DataflowStyle.LB, 434.0)]
+        + [_sub(f"sub{i}", 64, DataflowStyle.HB, 291.0) for i in range(8, 15)]
+        + [_sub("sub15", 64, DataflowStyle.LB, 218.0)]
+    )
+    return AcceleratorPlatform("S6", subs, system_bandwidth_gbps)
+
+
+#: Registry of setting name -> builder.
+ACCELERATOR_SETTINGS: Dict[str, Callable[..., AcceleratorPlatform]] = {
+    "S1": small_homogeneous,
+    "S2": small_heterogeneous,
+    "S3": large_homogeneous,
+    "S4": large_heterogeneous,
+    "S5": large_big_little,
+    "S6": large_scale_up,
+}
+
+
+def build_setting(name: str, system_bandwidth_gbps: float | None = None) -> AcceleratorPlatform:
+    """Build one of the Table III settings by name (``"S1"`` .. ``"S6"``)."""
+    key = name.upper()
+    if key not in ACCELERATOR_SETTINGS:
+        raise ConfigurationError(
+            f"unknown accelerator setting {name!r}; available: {sorted(ACCELERATOR_SETTINGS)}"
+        )
+    builder = ACCELERATOR_SETTINGS[key]
+    if system_bandwidth_gbps is None:
+        return builder()
+    return builder(system_bandwidth_gbps)
+
+
+def list_settings() -> List[str]:
+    """Names of the available preset settings."""
+    return sorted(ACCELERATOR_SETTINGS)

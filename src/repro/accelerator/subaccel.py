@@ -1,0 +1,135 @@
+"""Sub-accelerator (core) configuration.
+
+Each sub-accelerator is a conventional DNN accelerator: a 2-D PE array, a
+PE-local scratchpad (SL), a shared global scratchpad (SG), and a dataflow
+style (Section II-B2 of the paper).  This module describes the hardware
+configuration; the analytical cost model turns a configuration plus a layer
+into latency/bandwidth estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel import AnalyticalCostModel, DataflowStyle, FlexibleArrayCostModel, get_dataflow
+from repro.exceptions import ConfigurationError
+from repro.utils.units import DEFAULT_BYTES_PER_ELEMENT, DEFAULT_FREQUENCY_HZ
+
+
+@dataclass(frozen=True)
+class SubAcceleratorConfig:
+    """Hardware configuration of one accelerator core.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in schedules and reports, e.g. ``"sub0"``.
+    pe_rows, pe_cols:
+        Height and width of the PE array.  The paper fixes the width to 64
+        and scales the height (32 / 64 / 128) between Small and Large
+        settings.
+    dataflow:
+        Dataflow style, ``HB`` or ``LB``.
+    sg_kilobytes:
+        Shared global scratchpad capacity in KB (Table III column "buffer").
+    sl_kilobytes:
+        Per-PE local scratchpad capacity in KB.
+    flexible:
+        If true, the PE array shape is reconfigurable per layer (Section VI-F)
+        while keeping the same total PE count.
+    frequency_hz:
+        Clock frequency, 200 MHz by default.
+    """
+
+    name: str
+    pe_rows: int
+    pe_cols: int = 64
+    dataflow: DataflowStyle = DataflowStyle.HB
+    sg_kilobytes: float = 146.0
+    sl_kilobytes: float = 1.0
+    flexible: bool = False
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+    bytes_per_element: int = DEFAULT_BYTES_PER_ELEMENT
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sub-accelerator name must not be empty")
+        if self.pe_rows <= 0 or self.pe_cols <= 0:
+            raise ConfigurationError(
+                f"PE array dimensions must be positive, got {self.pe_rows}x{self.pe_cols}"
+            )
+        if self.sg_kilobytes <= 0 or self.sl_kilobytes <= 0:
+            raise ConfigurationError("scratchpad sizes must be positive")
+        if isinstance(self.dataflow, str):
+            # Allow string dataflows for convenience in user configs.
+            object.__setattr__(self, "dataflow", get_dataflow(self.dataflow).style)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_pes(self) -> int:
+        """Total number of processing elements."""
+        return self.pe_rows * self.pe_cols
+
+    @property
+    def sg_bytes(self) -> int:
+        """Global scratchpad size in bytes."""
+        return int(self.sg_kilobytes * 1024)
+
+    @property
+    def sl_bytes(self) -> int:
+        """Per-PE local scratchpad size in bytes."""
+        return int(self.sl_kilobytes * 1024)
+
+    @property
+    def peak_gflops(self) -> float:
+        """Peak throughput of this core in GFLOP/s (2 ops per MAC per cycle)."""
+        return 2.0 * self.num_pes * self.frequency_hz / 1e9
+
+    def describe(self) -> str:
+        """Single-line description matching the Table III notation."""
+        flex = ", flexible" if self.flexible else ""
+        return (
+            f"{self.name}: {self.pe_rows}x{self.pe_cols} PEs, "
+            f"{self.dataflow.value}, SG {self.sg_kilobytes:.0f}KB{flex}"
+        )
+
+    # ------------------------------------------------------------------
+    def build_cost_model(self) -> AnalyticalCostModel | FlexibleArrayCostModel:
+        """Instantiate the analytical cost model for this configuration."""
+        if self.flexible:
+            return FlexibleArrayCostModel(
+                total_pes=self.num_pes,
+                dataflow=self.dataflow,
+                sg_bytes=self.sg_bytes,
+                sl_bytes=self.sl_bytes,
+                frequency_hz=self.frequency_hz,
+                bytes_per_element=self.bytes_per_element,
+            )
+        return AnalyticalCostModel(
+            pe_rows=self.pe_rows,
+            pe_cols=self.pe_cols,
+            dataflow=self.dataflow,
+            sg_bytes=self.sg_bytes,
+            sl_bytes=self.sl_bytes,
+            frequency_hz=self.frequency_hz,
+            bytes_per_element=self.bytes_per_element,
+        )
+
+    def scaled(self, row_factor: float, name: str | None = None) -> "SubAcceleratorConfig":
+        """Return a copy with the PE-array height and SG scaled by *row_factor*.
+
+        Used to derive "little" cores from "big" ones (settings S5/S6).
+        """
+        if row_factor <= 0:
+            raise ConfigurationError(f"row_factor must be positive, got {row_factor}")
+        return SubAcceleratorConfig(
+            name=name or self.name,
+            pe_rows=max(1, int(self.pe_rows * row_factor)),
+            pe_cols=self.pe_cols,
+            dataflow=self.dataflow,
+            sg_kilobytes=max(1.0, self.sg_kilobytes * row_factor),
+            sl_kilobytes=self.sl_kilobytes,
+            flexible=self.flexible,
+            frequency_hz=self.frequency_hz,
+            bytes_per_element=self.bytes_per_element,
+        )

@@ -1,0 +1,24 @@
+"""Analysis and reporting utilities behind the paper's figures."""
+
+from repro.analysis.convergence import ConvergenceCurve, convergence_from_history, sample_efficiency
+from repro.analysis.pca import PCAProjection, project_encodings
+from repro.analysis.gantt import schedule_to_gantt, schedule_to_bandwidth_series, render_ascii_gantt
+from repro.analysis.reporting import (
+    ComparisonReport,
+    normalized_throughputs,
+    speedup_summary,
+)
+
+__all__ = [
+    "ConvergenceCurve",
+    "convergence_from_history",
+    "sample_efficiency",
+    "PCAProjection",
+    "project_encodings",
+    "schedule_to_gantt",
+    "schedule_to_bandwidth_series",
+    "render_ascii_gantt",
+    "ComparisonReport",
+    "normalized_throughputs",
+    "speedup_summary",
+]

@@ -1,0 +1,92 @@
+"""Convergence-curve utilities (Fig. 11 and Fig. 16 of the paper).
+
+Every search records the best-so-far fitness after each evaluated sample;
+this module turns those histories into the down-sampled series the figures
+plot and into simple sample-efficiency summaries (samples needed to reach a
+fraction of the final value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """Best-so-far objective value as a function of samples used."""
+
+    label: str
+    samples: np.ndarray
+    best_so_far: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.samples.shape != self.best_so_far.shape:
+            raise ExperimentError("samples and best_so_far must have the same shape")
+
+    @property
+    def final_value(self) -> float:
+        """Best value at the end of the search."""
+        return float(self.best_so_far[-1]) if self.best_so_far.size else float("nan")
+
+    def value_at(self, sample: int) -> float:
+        """Best value after *sample* evaluations (clamped to the recorded range)."""
+        if self.best_so_far.size == 0:
+            return float("nan")
+        index = int(np.searchsorted(self.samples, sample, side="right")) - 1
+        index = int(np.clip(index, 0, len(self.best_so_far) - 1))
+        return float(self.best_so_far[index])
+
+    def samples_to_reach(self, fraction: float) -> Optional[int]:
+        """Samples needed to reach *fraction* of the final value, or ``None``."""
+        if not (0.0 < fraction <= 1.0):
+            raise ExperimentError(f"fraction must be in (0, 1], got {fraction}")
+        if self.best_so_far.size == 0:
+            return None
+        target = fraction * self.final_value
+        reached = np.flatnonzero(self.best_so_far >= target)
+        if reached.size == 0:
+            return None
+        return int(self.samples[reached[0]])
+
+
+def convergence_from_history(
+    label: str,
+    history: Sequence[float],
+    max_points: int = 200,
+) -> ConvergenceCurve:
+    """Build a down-sampled convergence curve from a per-sample history."""
+    history_array = np.asarray(list(history), dtype=float)
+    if history_array.size == 0:
+        return ConvergenceCurve(label=label, samples=np.array([]), best_so_far=np.array([]))
+    total = history_array.size
+    if total <= max_points:
+        indices = np.arange(total)
+    else:
+        indices = np.unique(np.linspace(0, total - 1, max_points).astype(int))
+    return ConvergenceCurve(
+        label=label,
+        samples=indices + 1,
+        best_so_far=history_array[indices],
+    )
+
+
+def sample_efficiency(curves: Dict[str, ConvergenceCurve], fraction: float = 0.95) -> Dict[str, Optional[int]]:
+    """Samples each method needs to reach *fraction* of its own final value."""
+    return {label: curve.samples_to_reach(fraction) for label, curve in curves.items()}
+
+
+def align_curves(curves: Sequence[ConvergenceCurve], num_points: int = 100) -> Dict[str, np.ndarray]:
+    """Resample several curves onto a common sample grid for tabular output."""
+    if not curves:
+        return {}
+    max_samples = max(int(curve.samples[-1]) for curve in curves if curve.samples.size)
+    grid = np.unique(np.linspace(1, max_samples, num_points).astype(int))
+    aligned: Dict[str, np.ndarray] = {"samples": grid}
+    for curve in curves:
+        aligned[curve.label] = np.array([curve.value_at(int(s)) for s in grid])
+    return aligned

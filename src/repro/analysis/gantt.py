@@ -1,0 +1,99 @@
+"""Schedule visualisation data (Fig. 4(b) and Fig. 15 of the paper).
+
+The paper visualises a found mapping as (a) a per-core Gantt chart of job
+execution and (b) the per-core bandwidth allocation over time.  This module
+extracts both as plain data structures and can render a coarse ASCII Gantt
+chart for terminal inspection (used by the CLI and examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ExperimentError
+from repro.workloads.groups import JobGroup
+
+
+@dataclass(frozen=True)
+class GanttEntry:
+    """One bar of the Gantt chart: a job running on a core for a time window."""
+
+    core: int
+    job_index: int
+    start_cycle: float
+    end_cycle: float
+    label: str
+
+
+def schedule_to_gantt(schedule: Schedule, group: Optional[JobGroup] = None) -> List[GanttEntry]:
+    """Flatten a schedule into Gantt entries, optionally labelled with job metadata."""
+    entries: List[GanttEntry] = []
+    for job in schedule.jobs:
+        if group is not None and job.job_index < len(group):
+            source = group[job.job_index]
+            label = f"{source.task_type or source.model_name or 'job'}:{job.job_index}"
+        else:
+            label = f"job:{job.job_index}"
+        entries.append(
+            GanttEntry(
+                core=job.sub_accelerator_index,
+                job_index=job.job_index,
+                start_cycle=job.start_cycle,
+                end_cycle=job.end_cycle,
+                label=label,
+            )
+        )
+    entries.sort(key=lambda e: (e.core, e.start_cycle))
+    return entries
+
+
+def schedule_to_bandwidth_series(schedule: Schedule) -> Dict[int, List[Tuple[float, float]]]:
+    """Per-core bandwidth allocation as (time, GB/s) step series (Fig. 15(b)(d))."""
+    series: Dict[int, List[Tuple[float, float]]] = {
+        core: [] for core in range(schedule.num_sub_accelerators)
+    }
+    for segment in schedule.segments:
+        for core, allocation in enumerate(segment.allocation_gbps):
+            series[core].append((segment.start_cycle, allocation))
+    # Close each series at the makespan so consumers can draw the final step.
+    makespan = schedule.makespan_cycles
+    for core in series:
+        if series[core]:
+            series[core].append((makespan, series[core][-1][1]))
+    return series
+
+
+def render_ascii_gantt(schedule: Schedule, group: Optional[JobGroup] = None, width: int = 80) -> str:
+    """Render the schedule as a coarse fixed-width ASCII Gantt chart.
+
+    Each core is one row; characters mark which task type (V/L/R for vision,
+    language, recommendation; ``#`` otherwise) occupies that time slice.
+    """
+    if width <= 10:
+        raise ExperimentError(f"width must be larger than 10 characters, got {width}")
+    makespan = schedule.makespan_cycles
+    if makespan <= 0:
+        return "(empty schedule)"
+    entries = schedule_to_gantt(schedule, group)
+    rows: List[str] = []
+    for core in range(schedule.num_sub_accelerators):
+        row = ["."] * width
+        for entry in entries:
+            if entry.core != core:
+                continue
+            start = int(entry.start_cycle / makespan * (width - 1))
+            end = max(start + 1, int(entry.end_cycle / makespan * (width - 1)))
+            symbol = "#"
+            if entry.label.startswith("vision"):
+                symbol = "V"
+            elif entry.label.startswith("language"):
+                symbol = "L"
+            elif entry.label.startswith("recommendation"):
+                symbol = "R"
+            for position in range(start, min(end, width)):
+                row[position] = symbol
+        rows.append(f"core{core:<3d} |" + "".join(row) + "|")
+    header = f"makespan: {makespan:.3e} cycles ({schedule.makespan_seconds * 1e3:.2f} ms)"
+    return "\n".join([header, *rows])

@@ -1,0 +1,69 @@
+"""PCA projection of explored mappings (Fig. 10 of the paper).
+
+Fig. 10 visualises where in the mapping space each optimizer spends its
+samples by projecting the encoded mappings onto their first two principal
+components.  This module implements the projection directly with NumPy's SVD
+so no external ML dependency is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.exceptions import ExperimentError
+
+
+@dataclass(frozen=True)
+class PCAProjection:
+    """A fitted 2-D PCA projection of encoded mappings."""
+
+    mean: np.ndarray
+    components: np.ndarray  # shape (2, dim)
+    explained_variance_ratio: np.ndarray
+
+    def transform(self, encodings: np.ndarray) -> np.ndarray:
+        """Project ``(n, dim)`` encodings onto the two principal components."""
+        data = np.atleast_2d(np.asarray(encodings, dtype=float))
+        if data.shape[1] != self.mean.shape[0]:
+            raise ExperimentError(
+                f"encodings have dimension {data.shape[1]}, expected {self.mean.shape[0]}"
+            )
+        return (data - self.mean) @ self.components.T
+
+
+def fit_pca(encodings: np.ndarray, num_components: int = 2) -> PCAProjection:
+    """Fit a PCA projection on a set of encoded mappings."""
+    data = np.atleast_2d(np.asarray(encodings, dtype=float))
+    if data.shape[0] < 2:
+        raise ExperimentError("PCA needs at least two encodings to fit")
+    mean = data.mean(axis=0)
+    centered = data - mean
+    _, singular_values, v_transpose = np.linalg.svd(centered, full_matrices=False)
+    variance = singular_values**2
+    total_variance = variance.sum() if variance.sum() > 0 else 1.0
+    components = v_transpose[:num_components]
+    return PCAProjection(
+        mean=mean,
+        components=components,
+        explained_variance_ratio=variance[:num_components] / total_variance,
+    )
+
+
+def project_encodings(
+    encodings_by_method: Dict[str, np.ndarray],
+    num_components: int = 2,
+) -> Dict[str, np.ndarray]:
+    """Fit a shared PCA over all methods' samples and project each method.
+
+    Returns a mapping ``method -> (n_samples, 2)`` array of projected points.
+    The shared fit mirrors Fig. 10, where all methods are plotted in the same
+    projected space so their coverage can be compared.
+    """
+    if not encodings_by_method:
+        return {}
+    stacked = np.vstack([np.atleast_2d(e) for e in encodings_by_method.values()])
+    projection = fit_pca(stacked, num_components=num_components)
+    return {label: projection.transform(e) for label, e in encodings_by_method.items()}

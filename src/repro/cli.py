@@ -1,0 +1,193 @@
+"""Command-line interface for the MAGMA reproduction.
+
+Examples
+--------
+List the available building blocks::
+
+    repro-magma list
+
+Search a mapping for a Mix workload on the S2 accelerator with MAGMA::
+
+    repro-magma search --setting S2 --bandwidth 16 --task mix --optimizer magma
+
+Run one of the paper's experiments (figure / table) at a chosen scale::
+
+    repro-magma experiment fig8 --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.accelerator import build_setting, list_settings
+from repro.analysis.gantt import render_ascii_gantt
+from repro.analysis.reporting import ComparisonReport
+from repro.core.framework import M3E
+from repro.experiments import (
+    get_scale,
+    run_fig7_job_analysis,
+    run_fig8_homogeneous,
+    run_fig9_heterogeneous,
+    run_fig10_exploration,
+    run_fig11_convergence,
+    run_fig12_bw_sweep,
+    run_fig13_subaccel_combinations,
+    run_fig14_flexible,
+    run_fig15_schedule_visualization,
+    run_fig16_operator_ablation,
+    run_fig17_group_size,
+    run_table5_warm_start,
+    run_method_comparison,
+)
+from repro.optimizers import list_optimizers
+from repro.utils.tables import format_table
+from repro.workloads import TaskType, build_task_workload, list_models
+
+_EXPERIMENTS: Dict[str, Callable[..., Dict[str, Any]]] = {
+    "fig7": run_fig7_job_analysis,
+    "fig8": run_fig8_homogeneous,
+    "fig9": run_fig9_heterogeneous,
+    "fig10": run_fig10_exploration,
+    "fig11": run_fig11_convergence,
+    "fig12": run_fig12_bw_sweep,
+    "fig13": run_fig13_subaccel_combinations,
+    "fig14": run_fig14_flexible,
+    "fig15": run_fig15_schedule_visualization,
+    "fig16": run_fig16_operator_ablation,
+    "fig17": run_fig17_group_size,
+    "table5": run_table5_warm_start,
+}
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    """Print the registered models, accelerator settings, and optimizers."""
+    print("Accelerator settings:", ", ".join(list_settings()))
+    print("Optimizers:", ", ".join(list_optimizers()))
+    print("Experiments:", ", ".join(sorted(_EXPERIMENTS)))
+    print("Models:")
+    for name in list_models():
+        print(f"  - {name}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    """Run a single mapping search and print the result summary."""
+    platform = build_setting(args.setting, args.bandwidth)
+    task = TaskType(args.task)
+    group = build_task_workload(
+        task,
+        group_size=args.group_size,
+        seed=args.seed,
+        num_sub_accelerators=platform.num_sub_accelerators,
+    )[0]
+    explorer = M3E(platform, sampling_budget=args.budget)
+    result = explorer.search(group, optimizer=args.optimizer, seed=args.seed)
+    print(platform.describe())
+    print(
+        f"optimizer={result.optimizer_name} throughput={result.throughput_gflops:.2f} GFLOP/s "
+        f"makespan={result.schedule.makespan_cycles:.3e} cycles samples={result.samples_used}"
+    )
+    if args.show_schedule:
+        print(render_ascii_gantt(result.schedule, group))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Compare several optimizers on one problem and print a table."""
+    scale = get_scale(args.scale)
+    results = run_method_comparison(
+        args.setting,
+        args.bandwidth,
+        TaskType(args.task),
+        methods=args.optimizers,
+        scale=scale,
+        seed=args.seed,
+    )
+    report = ComparisonReport(
+        title=f"{args.task} on {args.setting} (BW={args.bandwidth} GB/s, scale={scale.name})"
+    )
+    for result in results.values():
+        report.add(result)
+    print(report.to_text())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one of the paper's experiments and print the result as JSON."""
+    runner = _EXPERIMENTS[args.name]
+    scale = get_scale(args.scale)
+    kwargs: Dict[str, Any] = {}
+    if args.name != "fig7":
+        kwargs["scale"] = scale
+    output = runner(**kwargs)
+    print(json.dumps(_jsonable(output), indent=2, sort_keys=True))
+    return 0
+
+
+def _jsonable(value: Any) -> Any:
+    """Convert experiment outputs (numpy arrays, dataclasses) into JSON-safe values."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if hasattr(value, "__dict__") and not isinstance(value, (str, bytes)):
+        try:
+            return {k: _jsonable(v) for k, v in vars(value).items()}
+        except TypeError:
+            return str(value)
+    return value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(prog="repro-magma", description=__doc__)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list models, settings, optimizers, experiments")
+    list_parser.set_defaults(func=_cmd_list)
+
+    search = subparsers.add_parser("search", help="run one mapping search")
+    search.add_argument("--setting", default="S2", choices=list_settings())
+    search.add_argument("--bandwidth", type=float, default=16.0)
+    search.add_argument("--task", default="mix", choices=[t.value for t in TaskType])
+    search.add_argument("--optimizer", default="magma")
+    search.add_argument("--group-size", type=int, default=100)
+    search.add_argument("--budget", type=int, default=10_000)
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--show-schedule", action="store_true")
+    search.set_defaults(func=_cmd_search)
+
+    compare = subparsers.add_parser("compare", help="compare optimizers on one problem")
+    compare.add_argument("--setting", default="S2", choices=list_settings())
+    compare.add_argument("--bandwidth", type=float, default=16.0)
+    compare.add_argument("--task", default="mix", choices=[t.value for t in TaskType])
+    compare.add_argument("--optimizers", nargs="+", default=["herald-like", "ai-mt-like", "stdga", "magma"])
+    compare.add_argument("--scale", default=None)
+    compare.add_argument("--seed", type=int, default=0)
+    compare.set_defaults(func=_cmd_compare)
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
+    experiment.add_argument("--scale", default=None)
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""M3E — Multi-workload Multi-accelerator Mapping Explorer (the paper's framework).
+
+The core package contains the encoding scheme, the Job Analyzer and Job
+Analysis Table, the bandwidth allocator (Algorithm 1), the decoded schedule
+representation, the objectives, the fitness evaluator, and the top-level
+:class:`M3E` search driver.
+"""
+
+from repro.core.encoding import Mapping, MappingCodec
+from repro.core.analyzer import JobAnalyzer, JobAnalysisTable, JobProfile
+from repro.core.bw_allocator import BandwidthAllocator, ScheduleEvent
+from repro.core.schedule import Schedule, ScheduledJob
+from repro.core.objectives import Objective, ThroughputObjective, LatencyObjective, EnergyObjective, EDPObjective, get_objective
+from repro.core.evaluator import MappingEvaluator, EvaluationResult
+from repro.core.framework import M3E, SearchResult
+
+__all__ = [
+    "Mapping",
+    "MappingCodec",
+    "JobAnalyzer",
+    "JobAnalysisTable",
+    "JobProfile",
+    "BandwidthAllocator",
+    "ScheduleEvent",
+    "Schedule",
+    "ScheduledJob",
+    "Objective",
+    "ThroughputObjective",
+    "LatencyObjective",
+    "EnergyObjective",
+    "EDPObjective",
+    "get_objective",
+    "MappingEvaluator",
+    "EvaluationResult",
+    "M3E",
+    "SearchResult",
+]

@@ -1,0 +1,189 @@
+"""Job Analyzer and Job Analysis Table (Section IV-D2/D4 of the paper).
+
+The Job Analyzer profiles every job of a group on every sub-accelerator with
+the analytical cost model and stores the two scalars the scheduler needs —
+*no-stall latency* and *no-stall (required) bandwidth* — in the Job Analysis
+Table.  The table is computed once per (group, platform) pair and then acts
+as a constant-time lookup inside the optimization loop, which is what makes
+10K-sample searches cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerator import AcceleratorPlatform, SubAcceleratorConfig
+from repro.exceptions import SchedulingError
+from repro.workloads.groups import JobGroup
+from repro.workloads.jobs import Job
+from repro.workloads.layers import LayerShape
+
+
+@dataclass(frozen=True)
+class JobProfile:
+    """Profile of one job on one sub-accelerator."""
+
+    job_index: int
+    sub_accelerator_index: int
+    no_stall_latency_cycles: float
+    required_bw_gbps: float
+    energy_joules: float
+    dram_traffic_bytes: float
+
+
+class JobAnalysisTable:
+    """Dense lookup table: (job, sub-accelerator) -> latency / bandwidth / energy.
+
+    Backed by NumPy arrays of shape ``(num_jobs, num_sub_accelerators)`` so the
+    BW allocator and heuristics can vectorise their lookups.
+    """
+
+    def __init__(
+        self,
+        latency_cycles: np.ndarray,
+        required_bw_gbps: np.ndarray,
+        energy_joules: np.ndarray,
+        dram_traffic_bytes: np.ndarray,
+        job_flops: np.ndarray,
+    ):
+        shapes = {
+            "latency_cycles": latency_cycles.shape,
+            "required_bw_gbps": required_bw_gbps.shape,
+            "energy_joules": energy_joules.shape,
+            "dram_traffic_bytes": dram_traffic_bytes.shape,
+        }
+        first = latency_cycles.shape
+        if any(shape != first for shape in shapes.values()):
+            raise SchedulingError(f"analysis table arrays must share a shape, got {shapes}")
+        if job_flops.shape != (first[0],):
+            raise SchedulingError(
+                f"job_flops must have shape ({first[0]},), got {job_flops.shape}"
+            )
+        self.latency_cycles = latency_cycles
+        self.required_bw_gbps = required_bw_gbps
+        self.energy_joules = energy_joules
+        self.dram_traffic_bytes = dram_traffic_bytes
+        self.job_flops = job_flops
+
+    # ------------------------------------------------------------------
+    @property
+    def num_jobs(self) -> int:
+        """Number of jobs covered by the table."""
+        return self.latency_cycles.shape[0]
+
+    @property
+    def num_sub_accelerators(self) -> int:
+        """Number of sub-accelerators covered by the table."""
+        return self.latency_cycles.shape[1]
+
+    @property
+    def total_flops(self) -> float:
+        """Total FLOPs across all jobs (numerator of the throughput objective)."""
+        return float(self.job_flops.sum())
+
+    def profile(self, job_index: int, sub_index: int) -> JobProfile:
+        """Return the full profile of one (job, sub-accelerator) pair."""
+        self._check_indices(job_index, sub_index)
+        return JobProfile(
+            job_index=job_index,
+            sub_accelerator_index=sub_index,
+            no_stall_latency_cycles=float(self.latency_cycles[job_index, sub_index]),
+            required_bw_gbps=float(self.required_bw_gbps[job_index, sub_index]),
+            energy_joules=float(self.energy_joules[job_index, sub_index]),
+            dram_traffic_bytes=float(self.dram_traffic_bytes[job_index, sub_index]),
+        )
+
+    def latency(self, job_index: int, sub_index: int) -> float:
+        """No-stall latency of one (job, sub-accelerator) pair, in cycles."""
+        self._check_indices(job_index, sub_index)
+        return float(self.latency_cycles[job_index, sub_index])
+
+    def bandwidth(self, job_index: int, sub_index: int) -> float:
+        """Required (no-stall) bandwidth of one pair, in GB/s."""
+        self._check_indices(job_index, sub_index)
+        return float(self.required_bw_gbps[job_index, sub_index])
+
+    def best_sub_accelerator(self, job_index: int) -> int:
+        """Core with the lowest no-stall latency for a job (Herald-style affinity)."""
+        self._check_indices(job_index, 0)
+        return int(np.argmin(self.latency_cycles[job_index]))
+
+    def average_latency_per_core(self) -> np.ndarray:
+        """Mean no-stall latency per core across all jobs (Fig. 13a-style)."""
+        return self.latency_cycles.mean(axis=0)
+
+    def average_bandwidth_per_core(self) -> np.ndarray:
+        """Mean required bandwidth per core across all jobs (Fig. 13b-style)."""
+        return self.required_bw_gbps.mean(axis=0)
+
+    def _check_indices(self, job_index: int, sub_index: int) -> None:
+        if not (0 <= job_index < self.num_jobs):
+            raise SchedulingError(f"job index {job_index} out of range [0, {self.num_jobs})")
+        if not (0 <= sub_index < self.num_sub_accelerators):
+            raise SchedulingError(
+                f"sub-accelerator index {sub_index} out of range [0, {self.num_sub_accelerators})"
+            )
+
+
+class JobAnalyzer:
+    """Profiles jobs on sub-accelerators and builds :class:`JobAnalysisTable` objects.
+
+    Cost-model evaluations are memoised on ``(layer, sub-accelerator config)``
+    so workloads with repeated layer shapes (the common case in batched-job
+    benchmarks) are analysed quickly.
+    """
+
+    def __init__(self, platform: AcceleratorPlatform):
+        self.platform = platform
+        self._cost_models = [sub.build_cost_model() for sub in platform.sub_accelerators]
+        self._cache: Dict[Tuple[LayerShape, SubAcceleratorConfig], Tuple[float, float, float, float]] = {}
+
+    # ------------------------------------------------------------------
+    def profile_layer(self, layer: LayerShape, sub_index: int) -> Tuple[float, float, float, float]:
+        """Profile one layer on one core: (latency, bw, energy, traffic)."""
+        if not (0 <= sub_index < len(self._cost_models)):
+            raise SchedulingError(
+                f"sub-accelerator index {sub_index} out of range [0, {len(self._cost_models)})"
+            )
+        config = self.platform.sub_accelerators[sub_index]
+        key = (layer, config)
+        if key not in self._cache:
+            estimate = self._cost_models[sub_index].evaluate(layer)
+            self._cache[key] = (
+                estimate.no_stall_latency_cycles,
+                estimate.required_bw_gbps,
+                estimate.energy_joules,
+                estimate.dram_traffic_bytes,
+            )
+        return self._cache[key]
+
+    def analyze(self, group: JobGroup | Sequence[Job]) -> JobAnalysisTable:
+        """Build the Job Analysis Table for a group of jobs on this platform."""
+        jobs: Sequence[Job] = group.jobs if isinstance(group, JobGroup) else tuple(group)
+        if not jobs:
+            raise SchedulingError("cannot analyze an empty job group")
+        num_jobs = len(jobs)
+        num_subs = self.platform.num_sub_accelerators
+        latency = np.zeros((num_jobs, num_subs))
+        bandwidth = np.zeros((num_jobs, num_subs))
+        energy = np.zeros((num_jobs, num_subs))
+        traffic = np.zeros((num_jobs, num_subs))
+        flops = np.zeros(num_jobs)
+        for j, job in enumerate(jobs):
+            flops[j] = job.flops
+            for a in range(num_subs):
+                lat, bw, en, tr = self.profile_layer(job.layer, a)
+                latency[j, a] = lat
+                bandwidth[j, a] = bw
+                energy[j, a] = en
+                traffic[j, a] = tr
+        return JobAnalysisTable(
+            latency_cycles=latency,
+            required_bw_gbps=bandwidth,
+            energy_joules=energy,
+            dram_traffic_bytes=traffic,
+            job_flops=flops,
+        )

@@ -1,0 +1,204 @@
+"""Mapping encoding scheme (Fig. 5(a) of the paper).
+
+A mapping for a group of ``G`` jobs on ``A`` sub-accelerators is encoded as a
+flat vector of length ``2 * G`` split into two genomes:
+
+* the **sub-accelerator selection** genome — ``G`` integers in ``[0, A)``
+  stating which core each job runs on, and
+* the **job prioritizing** genome — ``G`` floats in ``[0, 1)`` whose ordering
+  (0 = highest priority) determines the execution order of the jobs assigned
+  to the same core.
+
+:class:`MappingCodec` owns the encode/decode/validate/repair logic;
+:class:`Mapping` is a decoded mapping description (per-core ordered job
+lists), i.e. the "mapping description" consumed by the BW allocator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EncodingError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Decoded mapping description: ordered job indices per sub-accelerator.
+
+    ``assignments[a]`` is the execution order (list of job indices into the
+    group) for sub-accelerator ``a``.  Every job index in ``range(num_jobs)``
+    appears exactly once across all cores.
+    """
+
+    assignments: Tuple[Tuple[int, ...], ...]
+    num_jobs: int
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for core_jobs in self.assignments:
+            for job_index in core_jobs:
+                if job_index < 0 or job_index >= self.num_jobs:
+                    raise EncodingError(f"job index {job_index} out of range [0, {self.num_jobs})")
+                if job_index in seen:
+                    raise EncodingError(f"job index {job_index} assigned to more than one core")
+                seen.add(job_index)
+        if len(seen) != self.num_jobs:
+            missing = sorted(set(range(self.num_jobs)) - seen)
+            raise EncodingError(f"mapping does not cover all jobs; missing {missing[:10]}")
+
+    @property
+    def num_sub_accelerators(self) -> int:
+        """Number of cores the mapping targets."""
+        return len(self.assignments)
+
+    def core_of(self, job_index: int) -> int:
+        """Return the core a job is assigned to."""
+        for core, core_jobs in enumerate(self.assignments):
+            if job_index in core_jobs:
+                return core
+        raise EncodingError(f"job index {job_index} not present in mapping")
+
+    def jobs_per_core(self) -> List[int]:
+        """Number of jobs assigned to each core."""
+        return [len(core_jobs) for core_jobs in self.assignments]
+
+    def describe(self) -> str:
+        """Short human-readable description of the assignment."""
+        parts = [
+            f"core{core}: [{', '.join(str(j) for j in core_jobs)}]"
+            for core, core_jobs in enumerate(self.assignments)
+        ]
+        return "; ".join(parts)
+
+
+class MappingCodec:
+    """Encode, decode, sample, and repair mapping vectors.
+
+    Parameters
+    ----------
+    num_jobs:
+        Group size ``G``.
+    num_sub_accelerators:
+        Number of cores ``A``.
+    """
+
+    def __init__(self, num_jobs: int, num_sub_accelerators: int):
+        if num_jobs <= 0:
+            raise EncodingError(f"num_jobs must be positive, got {num_jobs}")
+        if num_sub_accelerators <= 0:
+            raise EncodingError(f"num_sub_accelerators must be positive, got {num_sub_accelerators}")
+        self.num_jobs = num_jobs
+        self.num_sub_accelerators = num_sub_accelerators
+
+    # ------------------------------------------------------------------
+    @property
+    def genome_length(self) -> int:
+        """Length of one genome (equal to the group size)."""
+        return self.num_jobs
+
+    @property
+    def encoding_length(self) -> int:
+        """Total length of an encoded mapping (two genomes)."""
+        return 2 * self.num_jobs
+
+    def selection_genome(self, encoding: np.ndarray) -> np.ndarray:
+        """View of the sub-accelerator selection genome."""
+        return encoding[: self.num_jobs]
+
+    def priority_genome(self, encoding: np.ndarray) -> np.ndarray:
+        """View of the job prioritizing genome."""
+        return encoding[self.num_jobs:]
+
+    # ------------------------------------------------------------------
+    def random_encoding(self, rng: SeedLike = None) -> np.ndarray:
+        """Sample a uniformly random, valid encoded mapping."""
+        generator = ensure_rng(rng)
+        selection = generator.integers(0, self.num_sub_accelerators, size=self.num_jobs)
+        priority = generator.random(self.num_jobs)
+        return np.concatenate([selection.astype(float), priority])
+
+    def random_population(self, size: int, rng: SeedLike = None) -> np.ndarray:
+        """Sample *size* random encodings as a ``(size, 2G)`` array."""
+        generator = ensure_rng(rng)
+        return np.stack([self.random_encoding(generator) for _ in range(size)])
+
+    # ------------------------------------------------------------------
+    def validate(self, encoding: np.ndarray) -> None:
+        """Raise :class:`EncodingError` if *encoding* has the wrong shape."""
+        array = np.asarray(encoding, dtype=float)
+        if array.ndim != 1 or array.shape[0] != self.encoding_length:
+            raise EncodingError(
+                f"encoding must be a flat vector of length {self.encoding_length}, "
+                f"got shape {array.shape}"
+            )
+        if not np.all(np.isfinite(array)):
+            raise EncodingError("encoding contains non-finite values")
+
+    def repair(self, encoding: np.ndarray) -> np.ndarray:
+        """Clamp an arbitrary real vector into the valid encoding domain.
+
+        Continuous optimizers (DE, CMA-ES, PSO, ...) operate on unconstrained
+        real vectors; this projects their candidates back into the search
+        space: selection genes are rounded and clipped to ``[0, A)``,
+        priority genes are clipped to ``[0, 1)``.
+        """
+        self.validate(encoding)
+        repaired = np.asarray(encoding, dtype=float).copy()
+        selection = np.rint(repaired[: self.num_jobs])
+        selection = np.clip(selection, 0, self.num_sub_accelerators - 1)
+        priority = np.clip(repaired[self.num_jobs:], 0.0, 1.0 - 1e-12)
+        repaired[: self.num_jobs] = selection
+        repaired[self.num_jobs:] = priority
+        return repaired
+
+    # ------------------------------------------------------------------
+    def decode(self, encoding: np.ndarray) -> Mapping:
+        """Decode an encoded vector into a :class:`Mapping` description.
+
+        Jobs assigned to the same core are ordered by ascending priority
+        value (0 is the highest priority); ties break on job index so the
+        decode is deterministic.
+        """
+        repaired = self.repair(encoding)
+        selection = repaired[: self.num_jobs].astype(int)
+        priority = repaired[self.num_jobs:]
+        assignments: List[List[int]] = [[] for _ in range(self.num_sub_accelerators)]
+        # Sort all jobs by (priority, job index) once, then bucket by core to
+        # keep the decode O(G log G).
+        order = np.lexsort((np.arange(self.num_jobs), priority))
+        for job_index in order:
+            assignments[selection[job_index]].append(int(job_index))
+        return Mapping(
+            assignments=tuple(tuple(core_jobs) for core_jobs in assignments),
+            num_jobs=self.num_jobs,
+        )
+
+    def encode(self, mapping: Mapping) -> np.ndarray:
+        """Encode a :class:`Mapping` back into a vector.
+
+        Priorities are assigned evenly spaced in ``[0, 1)`` following each
+        core's execution order, so ``decode(encode(m))`` reproduces ``m``.
+        """
+        if mapping.num_jobs != self.num_jobs:
+            raise EncodingError(
+                f"mapping covers {mapping.num_jobs} jobs but codec expects {self.num_jobs}"
+            )
+        if mapping.num_sub_accelerators > self.num_sub_accelerators:
+            raise EncodingError(
+                f"mapping uses {mapping.num_sub_accelerators} cores but codec allows "
+                f"{self.num_sub_accelerators}"
+            )
+        selection = np.zeros(self.num_jobs)
+        priority = np.zeros(self.num_jobs)
+        step = 1.0 / (self.num_jobs + 1)
+        for core, core_jobs in enumerate(mapping.assignments):
+            for position, job_index in enumerate(core_jobs):
+                selection[job_index] = core
+                # Rank within the core determines priority; scale by overall
+                # position so ordering is preserved exactly after decode.
+                priority[job_index] = (position + 1) * step
+        return np.concatenate([selection, priority])

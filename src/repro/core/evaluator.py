@@ -1,0 +1,210 @@
+"""Fitness evaluator: encoded mapping -> decoded schedule -> objective value.
+
+This is the "Evaluation" half of the M3E loop (Fig. 3 of the paper): the
+decoder turns the encoded mapping into a mapping description, the BW
+allocator simulates it under the system-bandwidth constraint, and the fitness
+function extracts the objective.  The evaluator also keeps a sample counter
+and the best-so-far trace, which every experiment uses to enforce the shared
+sampling budget and to draw convergence curves (Fig. 11, Fig. 16).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerator import AcceleratorPlatform
+from repro.core.analyzer import JobAnalysisTable, JobAnalyzer
+from repro.core.bw_allocator import BandwidthAllocator
+from repro.core.encoding import Mapping, MappingCodec
+from repro.core.objectives import Objective, ThroughputObjective, get_objective
+from repro.core.schedule import Schedule
+from repro.exceptions import OptimizationError
+from repro.workloads.groups import JobGroup
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Result of evaluating one encoded mapping."""
+
+    fitness: float
+    objective_value: float
+    makespan_cycles: float
+    mapping: Mapping
+
+
+class MappingEvaluator:
+    """Evaluates encoded mappings for one (group, platform, objective) problem.
+
+    The evaluator is the single object optimizers interact with: it exposes
+    the codec (so algorithms know the search-space shape), a scalar
+    ``evaluate`` call, and bookkeeping of the sampling budget.
+    """
+
+    def __init__(
+        self,
+        group: JobGroup,
+        platform: AcceleratorPlatform,
+        objective: Objective | str = "throughput",
+        analysis_table: Optional[JobAnalysisTable] = None,
+        sampling_budget: Optional[int] = None,
+    ):
+        self.group = group
+        self.platform = platform
+        self.objective = get_objective(objective)
+        self.codec = MappingCodec(
+            num_jobs=group.size,
+            num_sub_accelerators=platform.num_sub_accelerators,
+        )
+        self.table = analysis_table if analysis_table is not None else JobAnalyzer(platform).analyze(group)
+        self.allocator = BandwidthAllocator(
+            system_bandwidth_gbps=platform.system_bandwidth_gbps,
+            frequency_hz=platform.sub_accelerators[0].frequency_hz,
+        )
+        self.sampling_budget = sampling_budget
+        #: When true, every evaluated encoding and its fitness are recorded
+        #: (used by the exploration-visualisation experiment, Fig. 10).
+        self.record_samples = False
+        self._samples_used = 0
+        self._best_fitness = -np.inf
+        self._best_encoding: Optional[np.ndarray] = None
+        self._history: List[float] = []
+        self._sampled_encodings: List[np.ndarray] = []
+        self._sampled_fitnesses: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Budget / history bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def samples_used(self) -> int:
+        """Number of fitness evaluations performed so far."""
+        return self._samples_used
+
+    @property
+    def budget_exhausted(self) -> bool:
+        """True once the sampling budget (if any) has been consumed."""
+        return self.sampling_budget is not None and self._samples_used >= self.sampling_budget
+
+    @property
+    def remaining_budget(self) -> Optional[int]:
+        """Evaluations left before the budget is exhausted (None = unlimited)."""
+        if self.sampling_budget is None:
+            return None
+        return max(0, self.sampling_budget - self._samples_used)
+
+    @property
+    def best_fitness(self) -> float:
+        """Best fitness seen so far (-inf before the first evaluation)."""
+        return self._best_fitness
+
+    @property
+    def best_encoding(self) -> Optional[np.ndarray]:
+        """Copy of the best encoded mapping seen so far."""
+        return None if self._best_encoding is None else self._best_encoding.copy()
+
+    @property
+    def history(self) -> List[float]:
+        """Best-so-far fitness after each evaluation (convergence curve)."""
+        return list(self._history)
+
+    @property
+    def sampled_encodings(self) -> np.ndarray:
+        """All recorded encodings (empty unless ``record_samples`` is set)."""
+        if not self._sampled_encodings:
+            return np.empty((0, self.codec.encoding_length))
+        return np.asarray(self._sampled_encodings)
+
+    @property
+    def sampled_fitnesses(self) -> np.ndarray:
+        """Fitness of each recorded encoding (empty unless ``record_samples``)."""
+        return np.asarray(self._sampled_fitnesses)
+
+    def reset(self) -> None:
+        """Clear the sample counter, history, and best-so-far record."""
+        self._samples_used = 0
+        self._best_fitness = -np.inf
+        self._best_encoding = None
+        self._history = []
+        self._sampled_encodings = []
+        self._sampled_fitnesses = []
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, encoding: np.ndarray, count_sample: bool = True) -> float:
+        """Evaluate one encoded mapping and return its fitness.
+
+        When *count_sample* is true (the default) the evaluation consumes one
+        unit of the sampling budget and is recorded in the convergence
+        history.  Heuristic mappers and reporting paths pass ``False``.
+        """
+        if count_sample and self.budget_exhausted:
+            raise OptimizationError(
+                f"sampling budget of {self.sampling_budget} evaluations exhausted"
+            )
+        mapping = self.codec.decode(encoding)
+        makespan = self.allocator.makespan_cycles(mapping, self.table)
+        schedule = self._lightweight_schedule(makespan)
+        fitness = self.objective.fitness(schedule, mapping, self.table)
+        if count_sample:
+            self._samples_used += 1
+            if fitness > self._best_fitness:
+                self._best_fitness = fitness
+                self._best_encoding = self.codec.repair(np.asarray(encoding, dtype=float))
+            self._history.append(self._best_fitness)
+            if self.record_samples:
+                self._sampled_encodings.append(self.codec.repair(np.asarray(encoding, dtype=float)))
+                self._sampled_fitnesses.append(fitness)
+        return fitness
+
+    def evaluate_population(self, population: np.ndarray, count_samples: bool = True) -> np.ndarray:
+        """Evaluate a ``(pop, 2G)`` array of encodings, respecting the budget.
+
+        If the budget runs out part-way through, the remaining individuals
+        receive ``-inf`` fitness so population-based optimizers can finish
+        their generation without over-spending samples.
+        """
+        population = np.atleast_2d(np.asarray(population, dtype=float))
+        fitnesses = np.full(population.shape[0], -np.inf)
+        for i, encoding in enumerate(population):
+            if count_samples and self.budget_exhausted:
+                break
+            fitnesses[i] = self.evaluate(encoding, count_sample=count_samples)
+        return fitnesses
+
+    def detailed_evaluation(self, encoding: np.ndarray) -> EvaluationResult:
+        """Evaluate one encoding and return the decoded mapping plus metrics."""
+        mapping = self.codec.decode(encoding)
+        schedule = self.allocator.allocate(mapping, self.table)
+        fitness = self.objective.fitness(schedule, mapping, self.table)
+        value = self.objective.report_value(schedule, mapping, self.table)
+        return EvaluationResult(
+            fitness=fitness,
+            objective_value=value,
+            makespan_cycles=schedule.makespan_cycles,
+            mapping=mapping,
+        )
+
+    def schedule_for(self, encoding: np.ndarray) -> Schedule:
+        """Return the full schedule (timeline + bandwidth segments) of an encoding."""
+        mapping = self.codec.decode(encoding)
+        return self.allocator.allocate(mapping, self.table)
+
+    # ------------------------------------------------------------------
+    def _lightweight_schedule(self, makespan_cycles: float) -> Schedule:
+        """Build a minimal Schedule carrying only the makespan.
+
+        The throughput / latency objectives only need the makespan and the
+        total FLOPs; skipping the per-job timeline keeps the inner loop of
+        10K-sample searches fast.
+        """
+        return Schedule(
+            jobs=(),
+            segments=(),
+            num_sub_accelerators=self.platform.num_sub_accelerators,
+            total_flops=self.table.total_flops,
+            frequency_hz=self.allocator.frequency_hz,
+            makespan_cycles_override=makespan_cycles,
+        )

@@ -1,0 +1,192 @@
+"""The M3E search driver.
+
+:class:`M3E` glues the pieces of Fig. 3 together: the Job Analyzer prepares
+the Job Analysis Table, the chosen optimization algorithm proposes encoded
+mappings, the decoder + BW allocator + fitness function evaluate them, and
+the loop continues until the sampling budget is exhausted (or the optimizer
+converges).  The result carries the best mapping, its schedule, and the
+convergence history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.accelerator import AcceleratorPlatform
+from repro.core.analyzer import JobAnalysisTable, JobAnalyzer
+from repro.core.encoding import Mapping
+from repro.core.evaluator import MappingEvaluator
+from repro.core.objectives import Objective
+from repro.core.schedule import Schedule
+from repro.exceptions import OptimizationError
+from repro.utils.rng import SeedLike
+from repro.workloads.groups import JobGroup
+
+#: Sampling budget used throughout the paper's evaluation (Section VI-B).
+DEFAULT_SAMPLING_BUDGET = 10_000
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one mapping search.
+
+    Attributes
+    ----------
+    best_encoding:
+        The best encoded mapping found.
+    best_mapping:
+        Its decoded form (per-core ordered job lists).
+    best_fitness:
+        Fitness of the best mapping (higher is better).
+    objective_value:
+        The objective in natural units (GFLOP/s for throughput).
+    samples_used:
+        Number of fitness evaluations consumed.
+    history:
+        Best-so-far fitness after each evaluation (convergence curve).
+    schedule:
+        Full schedule (timeline + bandwidth segments) of the best mapping.
+    optimizer_name:
+        Name of the algorithm that produced the result.
+    metadata:
+        Optimizer-specific extras (e.g. final population, RL training stats).
+    """
+
+    best_encoding: np.ndarray
+    best_mapping: Mapping
+    best_fitness: float
+    objective_value: float
+    samples_used: int
+    history: List[float]
+    schedule: Schedule
+    optimizer_name: str
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def throughput_gflops(self) -> float:
+        """Throughput of the best schedule in GFLOP/s (the paper's main metric)."""
+        return self.schedule.throughput_gflops
+
+
+class M3E:
+    """Multi-workload Multi-accelerator Mapping Explorer.
+
+    Parameters
+    ----------
+    platform:
+        The multi-core accelerator to map onto.
+    objective:
+        Objective name or instance (default ``"throughput"``).
+    sampling_budget:
+        Number of fitness evaluations each search may use (paper: 10K).
+    """
+
+    def __init__(
+        self,
+        platform: AcceleratorPlatform,
+        objective: Objective | str = "throughput",
+        sampling_budget: int = DEFAULT_SAMPLING_BUDGET,
+    ):
+        if sampling_budget <= 0:
+            raise OptimizationError(f"sampling_budget must be positive, got {sampling_budget}")
+        self.platform = platform
+        self.objective = objective
+        self.sampling_budget = sampling_budget
+        self._analyzer = JobAnalyzer(platform)
+        self._table_cache: Dict[int, JobAnalysisTable] = {}
+
+    # ------------------------------------------------------------------
+    def analyze(self, group: JobGroup) -> JobAnalysisTable:
+        """Build (and cache) the Job Analysis Table for a group."""
+        key = id(group)
+        if key not in self._table_cache:
+            self._table_cache[key] = self._analyzer.analyze(group)
+        return self._table_cache[key]
+
+    def build_evaluator(self, group: JobGroup, sampling_budget: Optional[int] = None) -> MappingEvaluator:
+        """Construct the fitness evaluator for a group (pre-processing step)."""
+        return MappingEvaluator(
+            group=group,
+            platform=self.platform,
+            objective=self.objective,
+            analysis_table=self.analyze(group),
+            sampling_budget=sampling_budget if sampling_budget is not None else self.sampling_budget,
+        )
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        group: JobGroup,
+        optimizer: Any = "magma",
+        seed: SeedLike = None,
+        sampling_budget: Optional[int] = None,
+        optimizer_options: Optional[Dict[str, Any]] = None,
+        initial_encodings: Optional[np.ndarray] = None,
+    ) -> SearchResult:
+        """Run one mapping search and return the best mapping found.
+
+        ``optimizer`` may be a registered algorithm name (see
+        :func:`repro.optimizers.list_optimizers`) or an already-constructed
+        optimizer instance.  ``initial_encodings`` seeds the initial
+        population — this is how the warm-start engine injects previous
+        solutions (Section V-C).
+        """
+        # Imported lazily to avoid a circular dependency: the optimizers
+        # package builds on the core evaluator defined here.
+        from repro.optimizers import build_optimizer
+        from repro.optimizers.base import BaseOptimizer
+
+        evaluator = self.build_evaluator(group, sampling_budget)
+        if isinstance(optimizer, BaseOptimizer):
+            algorithm = optimizer
+            if seed is not None:
+                algorithm.reseed(seed)
+        else:
+            algorithm = build_optimizer(optimizer, seed=seed, **(optimizer_options or {}))
+
+        best_encoding = algorithm.optimize(evaluator, initial_encodings=initial_encodings)
+        if best_encoding is None:
+            if evaluator.best_encoding is None:
+                raise OptimizationError(
+                    f"optimizer {algorithm.name!r} returned no solution and evaluated no samples"
+                )
+            best_encoding = evaluator.best_encoding
+
+        detail = evaluator.detailed_evaluation(best_encoding)
+        schedule = evaluator.schedule_for(best_encoding)
+        return SearchResult(
+            best_encoding=np.asarray(best_encoding, dtype=float),
+            best_mapping=detail.mapping,
+            best_fitness=detail.fitness,
+            objective_value=detail.objective_value,
+            samples_used=evaluator.samples_used,
+            history=evaluator.history,
+            schedule=schedule,
+            optimizer_name=algorithm.name,
+            metadata=dict(algorithm.metadata),
+        )
+
+    def compare(
+        self,
+        group: JobGroup,
+        optimizers: List[Any],
+        seed: SeedLike = None,
+        sampling_budget: Optional[int] = None,
+    ) -> Dict[str, SearchResult]:
+        """Run several optimizers on the same group with independent RNG streams.
+
+        This is the building block behind the per-figure experiments: every
+        algorithm receives the same group, platform, objective, and sampling
+        budget, exactly as in Section VI-B.
+        """
+        from repro.utils.rng import spawn_rngs
+
+        rngs = spawn_rngs(seed, len(optimizers))
+        results: Dict[str, SearchResult] = {}
+        for algorithm, rng in zip(optimizers, rngs):
+            result = self.search(group, optimizer=algorithm, seed=rng, sampling_budget=sampling_budget)
+            results[result.optimizer_name] = result
+        return results

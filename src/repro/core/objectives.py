@@ -1,0 +1,141 @@
+"""Optimization objectives (Section IV-C of the paper).
+
+The primary objective is throughput, but M3E accepts any objective that can
+be computed from a schedule and the job analysis table: latency, energy,
+energy-delay-product, and performance-per-watt are provided.  Objectives are
+always *maximised*; objectives that are naturally "lower is better" return a
+negated/inverted fitness so every optimizer can treat fitness uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Type
+
+import numpy as np
+
+from repro.core.analyzer import JobAnalysisTable
+from repro.core.encoding import Mapping
+from repro.core.schedule import Schedule
+from repro.exceptions import ConfigurationError
+
+
+class Objective(abc.ABC):
+    """Base class for objectives: maps a schedule to a scalar fitness (higher = better)."""
+
+    #: Registry name, set by subclasses.
+    name: str = "objective"
+
+    @abc.abstractmethod
+    def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        """Return the fitness (to maximise) of one evaluated mapping."""
+
+    @abc.abstractmethod
+    def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        """Return the value in natural units for reporting (e.g. GFLOP/s, joules)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class ThroughputObjective(Objective):
+    """Maximise group throughput (total FLOPs / makespan), the paper's default."""
+
+    name = "throughput"
+
+    def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        return schedule.throughput_gflops
+
+    def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        return schedule.throughput_gflops
+
+
+class LatencyObjective(Objective):
+    """Minimise the makespan of the group (fitness is the negated makespan)."""
+
+    name = "latency"
+
+    def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        return -schedule.makespan_cycles
+
+    def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        return schedule.makespan_cycles
+
+
+class EnergyObjective(Objective):
+    """Minimise total energy of the group (fitness is the negated energy)."""
+
+    name = "energy"
+
+    def _total_energy(self, mapping: Mapping, table: JobAnalysisTable) -> float:
+        total = 0.0
+        for core, core_jobs in enumerate(mapping.assignments):
+            for job_index in core_jobs:
+                total += float(table.energy_joules[job_index, core])
+        return total
+
+    def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        return -self._total_energy(mapping, table)
+
+    def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        return self._total_energy(mapping, table)
+
+
+class EDPObjective(Objective):
+    """Minimise the energy-delay product (energy x makespan seconds)."""
+
+    name = "edp"
+
+    def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        energy = EnergyObjective().report_value(schedule, mapping, table)
+        return -(energy * schedule.makespan_seconds)
+
+    def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        energy = EnergyObjective().report_value(schedule, mapping, table)
+        return energy * schedule.makespan_seconds
+
+
+class PerformancePerWattObjective(Objective):
+    """Maximise throughput per watt (GFLOP/s / average power)."""
+
+    name = "performance_per_watt"
+
+    def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        return self.report_value(schedule, mapping, table)
+
+    def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
+        energy = EnergyObjective().report_value(schedule, mapping, table)
+        seconds = schedule.makespan_seconds
+        if seconds <= 0 or energy <= 0:
+            return 0.0
+        average_power_watts = energy / seconds
+        return schedule.throughput_gflops / average_power_watts
+
+
+_OBJECTIVES: Dict[str, Type[Objective]] = {
+    cls.name: cls
+    for cls in (
+        ThroughputObjective,
+        LatencyObjective,
+        EnergyObjective,
+        EDPObjective,
+        PerformancePerWattObjective,
+    )
+}
+
+
+def get_objective(name: str | Objective) -> Objective:
+    """Look up an objective by name (or pass an instance through)."""
+    if isinstance(name, Objective):
+        return name
+    key = name.lower()
+    if key not in _OBJECTIVES:
+        raise ConfigurationError(
+            f"unknown objective {name!r}; available: {sorted(_OBJECTIVES)}"
+        )
+    return _OBJECTIVES[key]()
+
+
+def list_objectives() -> list[str]:
+    """Names of the available objectives."""
+    return sorted(_OBJECTIVES)

@@ -1,0 +1,185 @@
+"""Decoded schedule produced by the bandwidth allocator.
+
+A :class:`Schedule` is the concrete execution plan for one group on one
+platform: which job ran on which core, when it started and finished, and how
+the shared system bandwidth was split over time.  It is both the object the
+fitness function scores and the data behind the paper's schedule
+visualisations (Fig. 4(b) and Fig. 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SchedulingError
+from repro.utils.units import DEFAULT_FREQUENCY_HZ
+
+
+@dataclass(frozen=True)
+class ScheduledJob:
+    """Execution record of one job in a schedule.
+
+    Times are in accelerator cycles, measured from the start of the group.
+    """
+
+    job_index: int
+    sub_accelerator_index: int
+    start_cycle: float
+    end_cycle: float
+    no_stall_latency_cycles: float
+    required_bw_gbps: float
+
+    def __post_init__(self) -> None:
+        if self.end_cycle < self.start_cycle:
+            raise SchedulingError(
+                f"job {self.job_index} ends ({self.end_cycle}) before it starts ({self.start_cycle})"
+            )
+
+    @property
+    def duration_cycles(self) -> float:
+        """Actual execution duration, including any memory stalls."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def slowdown(self) -> float:
+        """Ratio of actual duration to no-stall latency (1.0 = never stalled)."""
+        if self.no_stall_latency_cycles <= 0:
+            return 1.0
+        return self.duration_cycles / self.no_stall_latency_cycles
+
+
+@dataclass(frozen=True)
+class BandwidthSegment:
+    """Bandwidth split across cores during one time window of the schedule."""
+
+    start_cycle: float
+    end_cycle: float
+    allocation_gbps: Tuple[float, ...]
+
+    @property
+    def duration_cycles(self) -> float:
+        """Length of the window in cycles."""
+        return self.end_cycle - self.start_cycle
+
+    @property
+    def total_allocated_gbps(self) -> float:
+        """Sum of the per-core allocations during this window."""
+        return float(sum(self.allocation_gbps))
+
+
+class Schedule:
+    """Full execution plan: per-job timing plus the bandwidth allocation timeline."""
+
+    def __init__(
+        self,
+        jobs: Sequence[ScheduledJob],
+        segments: Sequence[BandwidthSegment],
+        num_sub_accelerators: int,
+        total_flops: float,
+        frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+        makespan_cycles_override: Optional[float] = None,
+    ):
+        if num_sub_accelerators <= 0:
+            raise SchedulingError("schedule needs at least one sub-accelerator")
+        if total_flops < 0:
+            raise SchedulingError("total_flops must be non-negative")
+        if makespan_cycles_override is not None and makespan_cycles_override < 0:
+            raise SchedulingError("makespan override must be non-negative")
+        self.jobs: Tuple[ScheduledJob, ...] = tuple(jobs)
+        self.segments: Tuple[BandwidthSegment, ...] = tuple(segments)
+        self.num_sub_accelerators = num_sub_accelerators
+        self.total_flops = total_flops
+        self.frequency_hz = frequency_hz
+        self._makespan_cycles_override = makespan_cycles_override
+
+    # ------------------------------------------------------------------
+    @property
+    def makespan_cycles(self) -> float:
+        """Finish time of the last job, in cycles.
+
+        A summary schedule (built by the fast fitness path, which skips the
+        per-job timeline) carries the makespan explicitly via the override.
+        """
+        if self._makespan_cycles_override is not None:
+            return self._makespan_cycles_override
+        if not self.jobs:
+            return 0.0
+        return max(job.end_cycle for job in self.jobs)
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Finish time of the last job, in seconds."""
+        return self.makespan_cycles / self.frequency_hz
+
+    @property
+    def throughput_gflops(self) -> float:
+        """Group throughput: total FLOPs divided by the makespan, in GFLOP/s."""
+        seconds = self.makespan_seconds
+        if seconds <= 0:
+            return 0.0
+        return self.total_flops / seconds / 1e9
+
+    # ------------------------------------------------------------------
+    def jobs_on_core(self, sub_index: int) -> List[ScheduledJob]:
+        """Jobs executed on one core, ordered by start time."""
+        core_jobs = [job for job in self.jobs if job.sub_accelerator_index == sub_index]
+        return sorted(core_jobs, key=lambda job: job.start_cycle)
+
+    def core_busy_cycles(self) -> List[float]:
+        """Total busy cycles per core (used for load-balance reporting)."""
+        busy = [0.0] * self.num_sub_accelerators
+        for job in self.jobs:
+            busy[job.sub_accelerator_index] += job.duration_cycles
+        return busy
+
+    def core_utilization(self) -> List[float]:
+        """Fraction of the makespan each core spends executing jobs."""
+        makespan = self.makespan_cycles
+        if makespan <= 0:
+            return [0.0] * self.num_sub_accelerators
+        return [busy / makespan for busy in self.core_busy_cycles()]
+
+    def average_slowdown(self) -> float:
+        """Mean memory-stall slowdown across jobs (1.0 = fully compute-bound)."""
+        if not self.jobs:
+            return 1.0
+        return sum(job.slowdown for job in self.jobs) / len(self.jobs)
+
+    def bandwidth_timeline(self) -> List[Tuple[float, float, Tuple[float, ...]]]:
+        """Return (start, end, per-core allocation) tuples, in cycle units.
+
+        This is the data plotted as the BW-allocation chart of Fig. 15.
+        """
+        return [(seg.start_cycle, seg.end_cycle, seg.allocation_gbps) for seg in self.segments]
+
+    def gantt_rows(self) -> Dict[int, List[Tuple[int, float, float]]]:
+        """Return per-core rows of (job_index, start, end) for Gantt rendering."""
+        rows: Dict[int, List[Tuple[int, float, float]]] = {
+            core: [] for core in range(self.num_sub_accelerators)
+        }
+        for job in self.jobs:
+            rows[job.sub_accelerator_index].append((job.job_index, job.start_cycle, job.end_cycle))
+        for core in rows:
+            rows[core].sort(key=lambda item: item[1])
+        return rows
+
+    def validate(self) -> None:
+        """Check structural invariants: no overlapping jobs on one core.
+
+        Raises :class:`SchedulingError` on violation.  Used by tests and the
+        property-based suite.
+        """
+        for core in range(self.num_sub_accelerators):
+            previous_end = 0.0
+            for job_index, start, end in sorted(
+                ((j.job_index, j.start_cycle, j.end_cycle) for j in self.jobs
+                 if j.sub_accelerator_index == core),
+                key=lambda item: item[1],
+            ):
+                if start < previous_end - 1e-6:
+                    raise SchedulingError(
+                        f"jobs overlap on core {core}: job {job_index} starts at {start} "
+                        f"before previous job ends at {previous_end}"
+                    )
+                previous_end = max(previous_end, end)

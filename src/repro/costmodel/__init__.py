@@ -1,0 +1,33 @@
+"""Analytical accelerator cost model (MAESTRO-like substitute).
+
+Given a DNN layer shape, a sub-accelerator hardware configuration (PE array,
+buffer sizes), and a dataflow style, the model estimates:
+
+* **no-stall latency** — cycles to run the layer assuming unlimited memory
+  bandwidth,
+* **required (no-stall) bandwidth** — the minimum DRAM bandwidth needed so
+  the layer stays compute-bound,
+* **DRAM traffic** and a simple **energy** estimate.
+
+These are exactly the quantities MAGMA's Job Analysis Table consumes
+(Section IV-D of the paper).
+"""
+
+from repro.costmodel.dataflow import DataflowStyle, Dataflow, HB_DATAFLOW, LB_DATAFLOW, get_dataflow
+from repro.costmodel.maestro import CostEstimate, AnalyticalCostModel
+from repro.costmodel.flexible import FlexibleArrayCostModel, best_array_shape
+from repro.costmodel.energy import EnergyModel, EnergyBreakdown
+
+__all__ = [
+    "DataflowStyle",
+    "Dataflow",
+    "HB_DATAFLOW",
+    "LB_DATAFLOW",
+    "get_dataflow",
+    "CostEstimate",
+    "AnalyticalCostModel",
+    "FlexibleArrayCostModel",
+    "best_array_shape",
+    "EnergyModel",
+    "EnergyBreakdown",
+]

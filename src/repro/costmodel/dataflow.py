@@ -1,0 +1,208 @@
+"""Dataflow styles for sub-accelerators.
+
+The paper's heterogeneous platforms mix two dataflow styles (Section VI-A3):
+
+* **HB** — a High-Bandwidth-usage style inspired by NVDLA's weight-stationary
+  dataflow.  It parallelizes across the input/output *channel* dimensions,
+  which makes it compute-efficient for channel-rich layers (late CNN layers,
+  FC/GEMM layers) but demands a lot of DRAM bandwidth because activations
+  stream through with little on-chip reuse.
+* **LB** — a relatively Low-Bandwidth-usage style inspired by Eyeriss'
+  row-stationary dataflow.  It parallelizes across *activation* (spatial)
+  dimensions, maximising on-chip reuse (low bandwidth need) at the price of
+  poor utilisation — and therefore long latency — on layers with little
+  spatial extent (FC, attention, recommendation MLPs).
+
+A :class:`Dataflow` captures which layer dimensions a style maps spatially
+onto the 2-D PE array and how it re-fetches tensors from DRAM, which is all
+the analytical model needs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.exceptions import CostModelError
+from repro.workloads.layers import LayerShape, LayerType
+
+
+class DataflowStyle(enum.Enum):
+    """Identifier of the two dataflow styles used in the paper's evaluations."""
+
+    HB = "HB"
+    LB = "LB"
+
+
+@dataclass(frozen=True)
+class Dataflow:
+    """A dataflow style and its spatial-mapping rules.
+
+    Attributes
+    ----------
+    style:
+        Which named style this is (HB or LB).
+    description:
+        Human-readable description for reports.
+    """
+
+    style: DataflowStyle
+    description: str
+
+    #: Upper bounds on the DRAM re-fetch multipliers for GEMM-shaped layers.
+    #: A real mapper blocks the GEMM once the operands exceed the scratchpad,
+    #: so the re-read traffic saturates instead of growing with the fold count.
+    _MAX_INPUT_REFETCH: int = 6
+    _MAX_OUTPUT_REFETCH: int = 5
+
+    # ------------------------------------------------------------------
+    # Spatial mapping
+    # ------------------------------------------------------------------
+    def spatial_dims(self, layer: LayerShape) -> Tuple[int, int]:
+        """Sizes of the two layer dimensions mapped onto the PE array rows/cols.
+
+        HB maps (output channels K, input channels C); LB maps (output rows Y,
+        input channels C) — the latter gives Eyeriss-like behaviour where
+        spatially small layers (FC) can only occupy a thin slice of the array.
+
+        Depth-wise convolutions are special: each output channel reads only its
+        own input channel, so there is no input-channel dimension to
+        parallelise over.  Both styles fall back to the kernel window (R*S) on
+        the second array dimension, which is why depth-wise layers utilise the
+        array poorly and are comparatively memory-intensive (as the paper
+        notes in Section IV-D1).
+        """
+        if layer.layer_type is LayerType.DEPTHWISE_CONV2D:
+            window = layer.r * layer.s
+            if self.style is DataflowStyle.HB:
+                return layer.k, window
+            return layer.y, window
+        if self.style is DataflowStyle.HB:
+            return layer.k, layer.c
+        return layer.y, layer.c
+
+    def mapped_pes(self, layer: LayerShape, rows: int, cols: int) -> int:
+        """Number of PEs that hold useful work for *layer* on a rows x cols array."""
+        if rows <= 0 or cols <= 0:
+            raise CostModelError(f"PE array must be positive, got {rows}x{cols}")
+        dim_row, dim_col = self.spatial_dims(layer)
+        return min(dim_row, rows) * min(dim_col, cols)
+
+    def temporal_folds(self, layer: LayerShape, rows: int, cols: int) -> int:
+        """How many times the spatial tile must be replayed to cover the layer."""
+        dim_row, dim_col = self.spatial_dims(layer)
+        folds_row = -(-dim_row // rows)  # ceil division
+        folds_col = -(-dim_col // cols)
+        return folds_row * folds_col
+
+    # ------------------------------------------------------------------
+    # DRAM re-fetch behaviour
+    # ------------------------------------------------------------------
+    def input_refetch_factor(self, layer: LayerShape, rows: int, cols: int, sg_bytes: int,
+                             bytes_per_element: int) -> float:
+        """How many times input activations are read from DRAM.
+
+        With the HB (weight-stationary) style, each pass over a new slice of
+        output channels re-reads the input activations that did not stay
+        resident in the (double-buffered) global scratchpad.  Convolutional
+        layers tile well over their spatial dimensions, so the mapper can
+        always find a tiling in which inputs are fetched once; GEMM-shaped
+        layers (FC, attention, embedding projections) have no spatial
+        dimension to tile over, so when both operands exceed the scratchpad
+        the inputs are re-streamed once per output-channel fold.  This is the
+        asymmetry that makes language and recommendation jobs far more
+        bandwidth-hungry than vision jobs on the HB style (paper Fig. 7).
+        The LB style keeps activations stationary, so inputs are read once.
+        """
+        if self.style is DataflowStyle.LB:
+            return 1.0
+        if layer.layer_type.is_convolutional:
+            return 1.0
+        input_bytes = layer.input_elements * bytes_per_element
+        if sg_bytes > 0 and input_bytes <= sg_bytes / 2:
+            return 1.0
+        dim_row, _ = self.spatial_dims(layer)
+        # The re-fetch count is bounded: beyond a handful of folds the mapper
+        # can always block the GEMM so that most of the re-reads hit the
+        # scratchpad instead of DRAM.
+        return float(min(-(-dim_row // rows), self._MAX_INPUT_REFETCH))
+
+    def weight_refetch_factor(self, layer: LayerShape, rows: int, cols: int, sg_bytes: int,
+                              bytes_per_element: int) -> float:
+        """How many times weights are read from DRAM.
+
+        Weight-stationary HB reads weights exactly once.  The LB style keeps
+        activations resident and streams weights per spatial fold — unless the
+        weights fit in half the global scratchpad.
+        """
+        if self.style is DataflowStyle.HB:
+            return 1.0
+        weight_bytes = layer.weight_elements * bytes_per_element
+        if sg_bytes > 0 and weight_bytes <= sg_bytes / 2:
+            return 1.0
+        dim_row, _ = self.spatial_dims(layer)
+        return float(-(-dim_row // rows))
+
+    def output_refetch_factor(self, layer: LayerShape, rows: int, cols: int, sg_bytes: int,
+                              bytes_per_element: int) -> float:
+        """How many times outputs / partial sums cross the DRAM interface.
+
+        The HB style folds the input-channel dimension temporally across the
+        array columns; for GEMM-shaped layers whose output tile (the partial
+        sums being accumulated) does not fit in half the global scratchpad,
+        every fold spills the partial sums out and reads them back, so the
+        output traffic grows with the number of folds.  Convolutional layers
+        accumulate their partial sums within a spatial tile that always fits,
+        and the LB style accumulates partial sums locally by construction, so
+        both write outputs exactly once.
+        """
+        if self.style is DataflowStyle.LB or layer.layer_type.is_convolutional:
+            return 1.0
+        output_bytes = layer.output_elements * bytes_per_element
+        if sg_bytes > 0 and output_bytes <= sg_bytes / 2:
+            return 1.0
+        _, dim_col = self.spatial_dims(layer)
+        folds = -(-dim_col // cols)
+        # Each extra fold writes the partial sums out and reads them back,
+        # bounded by the same blocking argument as the input re-fetch.
+        return float(min(2 * folds - 1, self._MAX_OUTPUT_REFETCH))
+
+    def compute_efficiency(self, layer: LayerShape) -> float:
+        """Per-style multiplier on effective MAC throughput.
+
+        Captures second-order effects the spatial mapping alone misses: the LB
+        style pays extra cycles orchestrating partial-sum reduction for layers
+        with no spatial reuse to exploit (FC-like layers), which is why the
+        paper's Fig. 7 shows such a large latency gap for language and
+        recommendation models on LB.
+        """
+        if self.style is DataflowStyle.HB:
+            return 1.0
+        if layer.layer_type.is_convolutional:
+            return 0.85
+        # FC / attention / embedding on a row-stationary array: poor fit.
+        return 0.25
+
+
+HB_DATAFLOW = Dataflow(
+    style=DataflowStyle.HB,
+    description="NVDLA-inspired weight-stationary, channel-parallel (high bandwidth usage)",
+)
+
+LB_DATAFLOW = Dataflow(
+    style=DataflowStyle.LB,
+    description="Eyeriss-inspired row-stationary, activation-parallel (low bandwidth usage)",
+)
+
+_DATAFLOWS = {DataflowStyle.HB: HB_DATAFLOW, DataflowStyle.LB: LB_DATAFLOW}
+
+
+def get_dataflow(style: DataflowStyle | str) -> Dataflow:
+    """Look up a dataflow by :class:`DataflowStyle` or its string name."""
+    if isinstance(style, str):
+        try:
+            style = DataflowStyle(style.upper())
+        except ValueError as exc:
+            raise CostModelError(f"unknown dataflow style {style!r}; expected 'HB' or 'LB'") from exc
+    return _DATAFLOWS[style]

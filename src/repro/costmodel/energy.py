@@ -1,0 +1,79 @@
+"""Simple energy model for sub-accelerators.
+
+The paper's objective is throughput, but M3E explicitly supports energy and
+energy-delay-product objectives (Section IV-C).  This module provides the
+per-access energy accounting needed for those objectives, using widely cited
+relative access costs (a DRAM access is roughly two orders of magnitude more
+expensive than a MAC; scratchpad accesses sit in between).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy consumed by one layer execution, split by component (joules)."""
+
+    mac_joules: float
+    sl_joules: float
+    sg_joules: float
+    dram_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        """Total energy across compute and the memory hierarchy."""
+        return self.mac_joules + self.sl_joules + self.sg_joules + self.dram_joules
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        """Return a copy with every component multiplied by *factor*."""
+        return EnergyBreakdown(
+            mac_joules=self.mac_joules * factor,
+            sl_joules=self.sl_joules * factor,
+            sg_joules=self.sg_joules * factor,
+            dram_joules=self.dram_joules * factor,
+        )
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs (picojoules), with sensible accelerator defaults.
+
+    The default values follow the commonly used 45 nm estimates: ~1 pJ per
+    8-bit MAC, ~1-2 pJ per local scratchpad byte, ~6 pJ per global scratchpad
+    byte, and ~200 pJ per DRAM byte.
+    """
+
+    mac_pj: float = 1.0
+    sl_access_pj_per_byte: float = 1.5
+    sg_access_pj_per_byte: float = 6.0
+    dram_access_pj_per_byte: float = 200.0
+
+    def estimate(
+        self,
+        macs: float,
+        dram_bytes: float,
+        sg_bytes_accessed: float,
+        sl_bytes_accessed: float,
+    ) -> EnergyBreakdown:
+        """Estimate energy from event counts.
+
+        Parameters
+        ----------
+        macs:
+            Number of multiply-accumulate operations.
+        dram_bytes:
+            Bytes moved between DRAM and the accelerator.
+        sg_bytes_accessed:
+            Bytes read/written at the global scratchpad.
+        sl_bytes_accessed:
+            Bytes read/written at the PE-local scratchpads.
+        """
+        pj_to_j = 1e-12
+        return EnergyBreakdown(
+            mac_joules=macs * self.mac_pj * pj_to_j,
+            sl_joules=sl_bytes_accessed * self.sl_access_pj_per_byte * pj_to_j,
+            sg_joules=sg_bytes_accessed * self.sg_access_pj_per_byte * pj_to_j,
+            dram_joules=dram_bytes * self.dram_access_pj_per_byte * pj_to_j,
+        )

@@ -1,0 +1,139 @@
+"""Flexible (configurable-shape) PE arrays — Section VI-F of the paper.
+
+FPGAs, CGRAs, and programmable accelerators can re-shape their PE array per
+layer.  The paper's strategy picks, for each layer, the array shape that
+maximises utilisation by aligning the array dimensions to factors of the
+layer's parallelised dimensions, evaluating the candidates with the cost
+model and keeping the lowest-latency one.
+
+:class:`FlexibleArrayCostModel` wraps :class:`AnalyticalCostModel` and applies
+that per-layer shape search while keeping the total PE count fixed, so the
+fixed-vs-flexible comparison of Fig. 14 is an apples-to-apples one.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Optional, Tuple
+
+from repro.costmodel.dataflow import Dataflow, DataflowStyle, get_dataflow
+from repro.costmodel.energy import EnergyModel
+from repro.costmodel.maestro import AnalyticalCostModel, CostEstimate
+from repro.exceptions import CostModelError
+from repro.utils.units import DEFAULT_BYTES_PER_ELEMENT, DEFAULT_FREQUENCY_HZ
+from repro.workloads.layers import LayerShape
+
+
+def _factor_pairs(total: int) -> List[Tuple[int, int]]:
+    """All (rows, cols) factorisations of *total*, rows ascending."""
+    pairs: List[Tuple[int, int]] = []
+    divisor = 1
+    while divisor * divisor <= total:
+        if total % divisor == 0:
+            pairs.append((divisor, total // divisor))
+            if divisor != total // divisor:
+                pairs.append((total // divisor, divisor))
+        divisor += 1
+    return sorted(pairs)
+
+
+def best_array_shape(
+    layer: LayerShape,
+    total_pes: int,
+    dataflow: Dataflow | DataflowStyle | str,
+    sg_bytes: int = 0,
+    sl_bytes: int = 0,
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+    bytes_per_element: int = DEFAULT_BYTES_PER_ELEMENT,
+    max_candidates: int = 64,
+) -> Tuple[Tuple[int, int], CostEstimate]:
+    """Pick the (rows, cols) shape of a *total_pes* array minimising latency.
+
+    Implements the paper's flexible-accelerator dataflow strategy: enumerate
+    the factorisations of the PE budget, evaluate each with the cost model,
+    and return the lowest-latency configuration together with its estimate.
+    """
+    if total_pes <= 0:
+        raise CostModelError(f"total_pes must be positive, got {total_pes}")
+    flow = dataflow if isinstance(dataflow, Dataflow) else get_dataflow(dataflow)
+    candidates = _factor_pairs(total_pes)
+    if len(candidates) > max_candidates:
+        # Keep the most balanced shapes; extreme aspect ratios are never
+        # optimal for the dataflows we model.
+        candidates = sorted(candidates, key=lambda rc: abs(rc[0] - rc[1]))[:max_candidates]
+
+    best_shape: Optional[Tuple[int, int]] = None
+    best_estimate: Optional[CostEstimate] = None
+    for rows, cols in candidates:
+        model = AnalyticalCostModel(
+            pe_rows=rows,
+            pe_cols=cols,
+            dataflow=flow,
+            sg_bytes=sg_bytes,
+            sl_bytes=sl_bytes,
+            frequency_hz=frequency_hz,
+            bytes_per_element=bytes_per_element,
+        )
+        estimate = model.evaluate(layer)
+        if best_estimate is None or estimate.no_stall_latency_cycles < best_estimate.no_stall_latency_cycles:
+            best_shape = (rows, cols)
+            best_estimate = estimate
+    assert best_shape is not None and best_estimate is not None
+    return best_shape, best_estimate
+
+
+class FlexibleArrayCostModel:
+    """Cost model for a sub-accelerator whose PE-array shape is configurable.
+
+    The PE budget, scratchpad sizes, and dataflow style are fixed; the array
+    aspect ratio is re-optimised per layer.  The interface mirrors
+    :class:`AnalyticalCostModel.evaluate` so the Job Analyzer can use either
+    interchangeably.
+    """
+
+    def __init__(
+        self,
+        total_pes: int,
+        dataflow: Dataflow | DataflowStyle | str,
+        sg_bytes: int = 0,
+        sl_bytes: int = 0,
+        frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+        bytes_per_element: int = DEFAULT_BYTES_PER_ELEMENT,
+        energy_model: Optional[EnergyModel] = None,
+    ):
+        if total_pes <= 0:
+            raise CostModelError(f"total_pes must be positive, got {total_pes}")
+        self.total_pes_budget = total_pes
+        self.dataflow = dataflow if isinstance(dataflow, Dataflow) else get_dataflow(dataflow)
+        self.sg_bytes = sg_bytes
+        self.sl_bytes = sl_bytes
+        self.frequency_hz = frequency_hz
+        self.bytes_per_element = bytes_per_element
+        self.energy_model = energy_model or EnergyModel()
+        self._shape_cache: dict[LayerShape, Tuple[Tuple[int, int], CostEstimate]] = {}
+
+    @property
+    def total_pes(self) -> int:
+        """Total PE budget (constant regardless of the chosen shape)."""
+        return self.total_pes_budget
+
+    def chosen_shape(self, layer: LayerShape) -> Tuple[int, int]:
+        """The (rows, cols) shape the model selects for *layer*."""
+        return self._evaluate_cached(layer)[0]
+
+    def evaluate(self, layer: LayerShape) -> CostEstimate:
+        """Evaluate *layer* with the per-layer optimal array shape."""
+        return self._evaluate_cached(layer)[1]
+
+    def _evaluate_cached(self, layer: LayerShape) -> Tuple[Tuple[int, int], CostEstimate]:
+        if layer not in self._shape_cache:
+            self._shape_cache[layer] = best_array_shape(
+                layer,
+                total_pes=self.total_pes_budget,
+                dataflow=self.dataflow,
+                sg_bytes=self.sg_bytes,
+                sl_bytes=self.sl_bytes,
+                frequency_hz=self.frequency_hz,
+                bytes_per_element=self.bytes_per_element,
+            )
+        return self._shape_cache[layer]

@@ -1,0 +1,244 @@
+"""Analytical, tile-based cost model for a single sub-accelerator.
+
+This module plays the role MAESTRO plays in the paper: given a layer shape,
+the sub-accelerator's hardware resources, and a dataflow, it produces the two
+scalars the scheduler consumes (no-stall latency and required bandwidth) plus
+traffic and energy estimates for reporting.
+
+The model is intentionally analytical rather than cycle-accurate: the global
+mapping problem only depends on the *relative* latency/bandwidth profile of
+each (job, sub-accelerator) pair, which this model reproduces (see Fig. 7 of
+the paper and `benchmarks/test_fig07_job_analysis.py`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+from repro.costmodel.dataflow import Dataflow, DataflowStyle, get_dataflow
+from repro.costmodel.energy import EnergyBreakdown, EnergyModel
+from repro.exceptions import CostModelError
+from repro.utils.units import (
+    BYTES_PER_GB,
+    DEFAULT_BYTES_PER_ELEMENT,
+    DEFAULT_FREQUENCY_HZ,
+)
+from repro.workloads.layers import LayerShape
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Result of evaluating one layer on one sub-accelerator configuration.
+
+    Attributes
+    ----------
+    no_stall_latency_cycles:
+        Cycles to execute the layer assuming memory never stalls the array.
+    required_bw_gbps:
+        Minimum DRAM/host bandwidth (GB/s) for the layer to remain
+        compute-bound at that latency (the paper's "no-stall bandwidth").
+    dram_traffic_bytes:
+        Total bytes moved between DRAM and the sub-accelerator.
+    utilized_pes:
+        Number of PEs holding useful work in the steady state.
+    total_pes:
+        Size of the PE array.
+    energy:
+        Energy breakdown estimate (compute + memory hierarchy).
+    """
+
+    no_stall_latency_cycles: float
+    required_bw_gbps: float
+    dram_traffic_bytes: float
+    utilized_pes: int
+    total_pes: int
+    energy: EnergyBreakdown
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the PE array doing useful work."""
+        if self.total_pes == 0:
+            return 0.0
+        return self.utilized_pes / self.total_pes
+
+    @property
+    def energy_joules(self) -> float:
+        """Total energy of the layer execution."""
+        return self.energy.total_joules
+
+
+class AnalyticalCostModel:
+    """MAESTRO-like analytical model for one sub-accelerator configuration.
+
+    Parameters
+    ----------
+    pe_rows, pe_cols:
+        Dimensions of the 2-D PE array.
+    dataflow:
+        Dataflow style (``"HB"``/``"LB"`` or a :class:`Dataflow`).
+    sg_bytes:
+        Capacity of the shared global scratchpad (double-buffered).
+    sl_bytes:
+        Capacity of each PE's local scratchpad.  Used for validation and the
+        energy model's reuse accounting.
+    frequency_hz:
+        Clock frequency (paper default: 200 MHz).
+    bytes_per_element:
+        Operand width (paper default: 1 byte).
+    """
+
+    #: Default number of same-layer mini-batch jobs that share one weight fetch.
+    #: The paper targets batched-job workloads where hundreds of mini-batches of
+    #: the same model are queued (Section III); a deployment that keeps a
+    #: layer's weights resident across consecutive same-layer jobs can raise
+    #: this above 1 to amortise the weight traffic.  The default of 1 charges
+    #: every job its full weight traffic (the conservative assumption).
+    DEFAULT_WEIGHT_REUSE_JOBS: float = 1.0
+
+    def __init__(
+        self,
+        pe_rows: int,
+        pe_cols: int,
+        dataflow: Dataflow | DataflowStyle | str,
+        sg_bytes: int = 0,
+        sl_bytes: int = 0,
+        frequency_hz: float = DEFAULT_FREQUENCY_HZ,
+        bytes_per_element: int = DEFAULT_BYTES_PER_ELEMENT,
+        energy_model: Optional[EnergyModel] = None,
+        weight_reuse_jobs: Optional[float] = None,
+    ):
+        if pe_rows <= 0 or pe_cols <= 0:
+            raise CostModelError(f"PE array dimensions must be positive, got {pe_rows}x{pe_cols}")
+        if sg_bytes < 0 or sl_bytes < 0:
+            raise CostModelError("buffer sizes must be non-negative")
+        if frequency_hz <= 0:
+            raise CostModelError(f"frequency must be positive, got {frequency_hz}")
+        if bytes_per_element <= 0:
+            raise CostModelError(f"bytes_per_element must be positive, got {bytes_per_element}")
+        self.pe_rows = pe_rows
+        self.pe_cols = pe_cols
+        self.dataflow = dataflow if isinstance(dataflow, Dataflow) else get_dataflow(dataflow)
+        self.sg_bytes = sg_bytes
+        self.sl_bytes = sl_bytes
+        self.frequency_hz = frequency_hz
+        self.bytes_per_element = bytes_per_element
+        self.energy_model = energy_model or EnergyModel()
+        if weight_reuse_jobs is None:
+            weight_reuse_jobs = self.DEFAULT_WEIGHT_REUSE_JOBS
+        if weight_reuse_jobs < 1:
+            raise CostModelError(
+                f"weight_reuse_jobs must be at least 1, got {weight_reuse_jobs}"
+            )
+        self.weight_reuse_jobs = float(weight_reuse_jobs)
+
+    # ------------------------------------------------------------------
+    @property
+    def total_pes(self) -> int:
+        """Total number of processing elements in the array."""
+        return self.pe_rows * self.pe_cols
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AnalyticalCostModel({self.pe_rows}x{self.pe_cols}, "
+            f"{self.dataflow.style.value}, SG={self.sg_bytes}B)"
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(self, layer: LayerShape) -> CostEstimate:
+        """Estimate latency, bandwidth, traffic and energy for *layer*."""
+        latency = self._no_stall_latency(layer)
+        traffic = self._dram_traffic_bytes(layer)
+        bw_gbps = self._required_bandwidth_gbps(traffic, latency)
+        utilized = self.dataflow.mapped_pes(layer, self.pe_rows, self.pe_cols)
+        energy = self.energy_model.estimate(
+            macs=layer.macs,
+            dram_bytes=traffic,
+            sg_bytes_accessed=layer.total_elements * self.bytes_per_element,
+            sl_bytes_accessed=2.0 * layer.macs * self.bytes_per_element,
+        )
+        return CostEstimate(
+            no_stall_latency_cycles=latency,
+            required_bw_gbps=bw_gbps,
+            dram_traffic_bytes=traffic,
+            utilized_pes=utilized,
+            total_pes=self.total_pes,
+            energy=energy,
+        )
+
+    # ------------------------------------------------------------------
+    # Latency
+    # ------------------------------------------------------------------
+    def _no_stall_latency(self, layer: LayerShape) -> float:
+        """Cycles to execute *layer* with unlimited memory bandwidth.
+
+        The spatially mapped dimensions run in parallel on the PE array; the
+        remaining loop volume is executed temporally.  A per-style compute
+        efficiency factor models reduction/orchestration overheads.
+        """
+        mapped = self.dataflow.mapped_pes(layer, self.pe_rows, self.pe_cols)
+        if mapped <= 0:
+            raise CostModelError(f"layer {layer.describe()} maps to zero PEs")
+        efficiency = self.dataflow.compute_efficiency(layer)
+        ideal_cycles = layer.macs / (mapped * efficiency)
+        # Pipeline fill/drain and tile-switch overhead: one array pass per
+        # temporal fold costs a handful of extra cycles.
+        folds = self.dataflow.temporal_folds(layer, self.pe_rows, self.pe_cols)
+        overhead_cycles = 8.0 * folds
+        return max(1.0, ideal_cycles + overhead_cycles)
+
+    # ------------------------------------------------------------------
+    # Traffic and bandwidth
+    # ------------------------------------------------------------------
+    def _dram_traffic_bytes(self, layer: LayerShape) -> float:
+        """Bytes moved between DRAM/host memory and the sub-accelerator."""
+        b = self.bytes_per_element
+        input_refetch = self.dataflow.input_refetch_factor(
+            layer, self.pe_rows, self.pe_cols, self.sg_bytes, b
+        )
+        weight_refetch = self.dataflow.weight_refetch_factor(
+            layer, self.pe_rows, self.pe_cols, self.sg_bytes, b
+        )
+        output_refetch = self.dataflow.output_refetch_factor(
+            layer, self.pe_rows, self.pe_cols, self.sg_bytes, b
+        )
+        input_bytes = layer.input_elements * b * input_refetch
+        # Weights are amortised across the same-layer mini-batch jobs of the
+        # batched-job workload (see DEFAULT_WEIGHT_REUSE_JOBS).
+        weight_bytes = layer.weight_elements * b * weight_refetch / self.weight_reuse_jobs
+        output_bytes = layer.output_elements * b * output_refetch
+        return input_bytes + weight_bytes + output_bytes
+
+    def _required_bandwidth_gbps(self, traffic_bytes: float, latency_cycles: float) -> float:
+        """Bandwidth needed to stream *traffic_bytes* within the compute time."""
+        if latency_cycles <= 0:
+            raise CostModelError("latency must be positive to derive bandwidth")
+        seconds = latency_cycles / self.frequency_hz
+        return traffic_bytes / seconds / BYTES_PER_GB
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+    def latency_with_bandwidth(self, layer: LayerShape, available_bw_gbps: float) -> float:
+        """Actual latency (cycles) when only *available_bw_gbps* is granted.
+
+        If the granted bandwidth is below the layer's no-stall requirement,
+        execution becomes memory-bound and the latency scales with the
+        bandwidth deficit — the same relationship Algorithm 1 (the BW
+        allocator) uses at the schedule level.
+        """
+        if available_bw_gbps <= 0:
+            raise CostModelError(f"available bandwidth must be positive, got {available_bw_gbps}")
+        estimate = self.evaluate(layer)
+        if available_bw_gbps >= estimate.required_bw_gbps:
+            return estimate.no_stall_latency_cycles
+        slowdown = estimate.required_bw_gbps / available_bw_gbps
+        return estimate.no_stall_latency_cycles * slowdown
+
+    def roofline_attainable_flops(self, layer: LayerShape, available_bw_gbps: float) -> float:
+        """Attainable FLOP/s under the classic roofline bound for this layer."""
+        peak_flops = 2.0 * self.total_pes * self.frequency_hz
+        intensity = layer.flops / max(1.0, self._dram_traffic_bytes(layer))
+        bandwidth_bound = intensity * available_bw_gbps * BYTES_PER_GB
+        return min(peak_flops, bandwidth_bound)

@@ -1,0 +1,36 @@
+"""Declarative experiment definitions for every table and figure in the paper."""
+
+from repro.experiments.settings import ExperimentScale, get_scale
+from repro.experiments.runner import (
+    run_method_comparison,
+    run_fig7_job_analysis,
+    run_fig8_homogeneous,
+    run_fig9_heterogeneous,
+    run_fig10_exploration,
+    run_fig11_convergence,
+    run_fig12_bw_sweep,
+    run_fig13_subaccel_combinations,
+    run_fig14_flexible,
+    run_fig15_schedule_visualization,
+    run_fig16_operator_ablation,
+    run_fig17_group_size,
+    run_table5_warm_start,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "get_scale",
+    "run_method_comparison",
+    "run_fig7_job_analysis",
+    "run_fig8_homogeneous",
+    "run_fig9_heterogeneous",
+    "run_fig10_exploration",
+    "run_fig11_convergence",
+    "run_fig12_bw_sweep",
+    "run_fig13_subaccel_combinations",
+    "run_fig14_flexible",
+    "run_fig15_schedule_visualization",
+    "run_fig16_operator_ablation",
+    "run_fig17_group_size",
+    "run_table5_warm_start",
+]

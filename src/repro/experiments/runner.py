@@ -1,0 +1,567 @@
+"""Experiment runners: one function per table/figure of the paper's evaluation.
+
+Every runner is deterministic given a seed, honours the chosen
+:class:`~repro.experiments.settings.ExperimentScale`, and returns plain data
+structures (dicts of floats / arrays) so the benchmark harness, the CLI, and
+EXPERIMENTS.md can all consume the same results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.accelerator import AcceleratorPlatform, build_setting
+from repro.analysis.convergence import ConvergenceCurve, convergence_from_history
+from repro.analysis.gantt import schedule_to_bandwidth_series, schedule_to_gantt
+from repro.analysis.pca import project_encodings
+from repro.analysis.reporting import normalized_throughputs
+from repro.core.framework import M3E, SearchResult
+from repro.core.analyzer import JobAnalyzer
+from repro.exceptions import ExperimentError
+from repro.experiments.settings import ExperimentScale, get_scale
+from repro.optimizers import build_optimizer
+from repro.optimizers.magma import MagmaConfig, MagmaOptimizer
+from repro.optimizers.registry import PAPER_COMPARISON_METHODS
+from repro.optimizers.warmstart import WarmStartEngine
+from repro.utils.rng import spawn_rngs
+from repro.utils.tables import geometric_mean
+from repro.workloads.benchmark import TaskType, build_task_workload
+from repro.workloads.models import MODEL_REGISTRY, ModelFamily
+from repro.workloads.benchmark import DEFAULT_BATCH_SIZES
+from repro.workloads.groups import JobGroup
+
+#: Methods considered "RL" — they receive the (possibly reduced) RL budget.
+_RL_METHODS = {"a2c", "ppo2", "rl-a2c", "rl-ppo2"}
+
+#: Default bandwidths per accelerator class (Section VI-A3).
+SMALL_DEFAULT_BW = 16.0
+LARGE_DEFAULT_BW = 256.0
+
+
+# ----------------------------------------------------------------------
+# Shared helpers
+# ----------------------------------------------------------------------
+def _group_for(
+    task: TaskType,
+    platform: AcceleratorPlatform,
+    scale: ExperimentScale,
+    seed: int,
+    group_size: Optional[int] = None,
+) -> JobGroup:
+    """Build the first dependency-free group of a task workload."""
+    size = group_size if group_size is not None else scale.group_size
+    groups = build_task_workload(
+        task,
+        group_size=size,
+        num_groups=1,
+        seed=seed,
+        num_sub_accelerators=platform.num_sub_accelerators,
+    )
+    if not groups:
+        raise ExperimentError(f"workload for task {task} produced no groups")
+    return groups[0]
+
+
+def _budget_for(method: str, scale: ExperimentScale) -> int:
+    """Sampling budget for a method (RL agents may get a reduced budget)."""
+    if method.lower() in _RL_METHODS:
+        return scale.rl_sampling_budget
+    return scale.sampling_budget
+
+
+def _optimizer_options(method: str, scale: ExperimentScale) -> Dict[str, Any]:
+    """Per-method construction options derived from the scale."""
+    population_methods = {"magma", "magma-mut", "magma-mut-gen", "stdga", "de", "cma", "pso"}
+    if method.lower() in population_methods:
+        return {"population_size": scale.population_size}
+    return {}
+
+
+def run_method_comparison(
+    setting: str,
+    bandwidth_gbps: float,
+    task: TaskType,
+    methods: Sequence[str] = tuple(PAPER_COMPARISON_METHODS),
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    group: Optional[JobGroup] = None,
+) -> Dict[str, SearchResult]:
+    """Run several mapping methods on one (setting, bandwidth, task) problem.
+
+    This is the primitive behind Fig. 8, Fig. 9, and Fig. 12: every method
+    receives the same group, platform, objective, and (scaled) sampling
+    budget, with independent random streams spawned from *seed*.
+    """
+    scale = scale or get_scale()
+    platform = build_setting(setting, bandwidth_gbps)
+    if group is None:
+        group = _group_for(task, platform, scale, seed)
+    explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+    rngs = spawn_rngs(seed, len(methods))
+    results: Dict[str, SearchResult] = {}
+    for method, rng in zip(methods, rngs):
+        optimizer = build_optimizer(method, seed=rng, **_optimizer_options(method, scale))
+        result = explorer.search(
+            group,
+            optimizer=optimizer,
+            sampling_budget=_budget_for(method, scale),
+        )
+        results[result.optimizer_name] = result
+    return results
+
+
+# ----------------------------------------------------------------------
+# Fig. 7 — Latency/BW characteristics of the DNN models
+# ----------------------------------------------------------------------
+def run_fig7_job_analysis(
+    sample_models: Optional[Dict[str, Sequence[str]]] = None,
+) -> Dict[str, Any]:
+    """Per-model and per-task average no-stall latency / required BW on HB and LB.
+
+    Mirrors Fig. 7: each model is profiled on a 64-row HB-style core and a
+    64-row LB-style core.
+    """
+    platform = build_setting("S5", LARGE_DEFAULT_BW)  # contains 64-row HB and LB cores
+    analyzer = JobAnalyzer(platform)
+    hb_index = next(i for i, sub in enumerate(platform) if sub.dataflow.value == "HB" and sub.pe_rows == 64)
+    lb_index = next(i for i, sub in enumerate(platform) if sub.dataflow.value == "LB" and sub.pe_rows == 64)
+
+    if sample_models is None:
+        sample_models = {
+            "vision": ["mobilenet_v2", "resnet50", "shufflenet"],
+            "language": ["gpt2", "mobilebert", "transformer_xl"],
+            "recommendation": ["dlrm", "wide_and_deep", "ncf"],
+        }
+
+    per_model: Dict[str, Dict[str, float]] = {}
+    per_task: Dict[str, Dict[str, float]] = {}
+    for task_name, model_names in sample_models.items():
+        task_rows: List[List[float]] = []
+        for model_name in model_names:
+            spec = MODEL_REGISTRY[model_name]
+            batch = DEFAULT_BATCH_SIZES[spec.family]
+            rows = []
+            for layer in spec.build(batch):
+                hb_lat, hb_bw, _, _ = analyzer.profile_layer(layer, hb_index)
+                lb_lat, lb_bw, _, _ = analyzer.profile_layer(layer, lb_index)
+                rows.append([hb_lat, hb_bw, lb_lat, lb_bw])
+            mean = np.mean(rows, axis=0)
+            per_model[model_name] = {
+                "hb_latency_cycles": float(mean[0]),
+                "hb_required_bw_gbps": float(mean[1]),
+                "lb_latency_cycles": float(mean[2]),
+                "lb_required_bw_gbps": float(mean[3]),
+            }
+            task_rows.append(list(mean))
+        task_mean = np.mean(task_rows, axis=0)
+        per_task[task_name] = {
+            "hb_latency_cycles": float(task_mean[0]),
+            "hb_required_bw_gbps": float(task_mean[1]),
+            "lb_latency_cycles": float(task_mean[2]),
+            "lb_required_bw_gbps": float(task_mean[3]),
+        }
+    return {"per_model": per_model, "per_task": per_task}
+
+
+# ----------------------------------------------------------------------
+# Fig. 8 — Homogeneous small accelerator (S1, BW=16), four tasks
+# ----------------------------------------------------------------------
+def run_fig8_homogeneous(
+    scale: Optional[ExperimentScale] = None,
+    methods: Sequence[str] = tuple(PAPER_COMPARISON_METHODS),
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """All methods on the homogeneous small accelerator across the four tasks."""
+    scale = scale or get_scale()
+    tasks = [TaskType.VISION, TaskType.LANGUAGE, TaskType.RECOMMENDATION, TaskType.MIX]
+    per_task: Dict[str, Dict[str, SearchResult]] = {}
+    for task in tasks:
+        per_task[task.value] = run_method_comparison(
+            "S1", SMALL_DEFAULT_BW, task, methods=methods, scale=scale, seed=seed
+        )
+    normalized = {
+        task: normalized_throughputs(results, reference="MAGMA")
+        for task, results in per_task.items()
+    }
+    absolute = {
+        task: {name: r.throughput_gflops for name, r in results.items()}
+        for task, results in per_task.items()
+    }
+    return {"setting": "S1", "bandwidth_gbps": SMALL_DEFAULT_BW, "absolute": absolute, "normalized": normalized}
+
+
+# ----------------------------------------------------------------------
+# Fig. 9 — Heterogeneous small (S2) and large (S4) accelerators
+# ----------------------------------------------------------------------
+def run_fig9_heterogeneous(
+    scale: Optional[ExperimentScale] = None,
+    methods: Sequence[str] = tuple(PAPER_COMPARISON_METHODS),
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """All methods on S2 (BW=16) and S4 (BW=256) for the Vision and Mix tasks."""
+    scale = scale or get_scale()
+    panels = {
+        "vision_small": ("S2", SMALL_DEFAULT_BW, TaskType.VISION),
+        "mix_small": ("S2", SMALL_DEFAULT_BW, TaskType.MIX),
+        "vision_large": ("S4", LARGE_DEFAULT_BW, TaskType.VISION),
+        "mix_large": ("S4", LARGE_DEFAULT_BW, TaskType.MIX),
+    }
+    absolute: Dict[str, Dict[str, float]] = {}
+    normalized: Dict[str, Dict[str, float]] = {}
+    for panel, (setting, bw, task) in panels.items():
+        results = run_method_comparison(setting, bw, task, methods=methods, scale=scale, seed=seed)
+        absolute[panel] = {name: r.throughput_gflops for name, r in results.items()}
+        normalized[panel] = normalized_throughputs(results, reference="MAGMA")
+    return {"panels": panels, "absolute": absolute, "normalized": normalized}
+
+
+# ----------------------------------------------------------------------
+# Fig. 10 — Exploration behaviour (PCA of sampled mappings)
+# ----------------------------------------------------------------------
+def run_fig10_exploration(
+    scale: Optional[ExperimentScale] = None,
+    methods: Sequence[str] = ("magma", "ppo2", "stdga", "pso", "cma"),
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Record every sampled mapping per method and project them with PCA."""
+    scale = scale or get_scale()
+    platform = build_setting("S2", SMALL_DEFAULT_BW)
+    group = _group_for(TaskType.MIX, platform, scale, seed)
+    explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+
+    encodings_by_method: Dict[str, np.ndarray] = {}
+    reached: Dict[str, float] = {}
+    rngs = spawn_rngs(seed, len(methods) + 1)
+    for method, rng in zip(methods, rngs):
+        evaluator = explorer.build_evaluator(group, sampling_budget=_budget_for(method, scale))
+        evaluator.record_samples = True
+        optimizer = build_optimizer(method, seed=rng, **_optimizer_options(method, scale))
+        best = optimizer.optimize(evaluator)
+        if best is None:
+            best = evaluator.best_encoding
+        detail = evaluator.detailed_evaluation(best)
+        encodings_by_method[optimizer.name] = evaluator.sampled_encodings
+        reached[optimizer.name] = detail.objective_value
+
+    # Best-effort reference optimum from plain random sampling with the
+    # larger "exhaustive" budget.
+    exhaustive_evaluator = explorer.build_evaluator(group, sampling_budget=scale.exhaustive_samples)
+    random_optimizer = build_optimizer("random", seed=rngs[-1])
+    random_optimizer.optimize(exhaustive_evaluator)
+    reached["Exhaustively Sampled"] = float(exhaustive_evaluator.best_fitness)
+
+    projections = project_encodings(encodings_by_method)
+    return {"reached_gflops": reached, "projections": projections}
+
+
+# ----------------------------------------------------------------------
+# Fig. 11 — Convergence over an extended sampling budget
+# ----------------------------------------------------------------------
+def run_fig11_convergence(
+    scale: Optional[ExperimentScale] = None,
+    methods: Sequence[str] = ("magma", "stdga", "de", "pso", "cma", "tbpsa"),
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Convergence curves on (Vision, S2, BW=16) and (Mix, S3, BW=16)."""
+    scale = scale or get_scale()
+    panels = {
+        "vision_s2": ("S2", SMALL_DEFAULT_BW, TaskType.VISION),
+        "mix_s3": ("S3", SMALL_DEFAULT_BW, TaskType.MIX),
+    }
+    curves: Dict[str, Dict[str, ConvergenceCurve]] = {}
+    for panel, (setting, bw, task) in panels.items():
+        platform = build_setting(setting, bw)
+        group = _group_for(task, platform, scale, seed)
+        explorer = M3E(platform, sampling_budget=scale.convergence_budget)
+        panel_curves: Dict[str, ConvergenceCurve] = {}
+        rngs = spawn_rngs(seed, len(methods))
+        for method, rng in zip(methods, rngs):
+            optimizer = build_optimizer(method, seed=rng, **_optimizer_options(method, scale))
+            result = explorer.search(group, optimizer=optimizer, sampling_budget=scale.convergence_budget)
+            panel_curves[result.optimizer_name] = convergence_from_history(
+                result.optimizer_name, result.history
+            )
+        curves[panel] = panel_curves
+    return {"curves": curves}
+
+
+# ----------------------------------------------------------------------
+# Fig. 12 — Bandwidth sweep on the heterogeneous accelerators
+# ----------------------------------------------------------------------
+def run_fig12_bw_sweep(
+    scale: Optional[ExperimentScale] = None,
+    methods: Sequence[str] = ("herald-like", "a2c", "ppo2", "magma"),
+    small_bandwidths: Sequence[float] = (1.0, 4.0, 8.0, 16.0),
+    large_bandwidths: Sequence[float] = (1.0, 16.0, 64.0, 256.0),
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Mix task on S2 and S4 swept over system bandwidths (Fig. 12)."""
+    scale = scale or get_scale()
+    sweeps = {
+        "small_s2": ("S2", small_bandwidths),
+        "large_s4": ("S4", large_bandwidths),
+    }
+    absolute: Dict[str, Dict[float, Dict[str, float]]] = {}
+    normalized: Dict[str, Dict[float, Dict[str, float]]] = {}
+    for label, (setting, bandwidths) in sweeps.items():
+        absolute[label] = {}
+        normalized[label] = {}
+        for bw in bandwidths:
+            results = run_method_comparison(setting, bw, TaskType.MIX, methods=methods, scale=scale, seed=seed)
+            absolute[label][bw] = {name: r.throughput_gflops for name, r in results.items()}
+            normalized[label][bw] = normalized_throughputs(results, reference="MAGMA")
+    return {"absolute": absolute, "normalized": normalized}
+
+
+# ----------------------------------------------------------------------
+# Fig. 13 — Sub-accelerator combinations (S3 vs S4 vs S5)
+# ----------------------------------------------------------------------
+def run_fig13_subaccel_combinations(
+    scale: Optional[ExperimentScale] = None,
+    bandwidths: Sequence[float] = (1.0, 64.0),
+    settings: Sequence[str] = ("S3", "S4", "S5"),
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Job analysis and MAGMA throughput for the Large setting variants."""
+    scale = scale or get_scale()
+    job_analysis: Dict[str, Dict[str, Dict[str, float]]] = {}
+    throughput: Dict[float, Dict[str, float]] = {bw: {} for bw in bandwidths}
+
+    tasks = [TaskType.VISION, TaskType.LANGUAGE, TaskType.RECOMMENDATION, TaskType.MIX]
+    for setting in settings:
+        platform = build_setting(setting, LARGE_DEFAULT_BW)
+        analyzer = JobAnalyzer(platform)
+        per_task: Dict[str, Dict[str, float]] = {}
+        for task in tasks:
+            group = _group_for(task, platform, scale, seed)
+            table = analyzer.analyze(group)
+            per_task[task.value] = {
+                "avg_no_stall_latency_cycles": float(table.latency_cycles.mean()),
+                "avg_required_bw_gbps": float(table.required_bw_gbps.mean()),
+            }
+        job_analysis[setting] = per_task
+
+        for bw in bandwidths:
+            bw_platform = build_setting(setting, bw)
+            group = _group_for(TaskType.MIX, bw_platform, scale, seed)
+            explorer = M3E(bw_platform, sampling_budget=scale.sampling_budget)
+            optimizer = build_optimizer("magma", seed=seed, **_optimizer_options("magma", scale))
+            result = explorer.search(group, optimizer=optimizer)
+            throughput[bw][setting] = result.throughput_gflops
+
+    normalized: Dict[float, Dict[str, float]] = {}
+    for bw, per_setting in throughput.items():
+        reference = max(per_setting.values())
+        normalized[bw] = {s: v / reference for s, v in per_setting.items()}
+    return {"job_analysis": job_analysis, "throughput": throughput, "normalized": normalized}
+
+
+# ----------------------------------------------------------------------
+# Fig. 14 — Fixed versus flexible PE arrays
+# ----------------------------------------------------------------------
+def run_fig14_flexible(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fixed vs flexible PE arrays on the Small (S1) and Large (S3) accelerators."""
+    scale = scale or get_scale()
+    panels = {
+        "small_vision": ("S1", TaskType.VISION, (1.0, SMALL_DEFAULT_BW)),
+        "small_mix": ("S1", TaskType.MIX, (1.0, SMALL_DEFAULT_BW)),
+        "large_vision": ("S3", TaskType.VISION, (1.0, LARGE_DEFAULT_BW)),
+        "large_mix": ("S3", TaskType.MIX, (1.0, LARGE_DEFAULT_BW)),
+    }
+    job_analysis: Dict[str, Dict[str, float]] = {}
+    throughput: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for panel, (setting, task, bandwidths) in panels.items():
+        fixed_platform = build_setting(setting, bandwidths[-1])
+        flexible_platform = fixed_platform.with_flexible_arrays(True)
+        group = _group_for(task, fixed_platform, scale, seed)
+
+        fixed_table = JobAnalyzer(fixed_platform).analyze(group)
+        flexible_table = JobAnalyzer(flexible_platform).analyze(group)
+        job_analysis[panel] = {
+            "fixed_avg_latency": float(fixed_table.latency_cycles.mean()),
+            "flexible_avg_latency": float(flexible_table.latency_cycles.mean()),
+            "fixed_avg_bw": float(fixed_table.required_bw_gbps.mean()),
+            "flexible_avg_bw": float(flexible_table.required_bw_gbps.mean()),
+        }
+
+        throughput[panel] = {}
+        for bw in bandwidths:
+            row: Dict[str, float] = {}
+            for label, platform in (("fixed", build_setting(setting, bw)),
+                                    ("flexible", build_setting(setting, bw).with_flexible_arrays(True))):
+                explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+                optimizer = build_optimizer("magma", seed=seed, **_optimizer_options("magma", scale))
+                result = explorer.search(group, optimizer=optimizer)
+                row[label] = result.throughput_gflops
+            throughput[panel][f"bw_{bw:g}"] = row
+    return {"job_analysis": job_analysis, "throughput": throughput}
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 — Visualisation of found schedules (Herald-like vs MAGMA)
+# ----------------------------------------------------------------------
+def run_fig15_schedule_visualization(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Schedules and bandwidth allocations of Herald-like vs MAGMA (Mix, S5, BW=1)."""
+    scale = scale or get_scale()
+    platform = build_setting("S5", 1.0)
+    group = _group_for(TaskType.MIX, platform, scale, seed)
+    explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+
+    output: Dict[str, Any] = {"finish_time_cycles": {}, "gantt": {}, "bandwidth_series": {}}
+    for method in ("herald-like", "magma"):
+        optimizer = build_optimizer(method, seed=seed, **_optimizer_options(method, scale))
+        result = explorer.search(group, optimizer=optimizer)
+        output["finish_time_cycles"][result.optimizer_name] = result.schedule.makespan_cycles
+        output["gantt"][result.optimizer_name] = schedule_to_gantt(result.schedule, group)
+        output["bandwidth_series"][result.optimizer_name] = schedule_to_bandwidth_series(result.schedule)
+    return output
+
+
+# ----------------------------------------------------------------------
+# Fig. 16 — Ablation of MAGMA's genetic operators
+# ----------------------------------------------------------------------
+def run_fig16_operator_ablation(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Convergence of MAGMA with mutation only, +crossover-gen, and all operators."""
+    scale = scale or get_scale()
+    variants = ["magma-mut", "magma-mut-gen", "magma"]
+    panels = {
+        "vision_s2": ("S2", SMALL_DEFAULT_BW, TaskType.VISION),
+        "mix_s3": ("S3", SMALL_DEFAULT_BW, TaskType.MIX),
+    }
+    curves: Dict[str, Dict[str, ConvergenceCurve]] = {}
+    final_values: Dict[str, Dict[str, float]] = {}
+    for panel, (setting, bw, task) in panels.items():
+        platform = build_setting(setting, bw)
+        group = _group_for(task, platform, scale, seed)
+        explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+        panel_curves: Dict[str, ConvergenceCurve] = {}
+        panel_finals: Dict[str, float] = {}
+        rngs = spawn_rngs(seed, len(variants))
+        for variant, rng in zip(variants, rngs):
+            optimizer = build_optimizer(variant, seed=rng, **_optimizer_options(variant, scale))
+            result = explorer.search(group, optimizer=optimizer)
+            panel_curves[result.optimizer_name] = convergence_from_history(
+                result.optimizer_name, result.history
+            )
+            panel_finals[result.optimizer_name] = result.throughput_gflops
+        curves[panel] = panel_curves
+        final_values[panel] = panel_finals
+    return {"curves": curves, "final_values": final_values}
+
+
+# ----------------------------------------------------------------------
+# Fig. 17 — Group-size sweep
+# ----------------------------------------------------------------------
+def run_fig17_group_size(
+    scale: Optional[ExperimentScale] = None,
+    group_sizes: Optional[Sequence[int]] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """MAGMA throughput on (Mix, S2, BW=16) across group sizes."""
+    scale = scale or get_scale()
+    if group_sizes is None:
+        if scale.name == "paper":
+            group_sizes = (4, 10, 20, 40, 50, 100, 200, 500, 1000)
+        else:
+            group_sizes = (4, 10, 20, scale.group_size, 2 * scale.group_size)
+    platform = build_setting("S2", SMALL_DEFAULT_BW)
+    throughput: Dict[int, float] = {}
+    for size in group_sizes:
+        group = _group_for(TaskType.MIX, platform, scale, seed, group_size=size)
+        explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+        optimizer = build_optimizer(
+            "magma", seed=seed, population_size=min(scale.population_size, max(4, size))
+        )
+        result = explorer.search(group, optimizer=optimizer)
+        # Normalise by the group's own total work so different group sizes are
+        # comparable (larger groups carry more FLOPs by construction).
+        throughput[size] = result.throughput_gflops
+    reference = throughput[max(group_sizes)]
+    normalized = {size: value / reference for size, value in throughput.items()}
+    return {"throughput": throughput, "normalized": normalized}
+
+
+# ----------------------------------------------------------------------
+# Table V — Warm-start transfer
+# ----------------------------------------------------------------------
+def run_table5_warm_start(
+    scale: Optional[ExperimentScale] = None,
+    setting: str = "S4",
+    bandwidth_gbps: float = 1.0,
+    task: TaskType = TaskType.MIX,
+    num_instances: int = 3,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Warm-start study: optimize one instance, transfer to new instances.
+
+    Reproduces the structure of Table V: ``raw`` is the best of a random
+    initial population, ``trf_0_ep`` is the transferred solution before any
+    further optimization, ``trf_1_ep`` after one generation, and
+    ``trf_full`` after the full budget; all values are normalised by
+    ``trf_full``.
+    """
+    scale = scale or get_scale()
+    platform = build_setting(setting, bandwidth_gbps)
+    explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+    engine = WarmStartEngine()
+
+    # Optimize the source instance and remember its solution.
+    source_group = _group_for(task, platform, scale, seed)
+    source_result = explorer.search(
+        source_group,
+        optimizer=build_optimizer("magma", seed=seed, **_optimizer_options("magma", scale)),
+    )
+    source_evaluator = explorer.build_evaluator(source_group)
+    engine.record(task.value, source_result.best_encoding, source_evaluator.codec, source_result.best_fitness)
+
+    one_epoch = scale.population_size
+    thirty_epochs = min(scale.sampling_budget, 30 * scale.population_size)
+    rows: Dict[str, Dict[str, float]] = {}
+    for instance in range(1, num_instances + 1):
+        group = _group_for(task, platform, scale, seed=seed + 1000 * instance)
+        evaluator = explorer.build_evaluator(group)
+        codec = evaluator.codec
+        warm = engine.suggest(task.value, codec, count=scale.population_size, rng=seed + instance)
+
+        # Raw: best of a random initial population (no optimization).
+        random_population = codec.random_population(scale.population_size, rng=seed + instance)
+        raw = float(np.max(evaluator.evaluate_population(random_population, count_samples=False)))
+
+        # Transferred solution before further optimization.
+        trf_0 = float(evaluator.evaluate(warm[0], count_sample=False))
+
+        def _optimize_with_budget(budget: int) -> float:
+            local_explorer = M3E(platform, sampling_budget=budget)
+            optimizer = build_optimizer("magma", seed=seed + instance, **_optimizer_options("magma", scale))
+            result = local_explorer.search(
+                group, optimizer=optimizer, sampling_budget=budget, initial_encodings=warm
+            )
+            return result.throughput_gflops
+
+        trf_1 = _optimize_with_budget(max(one_epoch * 2, one_epoch + 1))
+        trf_30 = _optimize_with_budget(thirty_epochs)
+        trf_full = _optimize_with_budget(scale.sampling_budget)
+
+        rows[f"instance{instance}"] = {
+            "raw": raw / trf_full if trf_full > 0 else 0.0,
+            "trf_0_ep": trf_0 / trf_full if trf_full > 0 else 0.0,
+            "trf_1_ep": trf_1 / trf_full if trf_full > 0 else 0.0,
+            "trf_30_ep": trf_30 / trf_full if trf_full > 0 else 0.0,
+            "trf_full": 1.0,
+        }
+    average = {
+        key: float(np.mean([rows[inst][key] for inst in rows]))
+        for key in ("raw", "trf_0_ep", "trf_1_ep", "trf_30_ep", "trf_full")
+    }
+    return {"instances": rows, "average": average, "source_throughput": source_result.throughput_gflops}

@@ -1,0 +1,54 @@
+"""Optimization algorithms supported by M3E (Table IV of the paper).
+
+The package contains MAGMA (the paper's contribution), the black-box
+optimization baselines (stdGA, DE, CMA-ES, PSO, TBPSA, random search), the
+reinforcement-learning baselines (A2C, PPO2), the manual mappers
+(Herald-like, AI-MT-like), the warm-start engine, and the hyper-parameter
+tuner.
+"""
+
+from repro.optimizers.base import BaseOptimizer
+from repro.optimizers.magma import MagmaConfig, MagmaOptimizer, magma_mutation_only, magma_mutation_crossover_gen
+from repro.optimizers.stdga import StandardGAOptimizer
+from repro.optimizers.de import DifferentialEvolutionOptimizer
+from repro.optimizers.cmaes import CMAESOptimizer
+from repro.optimizers.pso import PSOOptimizer
+from repro.optimizers.tbpsa import TBPSAOptimizer
+from repro.optimizers.random_search import RandomSearchOptimizer
+from repro.optimizers.heuristics import HeraldLikeMapper, AIMTLikeMapper
+from repro.optimizers.rl import A2COptimizer, PPOOptimizer
+from repro.optimizers.warmstart import WarmStartEngine
+from repro.optimizers.hyperparams import HyperParameterSpace, MagmaHyperParameterTuner
+from repro.optimizers.registry import (
+    OPTIMIZER_REGISTRY,
+    PAPER_COMPARISON_METHODS,
+    build_optimizer,
+    list_optimizers,
+)
+from repro.optimizers import operators
+
+__all__ = [
+    "BaseOptimizer",
+    "MagmaConfig",
+    "MagmaOptimizer",
+    "magma_mutation_only",
+    "magma_mutation_crossover_gen",
+    "StandardGAOptimizer",
+    "DifferentialEvolutionOptimizer",
+    "CMAESOptimizer",
+    "PSOOptimizer",
+    "TBPSAOptimizer",
+    "RandomSearchOptimizer",
+    "HeraldLikeMapper",
+    "AIMTLikeMapper",
+    "A2COptimizer",
+    "PPOOptimizer",
+    "WarmStartEngine",
+    "HyperParameterSpace",
+    "MagmaHyperParameterTuner",
+    "OPTIMIZER_REGISTRY",
+    "PAPER_COMPARISON_METHODS",
+    "build_optimizer",
+    "list_optimizers",
+    "operators",
+]

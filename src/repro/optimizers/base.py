@@ -1,0 +1,84 @@
+"""Base class shared by all optimization algorithms in M3E.
+
+Every algorithm — MAGMA, the black-box baselines, the RL agents, and the
+manual heuristics — implements the same tiny interface: ``optimize`` receives
+a :class:`~repro.core.evaluator.MappingEvaluator` (which owns the search
+space shape, the fitness function, and the sampling budget) and returns the
+best encoded mapping it found.  The evaluator enforces the shared sampling
+budget, so algorithms simply loop until ``evaluator.budget_exhausted``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.exceptions import OptimizationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+class BaseOptimizer(abc.ABC):
+    """Common interface and bookkeeping for mapping optimizers.
+
+    Parameters
+    ----------
+    seed:
+        Seed or generator for the algorithm's random stream.
+    name:
+        Display name; defaults to the class-level ``default_name``.
+    """
+
+    #: Registry / display name, overridden by subclasses.
+    default_name: str = "base"
+
+    def __init__(self, seed: SeedLike = None, name: Optional[str] = None):
+        self.rng = ensure_rng(seed)
+        self.name = name or self.default_name
+        #: Free-form dictionary of algorithm-specific diagnostics, surfaced in
+        #: :class:`~repro.core.framework.SearchResult.metadata`.
+        self.metadata: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def reseed(self, seed: SeedLike) -> None:
+        """Replace the algorithm's random stream (used by M3E.compare)."""
+        self.rng = ensure_rng(seed)
+
+    @abc.abstractmethod
+    def optimize(
+        self,
+        evaluator: MappingEvaluator,
+        initial_encodings: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        """Search for a good mapping and return the best encoding found.
+
+        ``initial_encodings`` optionally seeds the initial population /
+        starting point (used by the warm-start engine).  Returning ``None``
+        tells the framework to fall back to the evaluator's best-so-far
+        record.
+        """
+
+    # ------------------------------------------------------------------
+    # Helpers shared by population-based methods.
+    # ------------------------------------------------------------------
+    def _initial_population(
+        self,
+        evaluator: MappingEvaluator,
+        population_size: int,
+        initial_encodings: Optional[np.ndarray],
+    ) -> np.ndarray:
+        """Random population, optionally seeded with user-provided encodings."""
+        if population_size <= 0:
+            raise OptimizationError(f"population_size must be positive, got {population_size}")
+        population = evaluator.codec.random_population(population_size, self.rng)
+        if initial_encodings is not None:
+            seeds = np.atleast_2d(np.asarray(initial_encodings, dtype=float))
+            count = min(len(seeds), population_size)
+            for i in range(count):
+                population[i] = evaluator.codec.repair(seeds[i])
+        return population
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

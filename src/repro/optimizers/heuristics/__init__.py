@@ -1,0 +1,6 @@
+"""Manual-designed baseline mappers (Herald-like and AI-MT-like)."""
+
+from repro.optimizers.heuristics.herald import HeraldLikeMapper
+from repro.optimizers.heuristics.aimt import AIMTLikeMapper
+
+__all__ = ["HeraldLikeMapper", "AIMTLikeMapper"]

@@ -1,0 +1,126 @@
+"""Hyper-parameter tuning for MAGMA (Section V-B3 of the paper).
+
+The paper selects MAGMA's mutation/crossover rates, population size, and
+elite ratio with a Bayesian-optimization framework across multiple workloads.
+This module provides a compact sequential model-based tuner in the same
+spirit: candidates are scored on a set of (group, platform) tuning problems,
+and after an initial random phase new candidates are proposed around the best
+configurations seen so far (a Tree-structured-Parzen-Estimator-like
+exploit/explore split), which is the behaviour that matters for reproducing
+the tuning workflow without external dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.accelerator import AcceleratorPlatform
+from repro.core.framework import M3E
+from repro.exceptions import OptimizationError
+from repro.optimizers.magma import MagmaConfig, MagmaOptimizer
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.tables import geometric_mean
+from repro.workloads.groups import JobGroup
+
+
+@dataclass(frozen=True)
+class HyperParameterSpace:
+    """Search ranges for MAGMA's tunable hyper-parameters."""
+
+    population_sizes: Tuple[int, ...] = (50, 100, 150, 200)
+    elite_ratios: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4)
+    mutation_rates: Tuple[float, ...] = (0.01, 0.05, 0.1, 0.2)
+    crossover_gen_rates: Tuple[float, ...] = (0.5, 0.7, 0.9)
+    crossover_rg_rates: Tuple[float, ...] = (0.0, 0.05, 0.1)
+    crossover_accel_rates: Tuple[float, ...] = (0.0, 0.05, 0.1)
+
+    def sample(self, rng: np.random.Generator) -> MagmaConfig:
+        """Draw one random configuration from the space."""
+        return MagmaConfig(
+            population_size=int(rng.choice(self.population_sizes)),
+            elite_ratio=float(rng.choice(self.elite_ratios)),
+            mutation_rate=float(rng.choice(self.mutation_rates)),
+            crossover_gen_rate=float(rng.choice(self.crossover_gen_rates)),
+            crossover_rg_rate=float(rng.choice(self.crossover_rg_rates)),
+            crossover_accel_rate=float(rng.choice(self.crossover_accel_rates)),
+        )
+
+    def neighbours(self, config: MagmaConfig, rng: np.random.Generator) -> MagmaConfig:
+        """Propose a configuration near *config* (one or two knobs changed)."""
+        def tweak(options: Sequence, current) -> object:
+            options = list(options)
+            index = options.index(current) if current in options else 0
+            step = int(rng.integers(-1, 2))
+            return options[int(np.clip(index + step, 0, len(options) - 1))]
+
+        knobs = {
+            "population_size": int(tweak(self.population_sizes, config.population_size)),
+            "elite_ratio": float(tweak(self.elite_ratios, config.elite_ratio)),
+            "mutation_rate": float(tweak(self.mutation_rates, config.mutation_rate)),
+            "crossover_gen_rate": float(tweak(self.crossover_gen_rates, config.crossover_gen_rate)),
+            "crossover_rg_rate": float(tweak(self.crossover_rg_rates, config.crossover_rg_rate)),
+            "crossover_accel_rate": float(tweak(self.crossover_accel_rates, config.crossover_accel_rate)),
+        }
+        return MagmaConfig(**knobs)
+
+
+@dataclass
+class TuningTrial:
+    """One evaluated hyper-parameter configuration."""
+
+    config: MagmaConfig
+    score: float
+
+
+class MagmaHyperParameterTuner:
+    """Sequential model-based tuner scoring configurations across workloads."""
+
+    def __init__(
+        self,
+        problems: Sequence[Tuple[JobGroup, AcceleratorPlatform]],
+        sampling_budget_per_run: int = 1_000,
+        space: Optional[HyperParameterSpace] = None,
+        seed: SeedLike = None,
+    ):
+        if not problems:
+            raise OptimizationError("the tuner needs at least one (group, platform) problem")
+        self.problems = list(problems)
+        self.sampling_budget_per_run = sampling_budget_per_run
+        self.space = space or HyperParameterSpace()
+        self.rng = ensure_rng(seed)
+        self.trials: List[TuningTrial] = []
+
+    # ------------------------------------------------------------------
+    def score(self, config: MagmaConfig) -> float:
+        """Geometric-mean throughput of a configuration across the tuning problems."""
+        values: List[float] = []
+        for group, platform in self.problems:
+            explorer = M3E(platform, sampling_budget=self.sampling_budget_per_run)
+            optimizer = MagmaOptimizer(seed=self.rng, config=config)
+            result = explorer.search(group, optimizer=optimizer)
+            values.append(max(result.throughput_gflops, 1e-9))
+        return geometric_mean(values)
+
+    def tune(self, num_trials: int = 12, exploration_fraction: float = 0.5) -> MagmaConfig:
+        """Run the tuning loop and return the best configuration found."""
+        if num_trials <= 0:
+            raise OptimizationError(f"num_trials must be positive, got {num_trials}")
+        num_random = max(1, int(round(num_trials * exploration_fraction)))
+        for trial_index in range(num_trials):
+            if trial_index < num_random or not self.trials:
+                candidate = self.space.sample(self.rng)
+            else:
+                best = max(self.trials, key=lambda t: t.score)
+                candidate = self.space.neighbours(best.config, self.rng)
+            self.trials.append(TuningTrial(config=candidate, score=self.score(candidate)))
+        return max(self.trials, key=lambda t: t.score).config
+
+    @property
+    def best_trial(self) -> Optional[TuningTrial]:
+        """Best trial so far, or ``None`` before tuning."""
+        if not self.trials:
+            return None
+        return max(self.trials, key=lambda t: t.score)

@@ -1,0 +1,147 @@
+"""MAGMA's genetic operators (Section V-B2 and Fig. 5 of the paper).
+
+MAGMA keeps the standard GA mutation and adds three specialised crossover
+operators, each designed to preserve a different kind of structure in the
+mapping while exploring:
+
+* **crossover-gen** — genome-wise crossover: perturbs one genome (either the
+  sub-accelerator selection or the job prioritisation) while leaving the
+  other genome untouched.
+* **crossover-rg** — range crossover: exchanges a contiguous range of *jobs*
+  across both genomes simultaneously, preserving the cross-genome dependency
+  between a job's core selection and its priority.
+* **crossover-accel** — per-core crossover: copies the full scheduling
+  decision (selection + priority) of one sub-accelerator from one parent to
+  the other, preserving the job ordering within that core.
+
+All operators work directly on encoded mapping vectors and never invalidate
+them (every output is a valid encoding), which keeps the search structured
+and sample-efficient.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.encoding import MappingCodec
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+def mutate(
+    encoding: np.ndarray,
+    codec: MappingCodec,
+    rng: SeedLike = None,
+    mutation_rate: float = 0.05,
+) -> np.ndarray:
+    """Standard mutation: each gene is re-randomised with probability *mutation_rate*.
+
+    Selection genes mutate to a random core; priority genes mutate to a
+    random value in ``[0, 1)`` (Fig. 5(b)).
+    """
+    generator = ensure_rng(rng)
+    child = np.asarray(encoding, dtype=float).copy()
+    genome = codec.genome_length
+    mask = generator.random(codec.encoding_length) < mutation_rate
+    selection_mask = mask[:genome]
+    priority_mask = mask[genome:]
+    if selection_mask.any():
+        child[:genome][selection_mask] = generator.integers(
+            0, codec.num_sub_accelerators, size=int(selection_mask.sum())
+        )
+    if priority_mask.any():
+        child[genome:][priority_mask] = generator.random(int(priority_mask.sum()))
+    return child
+
+
+def crossover_gen(
+    dad: np.ndarray,
+    mom: np.ndarray,
+    codec: MappingCodec,
+    rng: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Genome-wise single-point crossover (Fig. 5(c)).
+
+    One genome (selection or priority) is sampled, a pivot point within it is
+    sampled, and the genes after the pivot are exchanged between the parents.
+    The untouched genome keeps its characteristics, so the perturbation is
+    contained to one aspect of the schedule.
+    """
+    generator = ensure_rng(rng)
+    genome = codec.genome_length
+    son = np.asarray(dad, dtype=float).copy()
+    daughter = np.asarray(mom, dtype=float).copy()
+    which_genome = int(generator.integers(0, 2))
+    offset = which_genome * genome
+    pivot = int(generator.integers(1, genome)) if genome > 1 else 0
+    lo, hi = offset + pivot, offset + genome
+    son[lo:hi], daughter[lo:hi] = daughter[lo:hi].copy(), son[lo:hi].copy()
+    return son, daughter
+
+
+def crossover_rg(
+    dad: np.ndarray,
+    mom: np.ndarray,
+    codec: MappingCodec,
+    rng: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Range crossover across both genomes (Fig. 5(d)).
+
+    A contiguous range of job positions is sampled and, for the jobs in that
+    range, *both* their selection and their priority genes are exchanged
+    between the parents.  The dependency between a job's core assignment and
+    its priority is therefore preserved through the exchange.
+    """
+    generator = ensure_rng(rng)
+    genome = codec.genome_length
+    son = np.asarray(dad, dtype=float).copy()
+    daughter = np.asarray(mom, dtype=float).copy()
+    if genome == 1:
+        start, stop = 0, 1
+    else:
+        start = int(generator.integers(0, genome - 1))
+        stop = int(generator.integers(start + 1, genome + 1))
+    for offset in (0, genome):
+        lo, hi = offset + start, offset + stop
+        son[lo:hi], daughter[lo:hi] = daughter[lo:hi].copy(), son[lo:hi].copy()
+    return son, daughter
+
+
+def crossover_accel(
+    dad: np.ndarray,
+    mom: np.ndarray,
+    codec: MappingCodec,
+    rng: SeedLike = None,
+    rebalance_mutation_rate: float = 0.5,
+) -> np.ndarray:
+    """Per-sub-accelerator crossover (Fig. 5(e)).
+
+    A core is sampled; the jobs that *mom* assigns to that core are copied —
+    selection and priority genes — into a copy of *dad*, preserving mom's job
+    ordering on that core.  Dad's own jobs that were previously on that core
+    (and were not copied) are randomly re-assigned/re-prioritised to restore
+    load balance, as described in the paper.
+    """
+    generator = ensure_rng(rng)
+    genome = codec.genome_length
+    son = np.asarray(dad, dtype=float).copy()
+    dad_selection = np.asarray(dad, dtype=float)[:genome].astype(int)
+    mom_selection = np.asarray(mom, dtype=float)[:genome].astype(int)
+    core = int(generator.integers(0, codec.num_sub_accelerators))
+
+    mom_jobs_on_core = np.flatnonzero(mom_selection == core)
+    dad_jobs_on_core = np.flatnonzero(dad_selection == core)
+
+    # Copy mom's full decision (both genomes) for her jobs on the chosen core.
+    for job in mom_jobs_on_core:
+        son[job] = mom[job]
+        son[genome + job] = mom[genome + job]
+
+    # Dad's leftover jobs on that core get randomly perturbed to rebalance load.
+    leftover = np.setdiff1d(dad_jobs_on_core, mom_jobs_on_core, assume_unique=True)
+    for job in leftover:
+        if generator.random() < rebalance_mutation_rate:
+            son[job] = float(generator.integers(0, codec.num_sub_accelerators))
+            son[genome + job] = generator.random()
+    return son

@@ -1,0 +1,98 @@
+"""Optimizer registry: name -> constructor, mirroring Table IV of the paper."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import OptimizationError
+from repro.optimizers.base import BaseOptimizer
+from repro.optimizers.cmaes import CMAESOptimizer
+from repro.optimizers.de import DifferentialEvolutionOptimizer
+from repro.optimizers.heuristics.aimt import AIMTLikeMapper
+from repro.optimizers.heuristics.herald import HeraldLikeMapper
+from repro.optimizers.magma import (
+    MagmaOptimizer,
+    magma_mutation_crossover_gen,
+    magma_mutation_only,
+)
+from repro.optimizers.pso import PSOOptimizer
+from repro.optimizers.random_search import RandomSearchOptimizer
+from repro.optimizers.rl.a2c import A2COptimizer
+from repro.optimizers.rl.ppo import PPOOptimizer
+from repro.optimizers.stdga import StandardGAOptimizer
+from repro.optimizers.tbpsa import TBPSAOptimizer
+from repro.utils.rng import SeedLike
+
+#: Factory signature: ``factory(seed=..., **options) -> BaseOptimizer``.
+OptimizerFactory = Callable[..., BaseOptimizer]
+
+OPTIMIZER_REGISTRY: Dict[str, OptimizerFactory] = {
+    # Manual baselines
+    "herald": HeraldLikeMapper,
+    "herald-like": HeraldLikeMapper,
+    "aimt": AIMTLikeMapper,
+    "ai-mt-like": AIMTLikeMapper,
+    # Black-box optimization baselines
+    "stdga": StandardGAOptimizer,
+    "de": DifferentialEvolutionOptimizer,
+    "cma": CMAESOptimizer,
+    "cma-es": CMAESOptimizer,
+    "pso": PSOOptimizer,
+    "tbpsa": TBPSAOptimizer,
+    "random": RandomSearchOptimizer,
+    # Reinforcement learning baselines
+    "a2c": A2COptimizer,
+    "rl-a2c": A2COptimizer,
+    "ppo2": PPOOptimizer,
+    "rl-ppo2": PPOOptimizer,
+    # This work
+    "magma": MagmaOptimizer,
+    "magma-mut": magma_mutation_only,
+    "magma-mut-gen": magma_mutation_crossover_gen,
+}
+
+
+def build_optimizer(name: str, seed: SeedLike = None, **options: object) -> BaseOptimizer:
+    """Construct a registered optimizer by (case-insensitive) name."""
+    key = str(name).lower()
+    if key not in OPTIMIZER_REGISTRY:
+        raise OptimizationError(
+            f"unknown optimizer {name!r}; available: {sorted(set(OPTIMIZER_REGISTRY))}"
+        )
+    return OPTIMIZER_REGISTRY[key](seed=seed, **options)
+
+
+def list_optimizers() -> List[str]:
+    """Canonical optimizer names (without aliases)."""
+    canonical = {
+        "herald-like",
+        "ai-mt-like",
+        "stdga",
+        "de",
+        "cma",
+        "pso",
+        "tbpsa",
+        "random",
+        "a2c",
+        "ppo2",
+        "magma",
+        "magma-mut",
+        "magma-mut-gen",
+    }
+    return sorted(canonical)
+
+
+#: The ten methods compared in the paper's main figures (Fig. 8 and Fig. 9),
+#: in the order the figures list them.
+PAPER_COMPARISON_METHODS: List[str] = [
+    "herald-like",
+    "ai-mt-like",
+    "pso",
+    "cma",
+    "de",
+    "tbpsa",
+    "stdga",
+    "a2c",
+    "ppo2",
+    "magma",
+]

@@ -1,0 +1,6 @@
+"""Reinforcement-learning mappers (A2C and PPO2) built on a NumPy MLP."""
+
+from repro.optimizers.rl.a2c import A2COptimizer
+from repro.optimizers.rl.ppo import PPOOptimizer
+
+__all__ = ["A2COptimizer", "PPOOptimizer"]

@@ -1,0 +1,197 @@
+"""Advantage Actor-Critic (A2C) mapper — the "RL A2C" baseline of Table IV.
+
+The agent builds mappings job-by-job in the :class:`SequentialMappingEnv`.
+Several environments are stepped in lock-step so the policy/critic forward
+and backward passes are batched, matching the synchronous multi-worker
+formulation of A2C.  Hyper-parameters follow Table IV: 3-layer MLPs with 128
+units, discount 0.99, learning rate 7e-4, RMSProp.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.exceptions import OptimizationError
+from repro.optimizers.base import BaseOptimizer
+from repro.optimizers.rl.env import SequentialMappingEnv
+from repro.optimizers.rl.nn import MLP, AdamOptimizer, RMSPropOptimizer, clip_gradients, softmax
+from repro.utils.rng import SeedLike
+
+
+class _RunningNormalizer:
+    """Running mean/std used to normalise episode returns into stable advantages."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self.m2 = 0.0
+
+    def update(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self.m2 += delta * (value - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.count < 2:
+            return 1.0
+        return float(np.sqrt(self.m2 / (self.count - 1))) or 1.0
+
+    def normalise(self, value: float) -> float:
+        return (value - self.mean) / (self.std + 1e-8)
+
+
+class A2COptimizer(BaseOptimizer):
+    """Synchronous advantage actor-critic over the sequential mapping environment."""
+
+    default_name = "RL A2C"
+
+    def __init__(
+        self,
+        seed: SeedLike = None,
+        hidden_size: int = 128,
+        num_hidden_layers: int = 3,
+        discount: float = 0.99,
+        learning_rate: float = 7e-4,
+        entropy_coefficient: float = 0.01,
+        num_parallel_envs: int = 8,
+        num_priority_buckets: int = 4,
+        max_grad_norm: float = 5.0,
+        name: Optional[str] = None,
+    ):
+        super().__init__(seed=seed, name=name)
+        if not (0.0 < discount <= 1.0):
+            raise OptimizationError(f"discount must be in (0, 1], got {discount}")
+        self.hidden_size = hidden_size
+        self.num_hidden_layers = num_hidden_layers
+        self.discount = discount
+        self.learning_rate = learning_rate
+        self.entropy_coefficient = entropy_coefficient
+        self.num_parallel_envs = max(1, num_parallel_envs)
+        self.num_priority_buckets = num_priority_buckets
+        self.max_grad_norm = max_grad_norm
+
+    # ------------------------------------------------------------------
+    def optimize(
+        self,
+        evaluator: MappingEvaluator,
+        initial_encodings: Optional[np.ndarray] = None,
+    ) -> Optional[np.ndarray]:
+        envs = [
+            SequentialMappingEnv(evaluator, self.num_priority_buckets)
+            for _ in range(self.num_parallel_envs)
+        ]
+        spec = envs[0].spec
+        hidden = [self.hidden_size] * self.num_hidden_layers
+        policy = MLP([spec.observation_size, *hidden, spec.num_actions], rng=self.rng)
+        critic = MLP([spec.observation_size, *hidden, 1], rng=self.rng)
+        policy_opt = RMSPropOptimizer(learning_rate=self.learning_rate)
+        critic_opt = RMSPropOptimizer(learning_rate=self.learning_rate)
+        normalizer = _RunningNormalizer()
+
+        episodes = 0
+        updates = 0
+        best_return = -np.inf
+
+        while not evaluator.budget_exhausted:
+            batch_states: List[np.ndarray] = []
+            batch_actions: List[int] = []
+            batch_returns: List[float] = []
+
+            # Roll out one episode per parallel environment, stepping them in
+            # lock-step so every forward pass is batched.
+            observations = np.stack([env.reset() for env in envs])
+            done_flags = [False] * len(envs)
+            trajectories: List[List[tuple[np.ndarray, int]]] = [[] for _ in envs]
+            episode_returns = [0.0] * len(envs)
+
+            for _ in range(spec.num_jobs):
+                logits, _ = policy.forward(observations)
+                probabilities = softmax(logits)
+                actions = [
+                    int(self.rng.choice(spec.num_actions, p=probabilities[i]))
+                    for i in range(len(envs))
+                ]
+                next_observations = observations.copy()
+                for i, env in enumerate(envs):
+                    if done_flags[i]:
+                        continue
+                    trajectories[i].append((observations[i], actions[i]))
+                    try:
+                        next_obs, reward, done = env.step(actions[i])
+                    except OptimizationError:
+                        done_flags[i] = True
+                        continue
+                    if done:
+                        done_flags[i] = True
+                        episode_returns[i] = reward
+                    else:
+                        next_observations[i] = next_obs
+                observations = next_observations
+                if all(done_flags):
+                    break
+
+            for i, trajectory in enumerate(trajectories):
+                if not done_flags[i] or not trajectory:
+                    continue
+                episodes += 1
+                final_return = episode_returns[i]
+                normalizer.update(final_return)
+                best_return = max(best_return, final_return)
+                horizon = len(trajectory)
+                for t, (state, action) in enumerate(trajectory):
+                    discounted = self.discount ** (horizon - 1 - t) * normalizer.normalise(final_return)
+                    batch_states.append(state)
+                    batch_actions.append(action)
+                    batch_returns.append(discounted)
+
+            if not batch_states:
+                break
+            self._update(
+                policy, critic, policy_opt, critic_opt,
+                np.stack(batch_states), np.asarray(batch_actions), np.asarray(batch_returns),
+            )
+            updates += 1
+
+        self.metadata.update({"episodes": episodes, "updates": updates, "best_return": float(best_return)})
+        return evaluator.best_encoding
+
+    # ------------------------------------------------------------------
+    def _update(
+        self,
+        policy: MLP,
+        critic: MLP,
+        policy_opt: RMSPropOptimizer,
+        critic_opt: RMSPropOptimizer,
+        states: np.ndarray,
+        actions: np.ndarray,
+        returns: np.ndarray,
+    ) -> None:
+        """One synchronous actor-critic gradient step on the collected batch."""
+        batch = len(states)
+        values, critic_cache = critic.forward(states)
+        values = values[:, 0]
+        advantages = returns - values
+
+        # Critic: mean-squared error towards the (normalised) returns.
+        critic_grad_out = (2.0 / batch) * (values - returns)[:, None]
+        critic_grads = clip_gradients(critic.backward(critic_grad_out, critic_cache), self.max_grad_norm)
+        critic_opt.step(critic.params, critic_grads)
+
+        # Policy: advantage-weighted log-likelihood plus entropy bonus.
+        logits, policy_cache = policy.forward(states)
+        probabilities = softmax(logits)
+        one_hot = np.zeros_like(probabilities)
+        one_hot[np.arange(batch), actions] = 1.0
+        log_probs = np.log(probabilities + 1e-12)
+        entropy = -np.sum(probabilities * log_probs, axis=1, keepdims=True)
+        policy_grad_out = (probabilities - one_hot) * advantages[:, None] / batch
+        entropy_grad = self.entropy_coefficient * probabilities * (log_probs + entropy) / batch
+        policy_grads = clip_gradients(
+            policy.backward(policy_grad_out + entropy_grad, policy_cache), self.max_grad_norm
+        )
+        policy_opt.step(policy.params, policy_grads)

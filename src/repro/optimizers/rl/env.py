@@ -1,0 +1,142 @@
+"""Sequential mapping environment for the RL agents.
+
+The RL agents (A2C and PPO2 in Table IV) formulate the mapping problem as a
+sequential decision process: jobs are visited one at a time and the agent
+chooses, for the current job, which sub-accelerator to run it on and which
+priority bucket to give it.  After the last job the complete encoded mapping
+is evaluated by M3E's fitness function, and that fitness is the episode
+return (the reward is zero at intermediate steps).
+
+The observation exposes what a scheduler would look at: the current job's
+normalised latency and bandwidth profile on each core, the load already
+accumulated on each core, the bandwidth demand already committed to each
+core, and the episode progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.evaluator import MappingEvaluator
+from repro.exceptions import OptimizationError
+
+
+@dataclass(frozen=True)
+class EnvironmentSpec:
+    """Static description of the observation/action spaces."""
+
+    observation_size: int
+    num_actions: int
+    num_cores: int
+    num_priority_buckets: int
+    num_jobs: int
+
+
+class SequentialMappingEnv:
+    """Job-by-job mapping construction environment."""
+
+    def __init__(self, evaluator: MappingEvaluator, num_priority_buckets: int = 4):
+        if num_priority_buckets <= 0:
+            raise OptimizationError(
+                f"num_priority_buckets must be positive, got {num_priority_buckets}"
+            )
+        self.evaluator = evaluator
+        self.num_priority_buckets = num_priority_buckets
+        self.num_cores = evaluator.codec.num_sub_accelerators
+        self.num_jobs = evaluator.codec.num_jobs
+
+        table = evaluator.table
+        latency = table.latency_cycles[:, : self.num_cores]
+        bandwidth = table.required_bw_gbps[:, : self.num_cores]
+        # Log-scale then normalise: latencies span orders of magnitude.
+        self._latency_features = self._normalise(np.log1p(latency))
+        self._bandwidth_features = self._normalise(np.log1p(bandwidth))
+        self._raw_latency = latency
+
+        self._assignment = np.zeros(self.num_jobs, dtype=int)
+        self._priority = np.zeros(self.num_jobs)
+        self._core_load = np.zeros(self.num_cores)
+        self._core_bw = np.zeros(self.num_cores)
+        self._step = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _normalise(values: np.ndarray) -> np.ndarray:
+        span = values.max() - values.min()
+        if span <= 0:
+            return np.zeros_like(values)
+        return (values - values.min()) / span
+
+    @property
+    def spec(self) -> EnvironmentSpec:
+        """Observation/action space description for building the networks."""
+        return EnvironmentSpec(
+            observation_size=4 * self.num_cores + 2,
+            num_actions=self.num_cores * self.num_priority_buckets,
+            num_cores=self.num_cores,
+            num_priority_buckets=self.num_priority_buckets,
+            num_jobs=self.num_jobs,
+        )
+
+    # ------------------------------------------------------------------
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the first observation."""
+        self._assignment[:] = 0
+        self._priority[:] = 0.0
+        self._core_load[:] = 0.0
+        self._core_bw[:] = 0.0
+        self._step = 0
+        return self._observation()
+
+    def step(self, action: int) -> Tuple[Optional[np.ndarray], float, bool]:
+        """Apply *action* to the current job.
+
+        Returns ``(next_observation, reward, done)``.  The reward is the
+        mapping fitness on the final step and zero otherwise.  The next
+        observation is ``None`` when the episode is done.
+        """
+        if self._step >= self.num_jobs:
+            raise OptimizationError("episode already finished; call reset()")
+        if not (0 <= action < self.spec.num_actions):
+            raise OptimizationError(f"action {action} out of range [0, {self.spec.num_actions})")
+        core = action // self.num_priority_buckets
+        bucket = action % self.num_priority_buckets
+        job = self._step
+        self._assignment[job] = core
+        # Bucket sets the coarse priority; the per-job offset keeps decoding
+        # deterministic and preserves the visit order within a bucket.
+        self._priority[job] = (bucket + (job + 1) / (self.num_jobs + 2)) / self.num_priority_buckets
+        self._core_load[core] += self._raw_latency[job, core]
+        self._core_bw[core] += self.evaluator.table.required_bw_gbps[job, core]
+        self._step += 1
+
+        if self._step == self.num_jobs:
+            fitness = self.evaluator.evaluate(self.encoding())
+            return None, float(fitness), True
+        return self._observation(), 0.0, False
+
+    def encoding(self) -> np.ndarray:
+        """The encoded mapping built so far (complete only at episode end)."""
+        return np.concatenate([self._assignment.astype(float), self._priority])
+
+    # ------------------------------------------------------------------
+    def _observation(self) -> np.ndarray:
+        job = self._step
+        load = self._core_load
+        load_norm = load / load.max() if load.max() > 0 else load
+        bw = self._core_bw
+        bw_norm = bw / bw.max() if bw.max() > 0 else bw
+        progress = job / self.num_jobs
+        remaining = 1.0 - progress
+        return np.concatenate(
+            [
+                self._latency_features[job],
+                self._bandwidth_features[job],
+                load_norm,
+                bw_norm,
+                [progress, remaining],
+            ]
+        )

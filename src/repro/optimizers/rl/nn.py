@@ -1,0 +1,125 @@
+"""Minimal NumPy neural-network layer stack with manual gradients.
+
+The RL baselines in Table IV use small MLPs (3 layers of 128 units) for the
+policy and the critic.  Because the environment has no deep-learning
+framework available, this module provides exactly what those agents need: a
+fully-connected tanh MLP with forward/backward passes and the two optimizers
+the paper configures (RMSProp for A2C, Adam for PPO2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import OptimizationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+Parameters = Dict[str, np.ndarray]
+Gradients = Dict[str, np.ndarray]
+
+
+class MLP:
+    """Fully-connected network with tanh hidden activations and a linear head."""
+
+    def __init__(self, layer_sizes: Sequence[int], rng: SeedLike = None):
+        if len(layer_sizes) < 2:
+            raise OptimizationError("an MLP needs at least an input and an output size")
+        generator = ensure_rng(rng)
+        self.layer_sizes = list(layer_sizes)
+        self.params: Parameters = {}
+        for i in range(len(layer_sizes) - 1):
+            fan_in, fan_out = layer_sizes[i], layer_sizes[i + 1]
+            scale = np.sqrt(2.0 / (fan_in + fan_out))
+            self.params[f"W{i}"] = generator.normal(0.0, scale, size=(fan_in, fan_out))
+            self.params[f"b{i}"] = np.zeros(fan_out)
+
+    @property
+    def num_layers(self) -> int:
+        """Number of weight layers."""
+        return len(self.layer_sizes) - 1
+
+    # ------------------------------------------------------------------
+    def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Forward pass.  Returns (output, activation cache for backward)."""
+        activations = [np.atleast_2d(np.asarray(inputs, dtype=float))]
+        for i in range(self.num_layers):
+            z = activations[-1] @ self.params[f"W{i}"] + self.params[f"b{i}"]
+            if i < self.num_layers - 1:
+                activations.append(np.tanh(z))
+            else:
+                activations.append(z)
+        return activations[-1], activations
+
+    def backward(self, grad_output: np.ndarray, activations: List[np.ndarray]) -> Gradients:
+        """Backward pass from the gradient of the loss w.r.t. the output."""
+        grads: Gradients = {}
+        delta = np.atleast_2d(np.asarray(grad_output, dtype=float))
+        for i in reversed(range(self.num_layers)):
+            grads[f"W{i}"] = activations[i].T @ delta
+            grads[f"b{i}"] = delta.sum(axis=0)
+            if i > 0:
+                delta = (delta @ self.params[f"W{i}"].T) * (1.0 - activations[i] ** 2)
+        return grads
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over the last axis."""
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def clip_gradients(grads: Gradients, max_norm: float) -> Gradients:
+    """Scale gradients so their global L2 norm does not exceed *max_norm*."""
+    total = np.sqrt(sum(float(np.sum(g**2)) for g in grads.values()))
+    if total <= max_norm or total == 0:
+        return grads
+    factor = max_norm / total
+    return {k: g * factor for k, g in grads.items()}
+
+
+@dataclass
+class RMSPropOptimizer:
+    """RMSProp parameter update (used by the A2C agent, Table IV)."""
+
+    learning_rate: float = 7e-4
+    decay: float = 0.99
+    epsilon: float = 1e-5
+    _cache: Parameters = field(default_factory=dict)
+
+    def step(self, params: Parameters, grads: Gradients) -> None:
+        """Apply one in-place gradient-descent update."""
+        for key, grad in grads.items():
+            if key not in self._cache:
+                self._cache[key] = np.zeros_like(grad)
+            self._cache[key] = self.decay * self._cache[key] + (1 - self.decay) * grad**2
+            params[key] -= self.learning_rate * grad / (np.sqrt(self._cache[key]) + self.epsilon)
+
+
+@dataclass
+class AdamOptimizer:
+    """Adam parameter update (used by the PPO2 agent, Table IV)."""
+
+    learning_rate: float = 2.5e-4
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    _m: Parameters = field(default_factory=dict)
+    _v: Parameters = field(default_factory=dict)
+    _t: int = 0
+
+    def step(self, params: Parameters, grads: Gradients) -> None:
+        """Apply one in-place Adam update."""
+        self._t += 1
+        for key, grad in grads.items():
+            if key not in self._m:
+                self._m[key] = np.zeros_like(grad)
+                self._v[key] = np.zeros_like(grad)
+            self._m[key] = self.beta1 * self._m[key] + (1 - self.beta1) * grad
+            self._v[key] = self.beta2 * self._v[key] + (1 - self.beta2) * grad**2
+            m_hat = self._m[key] / (1 - self.beta1**self._t)
+            v_hat = self._v[key] / (1 - self.beta2**self._t)
+            params[key] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

@@ -1,0 +1,137 @@
+"""Warm-start engine for MAGMA (Section V-C of the paper).
+
+Warm-start re-uses solutions from previously solved tasks: when a new group
+of jobs belongs to the same task type (Vision, Language, Recommendation, or
+Mix) as an already-optimized group, the stored solution initialises the new
+search instead of a random population.  The paper's Table V shows this gives
+7.4x-152x better starting points and reaches ~93-99% of the fully optimized
+performance within a single epoch of further optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.encoding import MappingCodec
+from repro.exceptions import OptimizationError
+from repro.utils.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class _StoredSolution:
+    """One remembered solution: the encoding and the problem shape it solved."""
+
+    encoding: np.ndarray
+    num_jobs: int
+    num_sub_accelerators: int
+    fitness: float
+
+
+class WarmStartEngine:
+    """Remembers the best mapping per task type and adapts it to new groups.
+
+    The engine recognises a task by its task-type key (the string attached to
+    the jobs, e.g. ``"vision"`` or ``"mix"``).  When asked for a warm start on
+    a new problem it adapts the remembered encoding to the new group size by
+    tiling/truncating the two genomes, and to a new core count by clamping
+    the selection genes — both are cheap, structure-preserving projections.
+    """
+
+    def __init__(self) -> None:
+        self._memory: Dict[str, _StoredSolution] = {}
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        task_key: str,
+        encoding: np.ndarray,
+        codec: MappingCodec,
+        fitness: float,
+    ) -> None:
+        """Store (or replace) the remembered solution for *task_key*.
+
+        Only a better-fitness solution replaces an existing entry for the same
+        task type.
+        """
+        if not task_key:
+            raise OptimizationError("task_key must be a non-empty string")
+        encoding = codec.repair(np.asarray(encoding, dtype=float))
+        existing = self._memory.get(task_key)
+        if existing is None or fitness > existing.fitness:
+            self._memory[task_key] = _StoredSolution(
+                encoding=encoding.copy(),
+                num_jobs=codec.num_jobs,
+                num_sub_accelerators=codec.num_sub_accelerators,
+                fitness=fitness,
+            )
+
+    def knows(self, task_key: str) -> bool:
+        """Whether a solution for this task type has been recorded."""
+        return task_key in self._memory
+
+    def known_tasks(self) -> List[str]:
+        """Task types with remembered solutions."""
+        return sorted(self._memory)
+
+    def clear(self) -> None:
+        """Forget all remembered solutions."""
+        self._memory.clear()
+
+    # ------------------------------------------------------------------
+    def suggest(
+        self,
+        task_key: str,
+        codec: MappingCodec,
+        count: int = 1,
+        rng: SeedLike = None,
+        perturbation: float = 0.05,
+    ) -> Optional[np.ndarray]:
+        """Return *count* warm-start encodings for a new problem, or ``None``.
+
+        The first suggestion is the adapted remembered solution verbatim; the
+        remaining ones are lightly mutated copies so the seeded population
+        still carries diversity.
+        """
+        if task_key not in self._memory:
+            return None
+        stored = self._memory[task_key]
+        generator = ensure_rng(rng)
+        base = self._adapt(stored, codec)
+        suggestions = [base]
+        for _ in range(count - 1):
+            noisy = base.copy()
+            genome = codec.genome_length
+            mask = generator.random(codec.encoding_length) < perturbation
+            selection_hits = np.flatnonzero(mask[:genome])
+            priority_hits = np.flatnonzero(mask[genome:])
+            if selection_hits.size:
+                noisy[selection_hits] = generator.integers(
+                    0, codec.num_sub_accelerators, size=selection_hits.size
+                )
+            if priority_hits.size:
+                noisy[genome + priority_hits] = generator.random(priority_hits.size)
+            suggestions.append(noisy)
+        return np.stack(suggestions)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _adapt(stored: _StoredSolution, codec: MappingCodec) -> np.ndarray:
+        """Project a stored solution onto a (possibly different) problem shape."""
+        old_jobs = stored.num_jobs
+        new_jobs = codec.num_jobs
+        old_selection = stored.encoding[:old_jobs]
+        old_priority = stored.encoding[old_jobs:]
+
+        if new_jobs <= old_jobs:
+            selection = old_selection[:new_jobs].copy()
+            priority = old_priority[:new_jobs].copy()
+        else:
+            repeats = -(-new_jobs // old_jobs)
+            selection = np.tile(old_selection, repeats)[:new_jobs]
+            priority = np.tile(old_priority, repeats)[:new_jobs]
+
+        selection = np.clip(selection, 0, codec.num_sub_accelerators - 1)
+        return codec.repair(np.concatenate([selection, priority]))

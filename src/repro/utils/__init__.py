@@ -1,0 +1,25 @@
+"""Shared utilities: RNG handling, unit conversions, and table formatting."""
+
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.units import (
+    BYTES_PER_GB,
+    DEFAULT_FREQUENCY_HZ,
+    cycles_to_seconds,
+    gbps_to_bytes_per_cycle,
+    bytes_per_cycle_to_gbps,
+    macs_to_flops,
+)
+from repro.utils.tables import format_table, geometric_mean
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rngs",
+    "BYTES_PER_GB",
+    "DEFAULT_FREQUENCY_HZ",
+    "cycles_to_seconds",
+    "gbps_to_bytes_per_cycle",
+    "bytes_per_cycle_to_gbps",
+    "macs_to_flops",
+    "format_table",
+    "geometric_mean",
+]

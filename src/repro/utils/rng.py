@@ -1,0 +1,48 @@
+"""Helpers for deterministic random number generation.
+
+Every stochastic component in the library accepts either a seed or an already
+constructed :class:`numpy.random.Generator`.  Using these helpers keeps the
+behaviour consistent across optimizers, workload generators, and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    ``None`` produces a non-deterministic generator, an ``int`` or
+    ``SeedSequence`` produces a deterministic one, and an existing generator is
+    returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Spawn *count* independent generators derived from *seed*.
+
+    The child generators are statistically independent, which lets parallel
+    experiment arms (e.g. different optimizers in one figure) avoid sharing a
+    random stream while still being reproducible from one top-level seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a fresh integer seed from *rng* (useful for sub-components)."""
+    return int(rng.integers(0, 2**31 - 1))

@@ -1,0 +1,47 @@
+"""Unit conversions used throughout the cost model and scheduler.
+
+The paper evaluates accelerators running at 200 MHz with 1-byte operands
+(Section VI-A3).  These constants centralise that assumption so the scheduler,
+cost model, and reporting all agree on how cycles, seconds, bytes, and FLOPs
+relate to each other.
+"""
+
+from __future__ import annotations
+
+#: Default accelerator clock frequency in Hz (paper: 200 MHz).
+DEFAULT_FREQUENCY_HZ: float = 200e6
+
+#: Operand width in bytes (paper: 1 byte / INT8-style operands).
+DEFAULT_BYTES_PER_ELEMENT: int = 1
+
+#: Bytes in a gigabyte as used for bandwidth figures (GB/s).
+BYTES_PER_GB: float = 1e9
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> float:
+    """Convert a cycle count to wall-clock seconds at *frequency_hz*."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency_hz must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def seconds_to_cycles(seconds: float, frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> float:
+    """Convert wall-clock seconds to a cycle count at *frequency_hz*."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency_hz must be positive, got {frequency_hz}")
+    return seconds * frequency_hz
+
+
+def gbps_to_bytes_per_cycle(gbps: float, frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> float:
+    """Convert a bandwidth in GB/s to bytes transferred per accelerator cycle."""
+    return gbps * BYTES_PER_GB / frequency_hz
+
+
+def bytes_per_cycle_to_gbps(bytes_per_cycle: float, frequency_hz: float = DEFAULT_FREQUENCY_HZ) -> float:
+    """Convert bytes-per-cycle into GB/s."""
+    return bytes_per_cycle * frequency_hz / BYTES_PER_GB
+
+
+def macs_to_flops(macs: float) -> float:
+    """A multiply-accumulate counts as two floating point operations."""
+    return 2.0 * macs

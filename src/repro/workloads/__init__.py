@@ -1,0 +1,43 @@
+"""DNN workload substrate: layer IR, model zoo, jobs, groups, and benchmarks."""
+
+from repro.workloads.layers import (
+    LayerType,
+    LayerShape,
+    conv2d,
+    depthwise_conv2d,
+    pointwise_conv2d,
+    fully_connected,
+    attention,
+    embedding_lookup,
+)
+from repro.workloads.jobs import Job, JobBatch
+from repro.workloads.groups import JobGroup, partition_into_groups
+from repro.workloads.benchmark import (
+    TaskType,
+    WorkloadSpec,
+    BenchmarkBuilder,
+    build_task_workload,
+)
+from repro.workloads.models import MODEL_REGISTRY, get_model, list_models
+
+__all__ = [
+    "LayerType",
+    "LayerShape",
+    "conv2d",
+    "depthwise_conv2d",
+    "pointwise_conv2d",
+    "fully_connected",
+    "attention",
+    "embedding_lookup",
+    "Job",
+    "JobBatch",
+    "JobGroup",
+    "partition_into_groups",
+    "TaskType",
+    "WorkloadSpec",
+    "BenchmarkBuilder",
+    "build_task_workload",
+    "MODEL_REGISTRY",
+    "get_model",
+    "list_models",
+]

@@ -1,0 +1,151 @@
+"""Dependency-free job groups.
+
+The host control program divides the queued job pool into groups whose jobs
+have no dependencies among each other (Section III, "Group").  The mapper
+optimizes one group at a time; the group size is the key knob studied in
+Fig. 17.  Because the paper targets batched multi-tenant jobs (independent
+mini-batches from independent models), grouping here is a straightforward
+slicing of the queue, optionally interleaving models so every group mixes
+task types the way a real multi-tenant queue would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import WorkloadError
+from repro.utils.rng import SeedLike, ensure_rng
+from repro.workloads.jobs import Job, JobBatch
+
+
+@dataclass(frozen=True)
+class JobGroup:
+    """A dependency-free set of jobs optimized as one mapping problem."""
+
+    group_id: int
+    jobs: Sequence[Job]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise WorkloadError("a JobGroup must contain at least one job")
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self.jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self.jobs[index]
+
+    @property
+    def size(self) -> int:
+        """Number of jobs in the group (the paper's "group size")."""
+        return len(self.jobs)
+
+    @property
+    def total_flops(self) -> int:
+        """Aggregate FLOPs of the group; the numerator of the throughput objective."""
+        return sum(job.flops for job in self.jobs)
+
+    @property
+    def job_ids(self) -> List[int]:
+        """Job ids in group order."""
+        return [job.job_id for job in self.jobs]
+
+    def describe(self) -> str:
+        """Short description used in logs."""
+        return f"group{self.group_id}(size={self.size}, flops={self.total_flops:.3e})"
+
+
+def partition_into_groups(
+    batch: JobBatch,
+    group_size: int,
+    num_sub_accelerators: int = 1,
+    shuffle: bool = False,
+    rng: SeedLike = None,
+    drop_incomplete: bool = False,
+) -> List[JobGroup]:
+    """Partition a :class:`JobBatch` into dependency-free groups.
+
+    Parameters
+    ----------
+    batch:
+        The queued job pool.
+    group_size:
+        Number of jobs per group.  Must be at least ``num_sub_accelerators``
+        (otherwise some sub-accelerators would necessarily idle, Section III).
+    num_sub_accelerators:
+        Number of cores in the target platform, used only for the validity
+        check above.
+    shuffle:
+        If true, jobs are shuffled before slicing so each group mixes models,
+        mimicking an interleaved multi-tenant queue.
+    rng:
+        Seed or generator for the shuffle.
+    drop_incomplete:
+        If true, a trailing group smaller than ``group_size`` is dropped;
+        otherwise it is kept as a smaller final group.
+    """
+    if group_size <= 0:
+        raise WorkloadError(f"group_size must be positive, got {group_size}")
+    if num_sub_accelerators <= 0:
+        raise WorkloadError(f"num_sub_accelerators must be positive, got {num_sub_accelerators}")
+    if group_size < num_sub_accelerators:
+        raise WorkloadError(
+            f"group_size ({group_size}) must be >= number of sub-accelerators "
+            f"({num_sub_accelerators}) so no core is forced to idle"
+        )
+    if len(batch) == 0:
+        return []
+
+    jobs = list(batch.jobs)
+    if shuffle:
+        generator = ensure_rng(rng)
+        order = generator.permutation(len(jobs))
+        jobs = [jobs[i] for i in order]
+
+    groups: List[JobGroup] = []
+    for group_id, start in enumerate(range(0, len(jobs), group_size)):
+        chunk = jobs[start:start + group_size]
+        if len(chunk) < group_size and drop_incomplete:
+            break
+        if len(chunk) < num_sub_accelerators:
+            # A trailing fragment smaller than the core count cannot keep all
+            # cores busy; merge it into the previous group when possible.
+            if groups:
+                merged = list(groups[-1].jobs) + chunk
+                groups[-1] = JobGroup(group_id=groups[-1].group_id, jobs=tuple(merged))
+                break
+        groups.append(JobGroup(group_id=group_id, jobs=tuple(chunk)))
+    return groups
+
+
+def interleave_batches(batches: Sequence[JobBatch]) -> JobBatch:
+    """Round-robin interleave several model batches into one multi-tenant queue.
+
+    This mirrors how a data-center queue receives jobs from several tenants at
+    once: consecutive queue positions come from different models, so any
+    contiguous group is automatically a mix of tenants.
+    """
+    if not batches:
+        return JobBatch([])
+    iterators = [iter(b.jobs) for b in batches]
+    interleaved: List[Job] = []
+    active = list(range(len(iterators)))
+    while active:
+        still_active = []
+        for idx in active:
+            try:
+                interleaved.append(next(iterators[idx]))
+                still_active.append(idx)
+            except StopIteration:
+                pass
+        active = still_active
+    return JobBatch(
+        Job(job_id=i, layer=job.layer, model_name=job.model_name, task_type=job.task_type)
+        for i, job in enumerate(interleaved)
+    )

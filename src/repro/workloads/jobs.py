@@ -1,0 +1,134 @@
+"""Jobs and job batches.
+
+Following Section III of the paper, a *job* is one mini-batch of one layer of
+one model in the multi-tenant system: a set of activations plus the layer's
+weights.  Jobs are the unit the mapper assigns to sub-accelerators and
+orders.  A :class:`JobBatch` is the pool of queued jobs the host control
+program later partitions into dependency-free groups.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.exceptions import WorkloadError
+from repro.workloads.layers import LayerShape
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit of work: a mini-batch of a single DNN layer.
+
+    Attributes
+    ----------
+    job_id:
+        Unique integer identifier within a workload.
+    layer:
+        Shape of the layer (already carries the mini-batch size ``n``).
+    model_name:
+        Name of the model the layer belongs to (for reporting and heuristics).
+    task_type:
+        Task family string, e.g. ``"vision"``; used by the warm-start engine
+        to recognise similar workloads.
+    """
+
+    job_id: int
+    layer: LayerShape
+    model_name: str = ""
+    task_type: str = ""
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise WorkloadError(f"job_id must be non-negative, got {self.job_id}")
+
+    @property
+    def flops(self) -> int:
+        """Floating point operations performed by this job."""
+        return self.layer.flops
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of this job."""
+        return self.layer.macs
+
+    def describe(self) -> str:
+        """Human-readable one-line description."""
+        return f"job{self.job_id}({self.model_name or 'unknown'}:{self.layer.describe()})"
+
+
+class JobBatch:
+    """An ordered pool of jobs queued at the host.
+
+    The batch is what the host-side control program sees before it divides the
+    queue into dependency-free groups (Section III, "Group").  It behaves like
+    a read-only sequence of :class:`Job`.
+    """
+
+    def __init__(self, jobs: Iterable[Job]):
+        self._jobs: List[Job] = list(jobs)
+        seen_ids = set()
+        for job in self._jobs:
+            if job.job_id in seen_ids:
+                raise WorkloadError(f"duplicate job_id {job.job_id} in JobBatch")
+            seen_ids.add(job.job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __iter__(self) -> Iterator[Job]:
+        return iter(self._jobs)
+
+    def __getitem__(self, index: int) -> Job:
+        return self._jobs[index]
+
+    @property
+    def jobs(self) -> Sequence[Job]:
+        """The jobs in queue order."""
+        return tuple(self._jobs)
+
+    @property
+    def total_flops(self) -> int:
+        """Aggregate FLOPs across all queued jobs."""
+        return sum(job.flops for job in self._jobs)
+
+    @property
+    def model_names(self) -> List[str]:
+        """Distinct model names present in the batch, in first-seen order."""
+        names: List[str] = []
+        for job in self._jobs:
+            if job.model_name not in names:
+                names.append(job.model_name)
+        return names
+
+    @property
+    def task_types(self) -> List[str]:
+        """Distinct task types present in the batch, in first-seen order."""
+        types: List[str] = []
+        for job in self._jobs:
+            if job.task_type not in types:
+                types.append(job.task_type)
+        return types
+
+    @staticmethod
+    def from_layers(
+        layers: Iterable[LayerShape],
+        model_name: str = "",
+        task_type: str = "",
+        start_id: int = 0,
+    ) -> "JobBatch":
+        """Build a batch with one job per layer, ids assigned sequentially."""
+        counter = itertools.count(start_id)
+        return JobBatch(
+            Job(job_id=next(counter), layer=layer, model_name=model_name, task_type=task_type)
+            for layer in layers
+        )
+
+    def concatenate(self, other: "JobBatch") -> "JobBatch":
+        """Concatenate two batches, re-assigning ids to stay unique."""
+        combined = list(self._jobs) + list(other._jobs)
+        return JobBatch(
+            Job(job_id=i, layer=job.layer, model_name=job.model_name, task_type=job.task_type)
+            for i, job in enumerate(combined)
+        )

@@ -1,0 +1,252 @@
+"""Layer intermediate representation (IR) used by the workload substrate.
+
+The mapper never executes a DNN; it only needs, for every layer, the tensor
+shapes that determine compute (MACs) and data movement (weight / input /
+output bytes).  This module defines a single :class:`LayerShape` dataclass
+that covers the layer families the paper considers (Section II-A):
+
+* convolution layers (regular 2D, depth-wise, point-wise) used by vision
+  models,
+* fully-connected / GEMM layers used by MLPs and attention projections,
+* attention layers, which the paper models "as several FCs",
+* embedding-lookup layers used by recommendation and language models (the
+  paper assumes the gather itself stays on the host; the projection that
+  follows is what lands on the accelerator).
+
+All convenience constructors normalise their inputs into the seven classic
+convolution dimensions ``(N, K, C, Y, X, R, S)`` so the cost model can treat
+every layer uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.exceptions import WorkloadError
+
+
+class LayerType(enum.Enum):
+    """Enumeration of the layer families supported by the cost model."""
+
+    CONV2D = "conv2d"
+    DEPTHWISE_CONV2D = "depthwise_conv2d"
+    POINTWISE_CONV2D = "pointwise_conv2d"
+    FULLY_CONNECTED = "fully_connected"
+    ATTENTION = "attention"
+    EMBEDDING = "embedding"
+
+    @property
+    def is_convolutional(self) -> bool:
+        """Whether the layer has spatial structure (kernel window > 1x1 possible)."""
+        return self in (LayerType.CONV2D, LayerType.DEPTHWISE_CONV2D, LayerType.POINTWISE_CONV2D)
+
+
+@dataclass(frozen=True)
+class LayerShape:
+    """Shape of a single DNN layer in the canonical 7-loop convolution form.
+
+    Attributes
+    ----------
+    layer_type:
+        The family of the layer; affects reuse behaviour in the cost model.
+    n:
+        Mini-batch size (number of activations in the job).
+    k:
+        Number of output channels (or output features for FC layers).
+    c:
+        Number of input channels (or input features for FC layers).
+    y, x:
+        Output spatial height and width.  FC-like layers use ``y = x = 1``.
+    r, s:
+        Kernel height and width.  FC-like layers use ``r = s = 1``.
+    stride:
+        Convolution stride (used only to document the original shape; the
+        output dimensions y/x are already post-stride).
+    name:
+        Optional human-readable layer name, e.g. ``"resnet50.conv3_2"``.
+    """
+
+    layer_type: LayerType
+    n: int
+    k: int
+    c: int
+    y: int
+    x: int
+    r: int
+    s: int
+    stride: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        for dim_name in ("n", "k", "c", "y", "x", "r", "s", "stride"):
+            value = getattr(self, dim_name)
+            if not isinstance(value, int):
+                raise WorkloadError(f"layer dimension {dim_name!r} must be an int, got {type(value).__name__}")
+            if value <= 0:
+                raise WorkloadError(f"layer dimension {dim_name!r} must be positive, got {value}")
+        if self.layer_type is LayerType.DEPTHWISE_CONV2D and self.k != self.c:
+            raise WorkloadError(
+                "depth-wise convolutions require k == c "
+                f"(got k={self.k}, c={self.c}); each channel is filtered independently"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities consumed by the cost model.
+    # ------------------------------------------------------------------
+    @property
+    def macs(self) -> int:
+        """Number of multiply-accumulate operations in the layer."""
+        if self.layer_type is LayerType.DEPTHWISE_CONV2D:
+            # Each output channel only consumes its own input channel.
+            return self.n * self.k * self.y * self.x * self.r * self.s
+        if self.layer_type is LayerType.EMBEDDING:
+            # Embedding lookups are gathers: one "MAC-equivalent" per fetched
+            # element keeps the accounting non-zero while reflecting that they
+            # are data-movement, not compute, dominated.
+            return self.n * self.k
+        return self.n * self.k * self.c * self.y * self.x * self.r * self.s
+
+    @property
+    def flops(self) -> int:
+        """Floating point operations (2x MACs by convention)."""
+        return 2 * self.macs
+
+    @property
+    def weight_elements(self) -> int:
+        """Number of weight parameters touched by the layer."""
+        if self.layer_type is LayerType.DEPTHWISE_CONV2D:
+            return self.k * self.r * self.s
+        if self.layer_type is LayerType.EMBEDDING:
+            # Only the gathered rows are fetched, not the full table.
+            return self.n * self.k
+        return self.k * self.c * self.r * self.s
+
+    @property
+    def input_elements(self) -> int:
+        """Number of input activation elements (post-im2col footprint)."""
+        if self.layer_type is LayerType.EMBEDDING:
+            return self.n * self.c
+        input_y = (self.y - 1) * self.stride + self.r
+        input_x = (self.x - 1) * self.stride + self.s
+        return self.n * self.c * input_y * input_x
+
+    @property
+    def output_elements(self) -> int:
+        """Number of output activation elements."""
+        return self.n * self.k * self.y * self.x
+
+    @property
+    def total_elements(self) -> int:
+        """Total tensor footprint (weights + inputs + outputs)."""
+        return self.weight_elements + self.input_elements + self.output_elements
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """MACs per element moved — a proxy for compute- vs memory-boundedness."""
+        return self.macs / max(1, self.total_elements)
+
+    # ------------------------------------------------------------------
+    # Convenience transforms.
+    # ------------------------------------------------------------------
+    def with_batch(self, n: int) -> "LayerShape":
+        """Return a copy of this layer with mini-batch size *n*."""
+        return replace(self, n=n)
+
+    def scaled_spatial(self, factor: int) -> "LayerShape":
+        """Return a copy with spatial output dimensions divided by *factor*.
+
+        Useful for building reduced-resolution variants of vision models in
+        tests without re-declaring every layer.
+        """
+        if factor <= 0:
+            raise WorkloadError(f"factor must be positive, got {factor}")
+        return replace(self, y=max(1, self.y // factor), x=max(1, self.x // factor))
+
+    def describe(self) -> str:
+        """One-line description used in logs and schedule visualisations."""
+        return (
+            f"{self.name or self.layer_type.value}"
+            f"[N{self.n} K{self.k} C{self.c} Y{self.y} X{self.x} R{self.r} S{self.s}]"
+        )
+
+
+# ----------------------------------------------------------------------
+# Constructors for the supported layer families.
+# ----------------------------------------------------------------------
+def conv2d(
+    n: int,
+    k: int,
+    c: int,
+    y: int,
+    x: int,
+    r: int,
+    s: int,
+    stride: int = 1,
+    name: str = "",
+) -> LayerShape:
+    """Build a regular 2D convolution layer shape."""
+    return LayerShape(LayerType.CONV2D, n=n, k=k, c=c, y=y, x=x, r=r, s=s, stride=stride, name=name)
+
+
+def depthwise_conv2d(n: int, c: int, y: int, x: int, r: int, s: int, stride: int = 1, name: str = "") -> LayerShape:
+    """Build a depth-wise convolution (one filter per channel)."""
+    return LayerShape(LayerType.DEPTHWISE_CONV2D, n=n, k=c, c=c, y=y, x=x, r=r, s=s, stride=stride, name=name)
+
+
+def pointwise_conv2d(n: int, k: int, c: int, y: int, x: int, name: str = "") -> LayerShape:
+    """Build a 1x1 (point-wise) convolution."""
+    return LayerShape(LayerType.POINTWISE_CONV2D, n=n, k=k, c=c, y=y, x=x, r=1, s=1, stride=1, name=name)
+
+
+def fully_connected(n: int, out_features: int, in_features: int, name: str = "") -> LayerShape:
+    """Build a fully-connected / GEMM layer: ``[n, in] @ [in, out]``."""
+    return LayerShape(
+        LayerType.FULLY_CONNECTED,
+        n=n,
+        k=out_features,
+        c=in_features,
+        y=1,
+        x=1,
+        r=1,
+        s=1,
+        name=name,
+    )
+
+
+def attention(n: int, sequence_length: int, hidden_dim: int, num_heads: int = 1, name: str = "") -> LayerShape:
+    """Model an attention score+context computation as a GEMM-shaped layer.
+
+    Following the paper (Section II-A), attention is modelled "as several FCs".
+    The quadratic sequence-length cost appears through the ``k`` dimension:
+    each of the ``n * sequence_length`` query rows attends over
+    ``sequence_length`` keys of width ``hidden_dim``.
+    """
+    if num_heads <= 0:
+        raise WorkloadError(f"num_heads must be positive, got {num_heads}")
+    return LayerShape(
+        LayerType.ATTENTION,
+        n=n * sequence_length,
+        k=sequence_length,
+        c=hidden_dim,
+        y=1,
+        x=1,
+        r=1,
+        s=1,
+        name=name,
+    )
+
+
+def embedding_lookup(n: int, num_lookups: int, embedding_dim: int, name: str = "") -> LayerShape:
+    """Model an embedding gather-and-reduce as a bandwidth-dominated layer."""
+    return LayerShape(
+        LayerType.EMBEDDING,
+        n=n * num_lookups,
+        k=embedding_dim,
+        c=embedding_dim,
+        y=1,
+        x=1,
+        r=1,
+        s=1,
+        name=name,
+    )

@@ -1,0 +1,25 @@
+"""Model zoo: layer-shape definitions for the DNNs named in the paper.
+
+The registry exposes every model through :func:`get_model`, which returns the
+list of :class:`~repro.workloads.layers.LayerShape` objects for a given
+mini-batch size.  Models are grouped by task type (vision, language,
+recommendation), matching Section VI-A1 of the paper.
+"""
+
+from repro.workloads.models.registry import (
+    ModelFamily,
+    ModelSpec,
+    MODEL_REGISTRY,
+    get_model,
+    list_models,
+    models_for_family,
+)
+
+__all__ = [
+    "ModelFamily",
+    "ModelSpec",
+    "MODEL_REGISTRY",
+    "get_model",
+    "list_models",
+    "models_for_family",
+]

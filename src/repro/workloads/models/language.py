@@ -1,0 +1,118 @@
+"""Language model zoo.
+
+Language models (GPT-2, MobileBERT, Transformer-XL, BERT, XLNet, T5-small)
+are dominated by attention and MLP (fully-connected) layers.  Following the
+paper (Section II-A), attention score/context computations are modelled as
+GEMM-shaped layers whose cost grows quadratically with sequence length, and
+the query/key/value/output projections plus feed-forward blocks are plain
+fully-connected layers.  Embedding lookups are assumed to stay on the host
+CPU, so they are not emitted here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.layers import LayerShape, attention, fully_connected
+
+
+def _transformer_block(
+    n: int,
+    prefix: str,
+    seq_len: int,
+    hidden: int,
+    ffn_dim: int,
+    num_heads: int,
+) -> List[LayerShape]:
+    """One standard transformer encoder/decoder block.
+
+    Emits the four attention projections, the attention score/context GEMMs,
+    and the two feed-forward layers.  Projections operate on ``n * seq_len``
+    token rows.
+    """
+    tokens = n * seq_len
+    return [
+        fully_connected(tokens, hidden, hidden, name=f"{prefix}.q_proj"),
+        fully_connected(tokens, hidden, hidden, name=f"{prefix}.k_proj"),
+        fully_connected(tokens, hidden, hidden, name=f"{prefix}.v_proj"),
+        attention(n, seq_len, hidden, num_heads=num_heads, name=f"{prefix}.attention"),
+        fully_connected(tokens, hidden, hidden, name=f"{prefix}.out_proj"),
+        fully_connected(tokens, ffn_dim, hidden, name=f"{prefix}.ffn_up"),
+        fully_connected(tokens, hidden, ffn_dim, name=f"{prefix}.ffn_down"),
+    ]
+
+
+def gpt2(n: int = 1, seq_len: int = 64) -> List[LayerShape]:
+    """GPT-2 small (Radford et al., 2019): 12 layers, hidden 768, 12 heads.
+
+    The default sequence length models one decoding mini-batch slice; jobs in
+    the batched-inference benchmark are intentionally modest-sized (hundreds
+    of microseconds of compute), matching the per-job profile of Fig. 7.
+    """
+    layers: List[LayerShape] = []
+    for i in range(12):
+        layers.extend(_transformer_block(n, f"gpt2.layer{i + 1}", seq_len, 768, 3072, 12))
+    layers.append(fully_connected(n * seq_len, 768, 768, name="gpt2.final_proj"))
+    return layers
+
+
+def mobilebert(n: int = 1, seq_len: int = 64) -> List[LayerShape]:
+    """MobileBERT: 24 thin layers with bottleneck hidden size 128/512."""
+    layers: List[LayerShape] = []
+    for i in range(24):
+        prefix = f"mobilebert.layer{i + 1}"
+        tokens = n * seq_len
+        layers.extend(
+            [
+                fully_connected(tokens, 128, 512, name=f"{prefix}.bottleneck_in"),
+                fully_connected(tokens, 128, 128, name=f"{prefix}.q_proj"),
+                fully_connected(tokens, 128, 128, name=f"{prefix}.k_proj"),
+                fully_connected(tokens, 128, 128, name=f"{prefix}.v_proj"),
+                attention(n, seq_len, 128, num_heads=4, name=f"{prefix}.attention"),
+                fully_connected(tokens, 512, 128, name=f"{prefix}.ffn_up"),
+                fully_connected(tokens, 128, 512, name=f"{prefix}.ffn_down"),
+                fully_connected(tokens, 512, 128, name=f"{prefix}.bottleneck_out"),
+            ]
+        )
+    return layers
+
+
+def transformer_xl(n: int = 1, seq_len: int = 128) -> List[LayerShape]:
+    """Transformer-XL base (Dai et al., 2019): 12 layers, hidden 512."""
+    layers: List[LayerShape] = []
+    for i in range(12):
+        layers.extend(_transformer_block(n, f"transformerxl.layer{i + 1}", seq_len, 512, 2048, 8))
+    return layers
+
+
+def bert_base(n: int = 1, seq_len: int = 64) -> List[LayerShape]:
+    """BERT base (Devlin et al., 2018): 12 layers, hidden 768."""
+    layers: List[LayerShape] = []
+    for i in range(12):
+        layers.extend(_transformer_block(n, f"bert.layer{i + 1}", seq_len, 768, 3072, 12))
+    layers.append(fully_connected(n, 768, 768, name="bert.pooler"))
+    return layers
+
+
+def xlnet(n: int = 1, seq_len: int = 64) -> List[LayerShape]:
+    """XLNet base (Yang et al., 2019): two-stream attention approximated as 1.5x blocks."""
+    layers: List[LayerShape] = []
+    for i in range(12):
+        prefix = f"xlnet.layer{i + 1}"
+        layers.extend(_transformer_block(n, prefix, seq_len, 768, 3072, 12))
+        # The second (query) attention stream adds one extra attention GEMM.
+        layers.append(attention(n, seq_len, 768, num_heads=12, name=f"{prefix}.query_stream"))
+    return layers
+
+
+def t5_small(n: int = 1, seq_len: int = 64) -> List[LayerShape]:
+    """T5-small (Raffel et al., 2019): 6 encoder + 6 decoder layers, hidden 512."""
+    layers: List[LayerShape] = []
+    for i in range(6):
+        layers.extend(_transformer_block(n, f"t5.encoder{i + 1}", seq_len, 512, 2048, 8))
+    for i in range(6):
+        prefix = f"t5.decoder{i + 1}"
+        layers.extend(_transformer_block(n, prefix, seq_len, 512, 2048, 8))
+        # Cross-attention over the encoder output.
+        layers.append(attention(n, seq_len, 512, num_heads=8, name=f"{prefix}.cross_attention"))
+    return layers

@@ -1,0 +1,79 @@
+"""Recommendation model zoo.
+
+Recommendation models (DLRM, Wide&Deep, NCF, DIN, DIEN) are dominated by MLP
+stacks operating on small per-request feature vectors, plus embedding
+lookups.  The paper keeps the embedding *gathers* on the host CPU
+(Section II-A); the dense interaction and MLP layers are the jobs that reach
+the accelerator, and they are the most bandwidth-hungry jobs in the benchmark
+because their tiny compute gives almost no weight reuse.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.workloads.layers import LayerShape, fully_connected
+
+
+def _mlp_stack(n: int, prefix: str, dims: Sequence[int]) -> List[LayerShape]:
+    """Build a chain of FC layers with the given feature dimensions."""
+    layers: List[LayerShape] = []
+    for i in range(len(dims) - 1):
+        layers.append(fully_connected(n, dims[i + 1], dims[i], name=f"{prefix}.fc{i + 1}"))
+    return layers
+
+
+def dlrm(n: int = 1) -> List[LayerShape]:
+    """DLRM (Naumov et al., 2019) with the open-source reference MLP sizes."""
+    layers: List[LayerShape] = []
+    layers.extend(_mlp_stack(n, "dlrm.bottom", [13, 512, 256, 64]))
+    # Feature interaction output (pairwise dot products of 26 sparse + 1 dense
+    # embedding of dim 64) concatenated with the dense vector.
+    interaction_dim = 27 * 26 // 2 + 64
+    layers.extend(_mlp_stack(n, "dlrm.top", [interaction_dim, 512, 256, 1]))
+    return layers
+
+
+def wide_and_deep(n: int = 1) -> List[LayerShape]:
+    """Wide & Deep (Cheng et al., 2016)."""
+    layers: List[LayerShape] = []
+    layers.extend(_mlp_stack(n, "widedeep.deep", [1024, 1024, 512, 256, 1]))
+    layers.append(fully_connected(n, 1, 1024, name="widedeep.wide"))
+    return layers
+
+
+def ncf(n: int = 1) -> List[LayerShape]:
+    """Neural Collaborative Filtering (He et al., 2017)."""
+    layers: List[LayerShape] = []
+    layers.extend(_mlp_stack(n, "ncf.mlp", [128, 256, 128, 64, 32]))
+    layers.append(fully_connected(n, 1, 32 + 64, name="ncf.predict"))
+    return layers
+
+
+def din(n: int = 1) -> List[LayerShape]:
+    """Deep Interest Network (Zhou et al., 2018)."""
+    layers: List[LayerShape] = []
+    # Attention scoring over a behaviour history of 64 items, embedding 64.
+    layers.extend(_mlp_stack(n * 64, "din.attention", [256, 80, 40, 1]))
+    layers.extend(_mlp_stack(n, "din.mlp", [512, 200, 80, 2]))
+    return layers
+
+
+def dien(n: int = 1) -> List[LayerShape]:
+    """Deep Interest Evolution Network (Zhou et al., 2019).
+
+    The GRU-based interest extractor is modelled as per-step FC layers over a
+    history of 64 items (each GRU step is three gate GEMMs).
+    """
+    layers: List[LayerShape] = []
+    history = 64
+    hidden = 128
+    for step_group in range(4):
+        # Group the 64 GRU steps into 4 jobs of 16 steps each to keep the job
+        # count manageable while preserving total compute and traffic.
+        layers.append(
+            fully_connected(n * 16, 3 * hidden, hidden + hidden, name=f"dien.gru_group{step_group + 1}")
+        )
+    layers.extend(_mlp_stack(n * history, "dien.attention", [2 * hidden, 80, 40, 1]))
+    layers.extend(_mlp_stack(n, "dien.mlp", [512, 200, 80, 2]))
+    return layers

@@ -1,0 +1,227 @@
+"""Vision model zoo.
+
+Each builder returns the layer shapes of one vision DNN for a given
+mini-batch size.  The architectures follow the published model definitions
+(ResNet-50, MobileNetV2, ShuffleNet, VGG-16, SqueezeNet, Inception-v4-style,
+MnasNet) at the granularity the mapper needs: convolution and fully-connected
+layer shapes.  Repeated blocks are generated programmatically; layer names
+encode the stage they come from so schedules remain interpretable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.layers import (
+    LayerShape,
+    conv2d,
+    depthwise_conv2d,
+    fully_connected,
+    pointwise_conv2d,
+)
+
+
+def _bottleneck(n: int, prefix: str, in_ch: int, mid_ch: int, out_ch: int, size: int, stride: int) -> List[LayerShape]:
+    """ResNet bottleneck block: 1x1 reduce, 3x3 conv, 1x1 expand."""
+    out_size = size // stride
+    return [
+        pointwise_conv2d(n, mid_ch, in_ch, size, size, name=f"{prefix}.reduce"),
+        conv2d(n, mid_ch, mid_ch, out_size, out_size, 3, 3, stride=stride, name=f"{prefix}.conv3x3"),
+        pointwise_conv2d(n, out_ch, mid_ch, out_size, out_size, name=f"{prefix}.expand"),
+    ]
+
+
+def resnet50(n: int = 1) -> List[LayerShape]:
+    """ResNet-50 (He et al., 2016)."""
+    layers: List[LayerShape] = [conv2d(n, 64, 3, 112, 112, 7, 7, stride=2, name="resnet50.conv1")]
+    stage_specs = [
+        ("conv2", 64, 64, 256, 56, 3),
+        ("conv3", 256, 128, 512, 28, 4),
+        ("conv4", 512, 256, 1024, 14, 6),
+        ("conv5", 1024, 512, 2048, 7, 3),
+    ]
+    for stage, in_ch, mid_ch, out_ch, out_size, blocks in stage_specs:
+        for block in range(blocks):
+            stride = 2 if block == 0 and stage != "conv2" else 1
+            block_in = in_ch if block == 0 else out_ch
+            in_size = out_size * stride
+            layers.extend(
+                _bottleneck(n, f"resnet50.{stage}_{block + 1}", block_in, mid_ch, out_ch, in_size, stride)
+            )
+    layers.append(fully_connected(n, 1000, 2048, name="resnet50.fc"))
+    return layers
+
+
+def _inverted_residual(
+    n: int, prefix: str, in_ch: int, out_ch: int, size: int, stride: int, expand: int
+) -> List[LayerShape]:
+    """MobileNetV2 inverted residual: 1x1 expand, 3x3 depthwise, 1x1 project."""
+    mid_ch = in_ch * expand
+    out_size = size // stride
+    block: List[LayerShape] = []
+    if expand != 1:
+        block.append(pointwise_conv2d(n, mid_ch, in_ch, size, size, name=f"{prefix}.expand"))
+    block.append(depthwise_conv2d(n, mid_ch, out_size, out_size, 3, 3, stride=stride, name=f"{prefix}.dw"))
+    block.append(pointwise_conv2d(n, out_ch, mid_ch, out_size, out_size, name=f"{prefix}.project"))
+    return block
+
+
+def mobilenet_v2(n: int = 1) -> List[LayerShape]:
+    """MobileNetV2 (Sandler et al., 2018)."""
+    layers: List[LayerShape] = [conv2d(n, 32, 3, 112, 112, 3, 3, stride=2, name="mobilenetv2.conv1")]
+    # (expansion, out_channels, repeats, stride, input_size)
+    config = [
+        (1, 16, 1, 1, 112),
+        (6, 24, 2, 2, 112),
+        (6, 32, 3, 2, 56),
+        (6, 64, 4, 2, 28),
+        (6, 96, 3, 1, 14),
+        (6, 160, 3, 2, 14),
+        (6, 320, 1, 1, 7),
+    ]
+    in_ch = 32
+    for stage, (expand, out_ch, repeats, stride, size) in enumerate(config, start=1):
+        for rep in range(repeats):
+            block_stride = stride if rep == 0 else 1
+            block_size = size if rep == 0 else size // stride
+            layers.extend(
+                _inverted_residual(
+                    n, f"mobilenetv2.block{stage}_{rep + 1}", in_ch, out_ch, block_size, block_stride, expand
+                )
+            )
+            in_ch = out_ch
+    layers.append(pointwise_conv2d(n, 1280, 320, 7, 7, name="mobilenetv2.conv_last"))
+    layers.append(fully_connected(n, 1000, 1280, name="mobilenetv2.fc"))
+    return layers
+
+
+def shufflenet(n: int = 1) -> List[LayerShape]:
+    """ShuffleNet-style network (Zhang et al., 2018), 1x group approximation."""
+    layers: List[LayerShape] = [conv2d(n, 24, 3, 112, 112, 3, 3, stride=2, name="shufflenet.conv1")]
+    # (out_channels, repeats, input_size)
+    config = [(144, 4, 28), (288, 8, 14), (576, 4, 7)]
+    in_ch = 24
+    for stage, (out_ch, repeats, size) in enumerate(config, start=2):
+        for rep in range(repeats):
+            prefix = f"shufflenet.stage{stage}_{rep + 1}"
+            stride = 2 if rep == 0 else 1
+            block_size = size * stride if rep == 0 else size
+            mid_ch = out_ch // 4
+            layers.append(pointwise_conv2d(n, mid_ch, in_ch, block_size, block_size, name=f"{prefix}.gconv1"))
+            layers.append(
+                depthwise_conv2d(n, mid_ch, block_size // stride, block_size // stride, 3, 3, stride=stride,
+                                 name=f"{prefix}.dw")
+            )
+            layers.append(pointwise_conv2d(n, out_ch, mid_ch, block_size // stride, block_size // stride,
+                                           name=f"{prefix}.gconv2"))
+            in_ch = out_ch
+    layers.append(fully_connected(n, 1000, 576, name="shufflenet.fc"))
+    return layers
+
+
+def vgg16(n: int = 1) -> List[LayerShape]:
+    """VGG-16 (Simonyan & Zisserman, 2014)."""
+    layers: List[LayerShape] = []
+    config = [
+        (64, 2, 224),
+        (128, 2, 112),
+        (256, 3, 56),
+        (512, 3, 28),
+        (512, 3, 14),
+    ]
+    in_ch = 3
+    for stage, (out_ch, repeats, size) in enumerate(config, start=1):
+        for rep in range(repeats):
+            layers.append(conv2d(n, out_ch, in_ch, size, size, 3, 3, name=f"vgg16.conv{stage}_{rep + 1}"))
+            in_ch = out_ch
+    layers.append(fully_connected(n, 4096, 512 * 7 * 7, name="vgg16.fc6"))
+    layers.append(fully_connected(n, 4096, 4096, name="vgg16.fc7"))
+    layers.append(fully_connected(n, 1000, 4096, name="vgg16.fc8"))
+    return layers
+
+
+def squeezenet(n: int = 1) -> List[LayerShape]:
+    """SqueezeNet (Iandola et al., 2016) with fire modules."""
+    layers: List[LayerShape] = [conv2d(n, 96, 3, 111, 111, 7, 7, stride=2, name="squeezenet.conv1")]
+    # (squeeze, expand, input_channels, size)
+    fire_config = [
+        (16, 64, 96, 55),
+        (16, 64, 128, 55),
+        (32, 128, 128, 55),
+        (32, 128, 256, 27),
+        (48, 192, 256, 27),
+        (48, 192, 384, 27),
+        (64, 256, 384, 27),
+        (64, 256, 512, 13),
+    ]
+    for idx, (squeeze, expand, in_ch, size) in enumerate(fire_config, start=2):
+        prefix = f"squeezenet.fire{idx}"
+        layers.append(pointwise_conv2d(n, squeeze, in_ch, size, size, name=f"{prefix}.squeeze"))
+        layers.append(pointwise_conv2d(n, expand, squeeze, size, size, name=f"{prefix}.expand1x1"))
+        layers.append(conv2d(n, expand, squeeze, size, size, 3, 3, name=f"{prefix}.expand3x3"))
+    layers.append(pointwise_conv2d(n, 1000, 512, 13, 13, name="squeezenet.conv10"))
+    return layers
+
+
+def inception_v4(n: int = 1) -> List[LayerShape]:
+    """Inception-v4-style network (Szegedy et al., 2017), simplified cell stack."""
+    layers: List[LayerShape] = [
+        conv2d(n, 32, 3, 149, 149, 3, 3, stride=2, name="inceptionv4.stem1"),
+        conv2d(n, 32, 32, 147, 147, 3, 3, name="inceptionv4.stem2"),
+        conv2d(n, 64, 32, 147, 147, 3, 3, name="inceptionv4.stem3"),
+        conv2d(n, 96, 64, 73, 73, 3, 3, stride=2, name="inceptionv4.stem4"),
+    ]
+    for i in range(4):
+        prefix = f"inceptionv4.blockA{i + 1}"
+        layers.append(pointwise_conv2d(n, 96, 384, 35, 35, name=f"{prefix}.b1"))
+        layers.append(pointwise_conv2d(n, 64, 384, 35, 35, name=f"{prefix}.b2_reduce"))
+        layers.append(conv2d(n, 96, 64, 35, 35, 3, 3, name=f"{prefix}.b2_conv"))
+        layers.append(conv2d(n, 96, 96, 35, 35, 3, 3, name=f"{prefix}.b3_conv"))
+    for i in range(7):
+        prefix = f"inceptionv4.blockB{i + 1}"
+        layers.append(pointwise_conv2d(n, 384, 1024, 17, 17, name=f"{prefix}.b1"))
+        layers.append(pointwise_conv2d(n, 192, 1024, 17, 17, name=f"{prefix}.b2_reduce"))
+        layers.append(conv2d(n, 224, 192, 17, 17, 1, 7, name=f"{prefix}.b2_conv1x7"))
+        layers.append(conv2d(n, 256, 224, 17, 17, 7, 1, name=f"{prefix}.b2_conv7x1"))
+    for i in range(3):
+        prefix = f"inceptionv4.blockC{i + 1}"
+        layers.append(pointwise_conv2d(n, 256, 1536, 8, 8, name=f"{prefix}.b1"))
+        layers.append(pointwise_conv2d(n, 384, 1536, 8, 8, name=f"{prefix}.b2_reduce"))
+        layers.append(conv2d(n, 256, 384, 8, 8, 1, 3, name=f"{prefix}.b2_conv1x3"))
+        layers.append(conv2d(n, 256, 384, 8, 8, 3, 1, name=f"{prefix}.b2_conv3x1"))
+    layers.append(fully_connected(n, 1000, 1536, name="inceptionv4.fc"))
+    return layers
+
+
+def mnasnet(n: int = 1) -> List[LayerShape]:
+    """MnasNet-A1-style network (Tan et al., 2019)."""
+    layers: List[LayerShape] = [conv2d(n, 32, 3, 112, 112, 3, 3, stride=2, name="mnasnet.conv1")]
+    # (expansion, out_channels, repeats, stride, kernel, input_size)
+    config = [
+        (1, 16, 1, 1, 3, 112),
+        (6, 24, 2, 2, 3, 112),
+        (3, 40, 3, 2, 5, 56),
+        (6, 80, 4, 2, 3, 28),
+        (6, 112, 2, 1, 3, 14),
+        (6, 160, 3, 2, 5, 14),
+        (6, 320, 1, 1, 3, 7),
+    ]
+    in_ch = 32
+    for stage, (expand, out_ch, repeats, stride, kernel, size) in enumerate(config, start=1):
+        for rep in range(repeats):
+            prefix = f"mnasnet.block{stage}_{rep + 1}"
+            block_stride = stride if rep == 0 else 1
+            block_size = size if rep == 0 else size // stride
+            mid_ch = in_ch * expand
+            out_size = block_size // block_stride
+            if expand != 1:
+                layers.append(pointwise_conv2d(n, mid_ch, in_ch, block_size, block_size, name=f"{prefix}.expand"))
+            layers.append(
+                depthwise_conv2d(n, mid_ch, out_size, out_size, kernel, kernel, stride=block_stride,
+                                 name=f"{prefix}.dw")
+            )
+            layers.append(pointwise_conv2d(n, out_ch, mid_ch, out_size, out_size, name=f"{prefix}.project"))
+            in_ch = out_ch
+    layers.append(pointwise_conv2d(n, 1280, 320, 7, 7, name="mnasnet.conv_last"))
+    layers.append(fully_connected(n, 1000, 1280, name="mnasnet.fc"))
+    return layers

@@ -1,0 +1,74 @@
+"""Tests for the multi-core accelerator platform."""
+
+import pytest
+
+from repro.accelerator import AcceleratorPlatform, SubAcceleratorConfig
+from repro.costmodel import DataflowStyle
+from repro.exceptions import ConfigurationError
+
+
+def _subs(count: int, rows: int = 32, dataflow=DataflowStyle.HB):
+    return tuple(
+        SubAcceleratorConfig(name=f"sub{i}", pe_rows=rows, dataflow=dataflow) for i in range(count)
+    )
+
+
+class TestValidation:
+    def test_requires_at_least_one_core(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorPlatform(name="p", sub_accelerators=(), system_bandwidth_gbps=16)
+
+    def test_requires_positive_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            AcceleratorPlatform(name="p", sub_accelerators=_subs(2), system_bandwidth_gbps=0)
+
+    def test_requires_unique_core_names(self):
+        duplicated = (_subs(1)[0], _subs(1)[0])
+        with pytest.raises(ConfigurationError):
+            AcceleratorPlatform(name="p", sub_accelerators=duplicated, system_bandwidth_gbps=16)
+
+
+class TestProperties:
+    def test_len_iteration_indexing(self):
+        platform = AcceleratorPlatform("p", _subs(4), 16)
+        assert len(platform) == 4
+        assert platform[2].name == "sub2"
+        assert [sub.name for sub in platform] == ["sub0", "sub1", "sub2", "sub3"]
+
+    def test_total_pes_and_peak(self):
+        platform = AcceleratorPlatform("p", _subs(4), 16)
+        assert platform.total_pes == 4 * 2048
+        assert platform.peak_gflops == pytest.approx(4 * 819.2)
+
+    def test_homogeneity_detection(self):
+        homogeneous = AcceleratorPlatform("p", _subs(3), 16)
+        mixed = AcceleratorPlatform(
+            "q", _subs(2) + (SubAcceleratorConfig(name="lb", pe_rows=32, dataflow=DataflowStyle.LB),), 16
+        )
+        assert homogeneous.is_homogeneous
+        assert not mixed.is_homogeneous
+
+    def test_index_of(self):
+        platform = AcceleratorPlatform("p", _subs(3), 16)
+        assert platform.index_of("sub1") == 1
+        with pytest.raises(ConfigurationError):
+            platform.index_of("missing")
+
+    def test_describe_lists_all_cores(self):
+        platform = AcceleratorPlatform("p", _subs(3), 16)
+        assert platform.describe().count("sub") >= 3
+
+
+class TestTransforms:
+    def test_with_bandwidth_returns_new_platform(self):
+        platform = AcceleratorPlatform("p", _subs(2), 16)
+        slower = platform.with_bandwidth(1.0)
+        assert slower.system_bandwidth_gbps == 1.0
+        assert platform.system_bandwidth_gbps == 16.0
+
+    def test_with_flexible_arrays(self):
+        platform = AcceleratorPlatform("p", _subs(2), 16)
+        flexible = platform.with_flexible_arrays(True)
+        assert all(sub.flexible for sub in flexible)
+        assert not any(sub.flexible for sub in platform)
+        assert flexible.name.endswith("-flex")

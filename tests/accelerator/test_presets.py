@@ -1,0 +1,84 @@
+"""Tests for the Table III preset accelerator settings."""
+
+import pytest
+
+from repro.accelerator import ACCELERATOR_SETTINGS, build_setting, list_settings
+from repro.costmodel import DataflowStyle
+from repro.exceptions import ConfigurationError
+
+
+class TestRegistry:
+    def test_all_six_settings_registered(self):
+        assert list_settings() == ["S1", "S2", "S3", "S4", "S5", "S6"]
+
+    def test_build_setting_case_insensitive(self):
+        assert build_setting("s3").name == "S3"
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_setting("S9")
+
+    def test_bandwidth_override(self):
+        assert build_setting("S1", 4.0).system_bandwidth_gbps == 4.0
+
+
+class TestTableIIIStructure:
+    """Each preset matches the row of Table III in the paper."""
+
+    def test_s1_small_homogeneous(self):
+        platform = build_setting("S1")
+        assert platform.num_sub_accelerators == 4
+        assert platform.is_homogeneous
+        assert all(sub.pe_rows == 32 and sub.dataflow is DataflowStyle.HB for sub in platform)
+        assert all(sub.sg_kilobytes == 146 for sub in platform)
+
+    def test_s2_small_heterogeneous(self):
+        platform = build_setting("S2")
+        assert platform.num_sub_accelerators == 4
+        styles = [sub.dataflow for sub in platform]
+        assert styles.count(DataflowStyle.HB) == 3
+        assert styles.count(DataflowStyle.LB) == 1
+        lb = [sub for sub in platform if sub.dataflow is DataflowStyle.LB][0]
+        assert lb.sg_kilobytes == 110
+
+    def test_s3_large_homogeneous(self):
+        platform = build_setting("S3")
+        assert platform.num_sub_accelerators == 8
+        assert platform.is_homogeneous
+        assert all(sub.pe_rows == 128 and sub.sg_kilobytes == 580 for sub in platform)
+
+    def test_s4_large_heterogeneous(self):
+        platform = build_setting("S4")
+        styles = [sub.dataflow for sub in platform]
+        assert styles.count(DataflowStyle.HB) == 7
+        assert styles.count(DataflowStyle.LB) == 1
+
+    def test_s5_big_little(self):
+        platform = build_setting("S5")
+        assert platform.num_sub_accelerators == 8
+        rows = sorted(sub.pe_rows for sub in platform)
+        assert rows == [64, 64, 64, 64, 128, 128, 128, 128]
+        assert sum(1 for sub in platform if sub.dataflow is DataflowStyle.LB) == 2
+
+    def test_s6_scale_up_has_sixteen_cores(self):
+        platform = build_setting("S6")
+        assert platform.num_sub_accelerators == 16
+        rows = [sub.pe_rows for sub in platform]
+        assert rows.count(128) == 8 and rows.count(64) == 8
+
+    def test_all_settings_use_64_wide_arrays(self):
+        for name in list_settings():
+            platform = build_setting(name)
+            assert all(sub.pe_cols == 64 for sub in platform), name
+
+    def test_default_bandwidths_by_class(self):
+        assert build_setting("S1").system_bandwidth_gbps == 16.0
+        assert build_setting("S2").system_bandwidth_gbps == 16.0
+        for large in ("S3", "S4", "S5", "S6"):
+            assert build_setting(large).system_bandwidth_gbps == 256.0
+
+    def test_core_names_unique_within_setting(self):
+        for name in list_settings():
+            platform = build_setting(name)
+            names = [sub.name for sub in platform]
+            assert len(names) == len(set(names)), name

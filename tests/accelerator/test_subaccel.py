@@ -1,0 +1,66 @@
+"""Tests for the sub-accelerator configuration."""
+
+import pytest
+
+from repro.accelerator import SubAcceleratorConfig
+from repro.costmodel import AnalyticalCostModel, DataflowStyle, FlexibleArrayCostModel
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            SubAcceleratorConfig(name="", pe_rows=32)
+
+    def test_requires_positive_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            SubAcceleratorConfig(name="x", pe_rows=0)
+
+    def test_requires_positive_buffers(self):
+        with pytest.raises(ConfigurationError):
+            SubAcceleratorConfig(name="x", pe_rows=32, sg_kilobytes=0)
+
+    def test_string_dataflow_is_coerced(self):
+        config = SubAcceleratorConfig(name="x", pe_rows=32, dataflow="lb")
+        assert config.dataflow is DataflowStyle.LB
+
+
+class TestDerivedProperties:
+    def test_num_pes(self):
+        assert SubAcceleratorConfig(name="x", pe_rows=32, pe_cols=64).num_pes == 2048
+
+    def test_buffer_byte_conversion(self):
+        config = SubAcceleratorConfig(name="x", pe_rows=32, sg_kilobytes=146, sl_kilobytes=1)
+        assert config.sg_bytes == 146 * 1024
+        assert config.sl_bytes == 1024
+
+    def test_peak_gflops(self):
+        config = SubAcceleratorConfig(name="x", pe_rows=32, pe_cols=64)
+        # 2048 PEs x 2 ops x 200 MHz = 819.2 GFLOP/s.
+        assert config.peak_gflops == pytest.approx(819.2)
+
+    def test_describe_contains_key_facts(self):
+        config = SubAcceleratorConfig(name="sub3", pe_rows=128, dataflow=DataflowStyle.LB, sg_kilobytes=434)
+        text = config.describe()
+        assert "sub3" in text and "128x64" in text and "LB" in text and "434" in text
+
+
+class TestCostModelConstruction:
+    def test_fixed_array_builds_analytical_model(self):
+        config = SubAcceleratorConfig(name="x", pe_rows=32)
+        assert isinstance(config.build_cost_model(), AnalyticalCostModel)
+
+    def test_flexible_array_builds_flexible_model(self):
+        config = SubAcceleratorConfig(name="x", pe_rows=32, flexible=True)
+        assert isinstance(config.build_cost_model(), FlexibleArrayCostModel)
+
+    def test_scaled_reduces_rows_and_buffer(self):
+        big = SubAcceleratorConfig(name="big", pe_rows=128, sg_kilobytes=580)
+        little = big.scaled(0.5, name="little")
+        assert little.pe_rows == 64
+        assert little.sg_kilobytes == pytest.approx(290)
+        assert little.name == "little"
+
+    def test_scaled_rejects_bad_factor(self):
+        with pytest.raises(ConfigurationError):
+            SubAcceleratorConfig(name="x", pe_rows=32).scaled(0)

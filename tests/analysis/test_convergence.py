@@ -1,0 +1,65 @@
+"""Tests for the convergence-curve utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import align_curves, convergence_from_history, sample_efficiency
+from repro.exceptions import ExperimentError
+
+
+class TestConvergenceCurve:
+    def test_curve_from_history_preserves_endpoints(self):
+        history = [1.0, 2.0, 2.0, 5.0, 7.0]
+        curve = convergence_from_history("x", history)
+        assert curve.final_value == 7.0
+        assert curve.samples[0] == 1
+        assert curve.samples[-1] == 5
+
+    def test_downsampling_limits_points(self):
+        history = list(np.linspace(0, 100, 5000))
+        curve = convergence_from_history("x", history, max_points=50)
+        assert len(curve.samples) <= 50
+        assert curve.final_value == pytest.approx(100.0)
+
+    def test_value_at_clamps_to_range(self):
+        curve = convergence_from_history("x", [1.0, 3.0, 9.0])
+        assert curve.value_at(0) == 1.0
+        assert curve.value_at(2) == 3.0
+        assert curve.value_at(100) == 9.0
+
+    def test_samples_to_reach_fraction(self):
+        curve = convergence_from_history("x", [1.0, 5.0, 9.0, 10.0])
+        assert curve.samples_to_reach(0.5) == 2
+        assert curve.samples_to_reach(1.0) == 4
+
+    def test_samples_to_reach_rejects_bad_fraction(self):
+        curve = convergence_from_history("x", [1.0])
+        with pytest.raises(ExperimentError):
+            curve.samples_to_reach(0.0)
+
+    def test_empty_history(self):
+        curve = convergence_from_history("x", [])
+        assert np.isnan(curve.final_value)
+        assert curve.samples_to_reach(0.9) is None
+
+
+class TestAggregation:
+    def test_sample_efficiency_over_methods(self):
+        curves = {
+            "fast": convergence_from_history("fast", [9.0, 10.0, 10.0, 10.0]),
+            "slow": convergence_from_history("slow", [1.0, 2.0, 5.0, 10.0]),
+        }
+        efficiency = sample_efficiency(curves, fraction=0.95)
+        assert efficiency["fast"] < efficiency["slow"]
+
+    def test_align_curves_common_grid(self):
+        curves = [
+            convergence_from_history("a", [1.0, 2.0, 3.0]),
+            convergence_from_history("b", list(np.linspace(0, 5, 10))),
+        ]
+        aligned = align_curves(curves, num_points=5)
+        assert "samples" in aligned and "a" in aligned and "b" in aligned
+        assert len(aligned["a"]) == len(aligned["samples"])
+
+    def test_align_empty(self):
+        assert align_curves([]) == {}

@@ -1,0 +1,60 @@
+"""Tests for the schedule visualisation helpers."""
+
+import pytest
+
+from repro.analysis.gantt import render_ascii_gantt, schedule_to_bandwidth_series, schedule_to_gantt
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture()
+def schedule(evaluator):
+    encoding = evaluator.codec.random_encoding(rng=0)
+    return evaluator.schedule_for(encoding)
+
+
+class TestGanttExtraction:
+    def test_every_job_has_an_entry(self, schedule, mix_group):
+        entries = schedule_to_gantt(schedule, mix_group)
+        assert len(entries) == mix_group.size
+        assert sorted(e.job_index for e in entries) == list(range(mix_group.size))
+
+    def test_entries_sorted_by_core_then_time(self, schedule):
+        entries = schedule_to_gantt(schedule)
+        keys = [(e.core, e.start_cycle) for e in entries]
+        assert keys == sorted(keys)
+
+    def test_labels_include_task_type_when_group_given(self, schedule, mix_group):
+        entries = schedule_to_gantt(schedule, mix_group)
+        assert any(entry.label.split(":")[0] in {"vision", "language", "recommendation"}
+                   for entry in entries)
+
+
+class TestBandwidthSeries:
+    def test_series_per_core(self, schedule):
+        series = schedule_to_bandwidth_series(schedule)
+        assert set(series) == set(range(schedule.num_sub_accelerators))
+        for points in series.values():
+            assert points[-1][0] == pytest.approx(schedule.makespan_cycles)
+
+    def test_allocations_non_negative(self, schedule):
+        series = schedule_to_bandwidth_series(schedule)
+        for points in series.values():
+            assert all(value >= 0 for _, value in points)
+
+
+class TestAsciiRendering:
+    def test_renders_one_row_per_core(self, schedule, mix_group):
+        text = render_ascii_gantt(schedule, mix_group, width=60)
+        lines = text.splitlines()
+        assert len(lines) == 1 + schedule.num_sub_accelerators
+        assert "makespan" in lines[0]
+
+    def test_rejects_tiny_width(self, schedule):
+        with pytest.raises(ExperimentError):
+            render_ascii_gantt(schedule, width=5)
+
+    def test_empty_schedule_renders_placeholder(self):
+        from repro.core.schedule import Schedule
+
+        empty = Schedule([], [], num_sub_accelerators=2, total_flops=0.0)
+        assert render_ascii_gantt(empty) == "(empty schedule)"

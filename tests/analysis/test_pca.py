@@ -1,0 +1,55 @@
+"""Tests for the PCA projection of explored mappings."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.pca import fit_pca, project_encodings
+from repro.exceptions import ExperimentError
+
+
+class TestFit:
+    def test_requires_two_samples(self):
+        with pytest.raises(ExperimentError):
+            fit_pca(np.ones((1, 4)))
+
+    def test_projection_shape(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(50, 8))
+        projection = fit_pca(data)
+        projected = projection.transform(data)
+        assert projected.shape == (50, 2)
+
+    def test_dimension_mismatch_rejected(self):
+        projection = fit_pca(np.random.default_rng(0).normal(size=(10, 4)))
+        with pytest.raises(ExperimentError):
+            projection.transform(np.ones((3, 5)))
+
+    def test_principal_axis_captures_dominant_variance(self):
+        rng = np.random.default_rng(1)
+        # Variance concentrated along the first coordinate.
+        data = np.column_stack([rng.normal(0, 10, 200), rng.normal(0, 0.1, 200)])
+        projection = fit_pca(data)
+        assert projection.explained_variance_ratio[0] > 0.95
+
+    def test_explained_variance_ratios_sum_below_one(self):
+        rng = np.random.default_rng(2)
+        projection = fit_pca(rng.normal(size=(30, 6)))
+        assert 0 < projection.explained_variance_ratio.sum() <= 1.0 + 1e-9
+
+
+class TestProjectEncodings:
+    def test_shared_projection_across_methods(self):
+        rng = np.random.default_rng(3)
+        methods = {
+            "a": rng.normal(size=(20, 6)),
+            "b": rng.normal(loc=5.0, size=(30, 6)),
+        }
+        projected = project_encodings(methods)
+        assert set(projected) == {"a", "b"}
+        assert projected["a"].shape == (20, 2)
+        assert projected["b"].shape == (30, 2)
+        # The two clusters stay separated in the shared projected space.
+        assert abs(projected["a"][:, 0].mean() - projected["b"][:, 0].mean()) > 1.0
+
+    def test_empty_input(self):
+        assert project_encodings({}) == {}

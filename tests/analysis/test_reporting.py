@@ -1,0 +1,84 @@
+"""Tests for comparison reporting (normalised throughputs, geomean speedups)."""
+
+import pytest
+
+from repro.analysis.reporting import ComparisonReport, normalized_throughputs, speedup_summary
+from repro.core.framework import M3E
+from repro.exceptions import ExperimentError
+from repro.utils.tables import format_table, geometric_mean, normalize_by
+
+
+@pytest.fixture()
+def two_method_results(small_platform, mix_group):
+    explorer = M3E(small_platform, sampling_budget=40)
+    results = explorer.compare(mix_group, optimizers=["herald-like", "magma"], seed=0)
+    return results
+
+
+class TestNormalisation:
+    def test_reference_is_one(self, two_method_results):
+        normalised = normalized_throughputs(two_method_results, reference="MAGMA")
+        assert normalised["MAGMA"] == pytest.approx(1.0)
+
+    def test_missing_reference_rejected(self, two_method_results):
+        with pytest.raises(ExperimentError):
+            normalized_throughputs(two_method_results, reference="NotThere")
+
+    def test_speedup_summary_geomean(self, two_method_results):
+        summary = speedup_summary({"mix": two_method_results}, reference="MAGMA")
+        assert "Herald-like" in summary
+        assert summary["Herald-like"] > 0
+        assert "MAGMA" not in summary
+
+
+class TestComparisonReport:
+    def test_rows_sorted_by_throughput(self, two_method_results):
+        report = ComparisonReport(title="test")
+        for result in two_method_results.values():
+            report.add(result)
+        rows = report.to_rows()
+        assert rows[0][1] >= rows[1][1]
+
+    def test_best_method(self, two_method_results):
+        report = ComparisonReport(title="test")
+        for result in two_method_results.values():
+            report.add(result)
+        best = report.best_method
+        assert best in two_method_results
+        assert report.results[best].throughput_gflops == max(
+            r.throughput_gflops for r in two_method_results.values()
+        )
+
+    def test_empty_report(self):
+        assert ComparisonReport(title="empty").best_method is None
+
+    def test_to_text_contains_title_and_methods(self, two_method_results):
+        report = ComparisonReport(title="Mix on tiny platform")
+        for result in two_method_results.values():
+            report.add(result)
+        text = report.to_text()
+        assert "Mix on tiny platform" in text
+        assert "MAGMA" in text and "Herald-like" in text
+
+
+class TestTableHelpers:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_empty_and_non_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_normalize_by(self):
+        values = {"a": 2.0, "b": 4.0}
+        assert normalize_by(values, "b") == {"a": 0.5, "b": 1.0}
+        with pytest.raises(KeyError):
+            normalize_by(values, "c")
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["magma", 1.23456], ["herald", 2e-7]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "magma" in lines[2]

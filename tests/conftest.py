@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite.
+
+The fixtures build deliberately small problems (few jobs, few cores, small
+sampling budgets) so the whole suite stays fast while still exercising every
+code path end to end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.accelerator import AcceleratorPlatform, SubAcceleratorConfig, build_setting
+from repro.core.analyzer import JobAnalyzer
+from repro.core.evaluator import MappingEvaluator
+from repro.costmodel import DataflowStyle
+from repro.workloads import TaskType, build_task_workload
+from repro.workloads.groups import JobGroup
+
+
+@pytest.fixture()
+def small_platform() -> AcceleratorPlatform:
+    """A tiny 2-core heterogeneous platform used by most core/optimizer tests."""
+    subs = (
+        SubAcceleratorConfig(name="hb0", pe_rows=32, pe_cols=64, dataflow=DataflowStyle.HB, sg_kilobytes=146),
+        SubAcceleratorConfig(name="lb0", pe_rows=32, pe_cols=64, dataflow=DataflowStyle.LB, sg_kilobytes=110),
+    )
+    return AcceleratorPlatform(name="tiny", sub_accelerators=subs, system_bandwidth_gbps=16.0)
+
+
+@pytest.fixture()
+def s2_platform() -> AcceleratorPlatform:
+    """The paper's S2 setting at 16 GB/s."""
+    return build_setting("S2", 16.0)
+
+
+@pytest.fixture()
+def mix_group(small_platform) -> JobGroup:
+    """A small Mix-task group sized for the tiny platform."""
+    return build_task_workload(
+        TaskType.MIX,
+        group_size=12,
+        seed=0,
+        num_sub_accelerators=small_platform.num_sub_accelerators,
+    )[0]
+
+
+@pytest.fixture()
+def vision_group(small_platform) -> JobGroup:
+    """A small Vision-task group."""
+    return build_task_workload(
+        TaskType.VISION,
+        group_size=12,
+        seed=1,
+        num_sub_accelerators=small_platform.num_sub_accelerators,
+    )[0]
+
+
+@pytest.fixture()
+def analysis_table(small_platform, mix_group):
+    """Job analysis table for the tiny platform / mix group pair."""
+    return JobAnalyzer(small_platform).analyze(mix_group)
+
+
+@pytest.fixture()
+def evaluator(small_platform, mix_group) -> MappingEvaluator:
+    """A throughput evaluator with a modest sampling budget."""
+    return MappingEvaluator(mix_group, small_platform, objective="throughput", sampling_budget=300)

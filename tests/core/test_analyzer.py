@@ -1,0 +1,89 @@
+"""Tests for the Job Analyzer and Job Analysis Table."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import JobAnalyzer, JobAnalysisTable
+from repro.costmodel import DataflowStyle
+from repro.exceptions import SchedulingError
+from repro.workloads.layers import fully_connected
+
+
+class TestJobAnalyzer:
+    def test_table_shape_matches_group_and_platform(self, small_platform, mix_group):
+        table = JobAnalyzer(small_platform).analyze(mix_group)
+        assert table.num_jobs == mix_group.size
+        assert table.num_sub_accelerators == small_platform.num_sub_accelerators
+
+    def test_all_entries_positive(self, analysis_table):
+        assert np.all(analysis_table.latency_cycles > 0)
+        assert np.all(analysis_table.required_bw_gbps > 0)
+        assert np.all(analysis_table.energy_joules > 0)
+        assert np.all(analysis_table.dram_traffic_bytes > 0)
+
+    def test_total_flops_matches_group(self, small_platform, mix_group):
+        table = JobAnalyzer(small_platform).analyze(mix_group)
+        assert table.total_flops == pytest.approx(mix_group.total_flops)
+
+    def test_empty_group_rejected(self, small_platform):
+        with pytest.raises(SchedulingError):
+            JobAnalyzer(small_platform).analyze([])
+
+    def test_profile_layer_caches_identical_layers(self, small_platform):
+        analyzer = JobAnalyzer(small_platform)
+        layer = fully_connected(4, 256, 256)
+        first = analyzer.profile_layer(layer, 0)
+        second = analyzer.profile_layer(layer, 0)
+        assert first == second
+        assert len(analyzer._cache) == 1
+
+    def test_profile_layer_rejects_bad_core_index(self, small_platform):
+        analyzer = JobAnalyzer(small_platform)
+        with pytest.raises(SchedulingError):
+            analyzer.profile_layer(fully_connected(1, 8, 8), 99)
+
+    def test_lb_core_has_lower_bandwidth_profile(self, small_platform, mix_group):
+        """On the tiny platform core 0 is HB and core 1 is LB."""
+        table = JobAnalyzer(small_platform).analyze(mix_group)
+        assert table.average_bandwidth_per_core()[1] < table.average_bandwidth_per_core()[0]
+        assert table.average_latency_per_core()[1] > table.average_latency_per_core()[0]
+
+
+class TestJobAnalysisTable:
+    def test_profile_accessor(self, analysis_table):
+        profile = analysis_table.profile(0, 1)
+        assert profile.job_index == 0
+        assert profile.sub_accelerator_index == 1
+        assert profile.no_stall_latency_cycles == analysis_table.latency(0, 1)
+        assert profile.required_bw_gbps == analysis_table.bandwidth(0, 1)
+
+    def test_out_of_range_indices_rejected(self, analysis_table):
+        with pytest.raises(SchedulingError):
+            analysis_table.latency(analysis_table.num_jobs, 0)
+        with pytest.raises(SchedulingError):
+            analysis_table.bandwidth(0, analysis_table.num_sub_accelerators)
+
+    def test_best_sub_accelerator_minimises_latency(self, analysis_table):
+        for job in range(analysis_table.num_jobs):
+            best = analysis_table.best_sub_accelerator(job)
+            assert analysis_table.latency(job, best) == analysis_table.latency_cycles[job].min()
+
+    def test_mismatched_array_shapes_rejected(self):
+        with pytest.raises(SchedulingError):
+            JobAnalysisTable(
+                latency_cycles=np.ones((3, 2)),
+                required_bw_gbps=np.ones((3, 3)),
+                energy_joules=np.ones((3, 2)),
+                dram_traffic_bytes=np.ones((3, 2)),
+                job_flops=np.ones(3),
+            )
+
+    def test_mismatched_flops_shape_rejected(self):
+        with pytest.raises(SchedulingError):
+            JobAnalysisTable(
+                latency_cycles=np.ones((3, 2)),
+                required_bw_gbps=np.ones((3, 2)),
+                energy_joules=np.ones((3, 2)),
+                dram_traffic_bytes=np.ones((3, 2)),
+                job_flops=np.ones(4),
+            )

@@ -1,0 +1,161 @@
+"""Tests for the bandwidth allocator (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analyzer import JobAnalysisTable
+from repro.core.bw_allocator import BandwidthAllocator
+from repro.core.encoding import Mapping
+from repro.exceptions import SchedulingError
+
+
+def _table(latency: np.ndarray, bandwidth: np.ndarray) -> JobAnalysisTable:
+    """Build a small analysis table from explicit latency / bandwidth arrays."""
+    latency = np.asarray(latency, dtype=float)
+    bandwidth = np.asarray(bandwidth, dtype=float)
+    return JobAnalysisTable(
+        latency_cycles=latency,
+        required_bw_gbps=bandwidth,
+        energy_joules=np.ones_like(latency),
+        dram_traffic_bytes=latency * bandwidth,
+        job_flops=np.full(latency.shape[0], 1000.0),
+    )
+
+
+class TestValidation:
+    def test_rejects_non_positive_bandwidth(self):
+        with pytest.raises(SchedulingError):
+            BandwidthAllocator(system_bandwidth_gbps=0)
+
+    def test_rejects_mismatched_mapping(self):
+        table = _table(np.ones((2, 2)), np.ones((2, 2)))
+        mapping = Mapping(assignments=((0,), (1, 2)), num_jobs=3)
+        with pytest.raises(SchedulingError):
+            BandwidthAllocator(16).makespan_cycles(mapping, table)
+
+    def test_rejects_more_cores_than_table(self):
+        table = _table(np.ones((2, 1)), np.ones((2, 1)))
+        mapping = Mapping(assignments=((0,), (1,)), num_jobs=2)
+        with pytest.raises(SchedulingError):
+            BandwidthAllocator(16).makespan_cycles(mapping, table)
+
+
+class TestUncontendedExecution:
+    def test_single_job_runs_at_no_stall_latency(self):
+        table = _table([[100.0]], [[2.0]])
+        mapping = Mapping(assignments=((0,),), num_jobs=1)
+        makespan = BandwidthAllocator(16).makespan_cycles(mapping, table)
+        assert makespan == pytest.approx(100.0)
+
+    def test_sequential_jobs_add_up(self):
+        table = _table([[100.0], [50.0]], [[2.0], [2.0]])
+        mapping = Mapping(assignments=((0, 1),), num_jobs=2)
+        makespan = BandwidthAllocator(16).makespan_cycles(mapping, table)
+        assert makespan == pytest.approx(150.0)
+
+    def test_parallel_jobs_limited_by_slowest_core(self):
+        table = _table([[100.0, 100.0], [40.0, 40.0]], [[1.0, 1.0], [1.0, 1.0]])
+        mapping = Mapping(assignments=((0,), (1,)), num_jobs=2)
+        makespan = BandwidthAllocator(16).makespan_cycles(mapping, table)
+        assert makespan == pytest.approx(100.0)
+
+    def test_demand_below_system_bw_runs_at_full_speed(self):
+        table = _table([[100.0, 100.0], [100.0, 100.0]], [[3.0, 3.0], [4.0, 4.0]])
+        mapping = Mapping(assignments=((0,), (1,)), num_jobs=2)
+        # Total demand 7 < 16 GB/s: both jobs finish at their no-stall latency.
+        makespan = BandwidthAllocator(16).makespan_cycles(mapping, table)
+        assert makespan == pytest.approx(100.0)
+
+
+class TestContention:
+    def test_two_identical_memory_bound_jobs_share_bandwidth(self):
+        table = _table([[100.0, 100.0], [100.0, 100.0]], [[16.0, 16.0], [16.0, 16.0]])
+        mapping = Mapping(assignments=((0,), (1,)), num_jobs=2)
+        # Each job needs 16 GB/s but only 8 is available per job: 2x stretch.
+        makespan = BandwidthAllocator(16).makespan_cycles(mapping, table)
+        assert makespan == pytest.approx(200.0)
+
+    def test_proportional_allocation_matches_hand_computation(self):
+        # Job A: lat 100, bw 12; job B: lat 100, bw 4; system 8 GB/s.
+        # Allocations: A gets 6, B gets 2 -> both stretch 2x and finish at 200.
+        table = _table([[100.0, 100.0], [100.0, 100.0]], [[12.0, 12.0], [4.0, 4.0]])
+        mapping = Mapping(assignments=((0,), (1,)), num_jobs=2)
+        makespan = BandwidthAllocator(8).makespan_cycles(mapping, table)
+        assert makespan == pytest.approx(200.0)
+
+    def test_bandwidth_reallocated_after_completion(self):
+        # Two memory-bound jobs on core 0 run after each other while core 1 is
+        # busy with one long compute-bound job; after the first job of core 0
+        # finishes, its bandwidth share is re-allocated.
+        latency = [[100.0, 100.0], [100.0, 100.0], [300.0, 300.0]]
+        bandwidth = [[16.0, 16.0], [16.0, 16.0], [0.5, 0.5]]
+        table = _table(latency, bandwidth)
+        mapping = Mapping(assignments=((0, 1), (2,)), num_jobs=3)
+        schedule = BandwidthAllocator(16).allocate(mapping, table)
+        schedule.validate()
+        core0_jobs = schedule.jobs_on_core(0)
+        assert len(core0_jobs) == 2
+        # Both memory-bound jobs are slightly stretched because the long job
+        # takes a small share, but total time stays close to 2 x 100 cycles.
+        assert schedule.makespan_cycles == pytest.approx(300.0, rel=0.05)
+
+    def test_makespan_never_below_traffic_bound(self):
+        rng = np.random.default_rng(0)
+        latency = rng.uniform(10, 1000, size=(6, 2))
+        bandwidth = rng.uniform(0.5, 30, size=(6, 2))
+        table = _table(latency, bandwidth)
+        mapping = Mapping(assignments=((0, 2, 4), (1, 3, 5)), num_jobs=6)
+        system_bw = 4.0
+        makespan = BandwidthAllocator(system_bw).makespan_cycles(mapping, table)
+        total_traffic_time = sum(
+            latency[j, core] * bandwidth[j, core] / system_bw
+            for core, jobs in enumerate(mapping.assignments)
+            for j in jobs
+        )
+        assert makespan >= total_traffic_time - 1e-6
+
+
+class TestScheduleRecording:
+    def test_fast_and_recorded_paths_agree(self, small_platform, mix_group, analysis_table):
+        from repro.core.encoding import MappingCodec
+
+        codec = MappingCodec(mix_group.size, small_platform.num_sub_accelerators)
+        allocator = BandwidthAllocator(small_platform.system_bandwidth_gbps)
+        for seed in range(5):
+            mapping = codec.decode(codec.random_encoding(rng=seed))
+            fast = allocator.makespan_cycles(mapping, analysis_table)
+            schedule = allocator.allocate(mapping, analysis_table)
+            assert fast == pytest.approx(schedule.makespan_cycles)
+
+    def test_every_job_scheduled_exactly_once(self, small_platform, mix_group, analysis_table):
+        from repro.core.encoding import MappingCodec
+
+        codec = MappingCodec(mix_group.size, small_platform.num_sub_accelerators)
+        allocator = BandwidthAllocator(small_platform.system_bandwidth_gbps)
+        mapping = codec.decode(codec.random_encoding(rng=7))
+        schedule = allocator.allocate(mapping, analysis_table)
+        assert sorted(job.job_index for job in schedule.jobs) == list(range(mix_group.size))
+
+    def test_segments_tile_the_makespan(self, small_platform, mix_group, analysis_table):
+        from repro.core.encoding import MappingCodec
+
+        codec = MappingCodec(mix_group.size, small_platform.num_sub_accelerators)
+        allocator = BandwidthAllocator(small_platform.system_bandwidth_gbps)
+        mapping = codec.decode(codec.random_encoding(rng=9))
+        schedule = allocator.allocate(mapping, analysis_table)
+        starts = [seg.start_cycle for seg in schedule.segments]
+        ends = [seg.end_cycle for seg in schedule.segments]
+        assert starts[0] == pytest.approx(0.0)
+        assert ends[-1] == pytest.approx(schedule.makespan_cycles)
+        for previous_end, next_start in zip(ends[:-1], starts[1:]):
+            assert next_start == pytest.approx(previous_end)
+
+    def test_allocation_never_exceeds_system_bandwidth(self, small_platform, mix_group, analysis_table):
+        from repro.core.encoding import MappingCodec
+
+        codec = MappingCodec(mix_group.size, small_platform.num_sub_accelerators)
+        allocator = BandwidthAllocator(small_platform.system_bandwidth_gbps)
+        mapping = codec.decode(codec.random_encoding(rng=13))
+        schedule = allocator.allocate(mapping, analysis_table)
+        for segment in schedule.segments:
+            assert segment.total_allocated_gbps <= small_platform.system_bandwidth_gbps + 1e-6

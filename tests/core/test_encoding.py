@@ -1,0 +1,136 @@
+"""Tests for the mapping encoding scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import Mapping, MappingCodec
+from repro.exceptions import EncodingError
+
+
+@pytest.fixture()
+def codec() -> MappingCodec:
+    return MappingCodec(num_jobs=6, num_sub_accelerators=3)
+
+
+class TestCodecBasics:
+    def test_lengths(self, codec):
+        assert codec.genome_length == 6
+        assert codec.encoding_length == 12
+
+    def test_invalid_construction(self):
+        with pytest.raises(EncodingError):
+            MappingCodec(num_jobs=0, num_sub_accelerators=2)
+        with pytest.raises(EncodingError):
+            MappingCodec(num_jobs=4, num_sub_accelerators=0)
+
+    def test_random_encoding_is_valid(self, codec):
+        encoding = codec.random_encoding(rng=0)
+        codec.validate(encoding)
+        selection = codec.selection_genome(encoding)
+        priority = codec.priority_genome(encoding)
+        assert np.all((selection >= 0) & (selection < 3))
+        assert np.all((priority >= 0) & (priority < 1))
+
+    def test_random_population_shape(self, codec):
+        population = codec.random_population(10, rng=1)
+        assert population.shape == (10, 12)
+
+    def test_validate_rejects_wrong_length(self, codec):
+        with pytest.raises(EncodingError):
+            codec.validate(np.zeros(5))
+
+    def test_validate_rejects_nan(self, codec):
+        bad = np.zeros(12)
+        bad[3] = np.nan
+        with pytest.raises(EncodingError):
+            codec.validate(bad)
+
+
+class TestRepair:
+    def test_repair_clamps_selection_genes(self, codec):
+        encoding = np.concatenate([np.full(6, 99.7), np.full(6, 0.5)])
+        repaired = codec.repair(encoding)
+        assert np.all(repaired[:6] == 2)
+
+    def test_repair_clamps_negative_values(self, codec):
+        encoding = np.concatenate([np.full(6, -3.2), np.full(6, -0.4)])
+        repaired = codec.repair(encoding)
+        assert np.all(repaired[:6] == 0)
+        assert np.all(repaired[6:] == 0.0)
+
+    def test_repair_rounds_fractional_selections(self, codec):
+        encoding = np.concatenate([np.full(6, 1.4), np.full(6, 0.5)])
+        repaired = codec.repair(encoding)
+        assert np.all(repaired[:6] == 1)
+
+    def test_repair_keeps_priorities_below_one(self, codec):
+        encoding = np.concatenate([np.zeros(6), np.full(6, 2.0)])
+        repaired = codec.repair(encoding)
+        assert np.all(repaired[6:] < 1.0)
+
+
+class TestDecode:
+    def test_decode_covers_every_job_once(self, codec):
+        mapping = codec.decode(codec.random_encoding(rng=3))
+        all_jobs = sorted(j for core in mapping.assignments for j in core)
+        assert all_jobs == list(range(6))
+
+    def test_decode_orders_by_priority(self, codec):
+        encoding = np.array([0, 0, 0, 1, 1, 1, 0.9, 0.1, 0.5, 0.3, 0.2, 0.8], dtype=float)
+        mapping = codec.decode(encoding)
+        assert mapping.assignments[0] == (1, 2, 0)
+        assert mapping.assignments[1] == (4, 3, 5)
+
+    def test_priority_ties_break_on_job_index(self, codec):
+        encoding = np.concatenate([np.zeros(6), np.full(6, 0.5)])
+        mapping = codec.decode(encoding)
+        assert mapping.assignments[0] == (0, 1, 2, 3, 4, 5)
+
+    def test_decode_of_example_from_paper_figure5(self):
+        # Fig. 5(a): two sub-accelerators, five jobs, encoding
+        # [1,2,2,1,2 | 0.1,0.8,0.4,0.7,0.3] decodes to
+        # accel-1: J1 then J4; accel-2: J5, J3, J2 (0-indexed: 0,3 and 4,2,1).
+        codec = MappingCodec(num_jobs=5, num_sub_accelerators=2)
+        encoding = np.array([1, 2, 2, 1, 2, 0.1, 0.8, 0.4, 0.7, 0.3], dtype=float) - np.array(
+            [1, 1, 1, 1, 1, 0, 0, 0, 0, 0]
+        )
+        mapping = codec.decode(encoding)
+        assert mapping.assignments[0] == (0, 3)
+        assert mapping.assignments[1] == (4, 2, 1)
+
+
+class TestEncodeRoundTrip:
+    def test_encode_decode_round_trip(self, codec):
+        original = codec.decode(codec.random_encoding(rng=11))
+        recovered = codec.decode(codec.encode(original))
+        assert recovered.assignments == original.assignments
+
+    def test_encode_rejects_mismatched_job_count(self, codec):
+        other = MappingCodec(num_jobs=4, num_sub_accelerators=3)
+        mapping = other.decode(other.random_encoding(rng=0))
+        with pytest.raises(EncodingError):
+            codec.encode(mapping)
+
+
+class TestMapping:
+    def test_rejects_duplicate_job(self):
+        with pytest.raises(EncodingError):
+            Mapping(assignments=((0, 1), (1,)), num_jobs=3)
+
+    def test_rejects_missing_job(self):
+        with pytest.raises(EncodingError):
+            Mapping(assignments=((0,), (1,)), num_jobs=3)
+
+    def test_rejects_out_of_range_job(self):
+        with pytest.raises(EncodingError):
+            Mapping(assignments=((0, 5), (1, 2)), num_jobs=4)
+
+    def test_core_of_and_jobs_per_core(self):
+        mapping = Mapping(assignments=((0, 2), (1,), ()), num_jobs=3)
+        assert mapping.core_of(2) == 0
+        assert mapping.core_of(1) == 1
+        assert mapping.jobs_per_core() == [2, 1, 0]
+
+    def test_describe_lists_cores(self):
+        mapping = Mapping(assignments=((0,), (1,)), num_jobs=2)
+        assert "core0" in mapping.describe() and "core1" in mapping.describe()

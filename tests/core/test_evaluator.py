@@ -1,0 +1,101 @@
+"""Tests for the mapping fitness evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import MappingEvaluator
+from repro.exceptions import OptimizationError
+
+
+class TestEvaluation:
+    def test_fitness_matches_schedule_throughput(self, evaluator):
+        encoding = evaluator.codec.random_encoding(rng=0)
+        fitness = evaluator.evaluate(encoding, count_sample=False)
+        schedule = evaluator.schedule_for(encoding)
+        assert fitness == pytest.approx(schedule.throughput_gflops)
+
+    def test_detailed_evaluation_consistent_with_evaluate(self, evaluator):
+        encoding = evaluator.codec.random_encoding(rng=1)
+        fitness = evaluator.evaluate(encoding, count_sample=False)
+        detail = evaluator.detailed_evaluation(encoding)
+        assert detail.fitness == pytest.approx(fitness)
+        assert detail.objective_value == pytest.approx(fitness)
+        assert detail.makespan_cycles > 0
+
+    def test_deterministic_for_same_encoding(self, evaluator):
+        encoding = evaluator.codec.random_encoding(rng=2)
+        assert evaluator.evaluate(encoding, count_sample=False) == evaluator.evaluate(
+            encoding, count_sample=False
+        )
+
+    def test_different_objectives_supported(self, small_platform, mix_group):
+        latency_eval = MappingEvaluator(mix_group, small_platform, objective="latency")
+        encoding = latency_eval.codec.random_encoding(rng=0)
+        assert latency_eval.evaluate(encoding, count_sample=False) < 0  # negated makespan
+
+
+class TestBudgetTracking:
+    def test_samples_counted(self, evaluator):
+        for i in range(5):
+            evaluator.evaluate(evaluator.codec.random_encoding(rng=i))
+        assert evaluator.samples_used == 5
+        assert len(evaluator.history) == 5
+
+    def test_uncounted_evaluations_do_not_consume_budget(self, evaluator):
+        evaluator.evaluate(evaluator.codec.random_encoding(rng=0), count_sample=False)
+        assert evaluator.samples_used == 0
+
+    def test_budget_exhaustion_raises(self, small_platform, mix_group):
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=3)
+        for i in range(3):
+            evaluator.evaluate(evaluator.codec.random_encoding(rng=i))
+        assert evaluator.budget_exhausted
+        with pytest.raises(OptimizationError):
+            evaluator.evaluate(evaluator.codec.random_encoding(rng=99))
+
+    def test_remaining_budget(self, small_platform, mix_group):
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=10)
+        evaluator.evaluate(evaluator.codec.random_encoding(rng=0))
+        assert evaluator.remaining_budget == 9
+        assert MappingEvaluator(mix_group, small_platform).remaining_budget is None
+
+    def test_population_evaluation_stops_at_budget(self, small_platform, mix_group):
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=4)
+        population = evaluator.codec.random_population(10, rng=0)
+        fitnesses = evaluator.evaluate_population(population)
+        assert evaluator.samples_used == 4
+        assert np.sum(np.isfinite(fitnesses)) == 4
+
+    def test_history_is_monotone_best_so_far(self, evaluator):
+        for i in range(20):
+            evaluator.evaluate(evaluator.codec.random_encoding(rng=i))
+        history = evaluator.history
+        assert all(b >= a for a, b in zip(history, history[1:]))
+
+    def test_best_encoding_achieves_best_fitness(self, evaluator):
+        for i in range(15):
+            evaluator.evaluate(evaluator.codec.random_encoding(rng=i))
+        best = evaluator.best_encoding
+        assert best is not None
+        assert evaluator.evaluate(best, count_sample=False) == pytest.approx(evaluator.best_fitness)
+
+    def test_reset_clears_state(self, evaluator):
+        evaluator.evaluate(evaluator.codec.random_encoding(rng=0))
+        evaluator.reset()
+        assert evaluator.samples_used == 0
+        assert evaluator.best_encoding is None
+        assert evaluator.history == []
+
+
+class TestSampleRecording:
+    def test_recording_disabled_by_default(self, evaluator):
+        evaluator.evaluate(evaluator.codec.random_encoding(rng=0))
+        assert evaluator.sampled_encodings.shape[0] == 0
+
+    def test_recording_captures_all_samples(self, small_platform, mix_group):
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=50)
+        evaluator.record_samples = True
+        for i in range(7):
+            evaluator.evaluate(evaluator.codec.random_encoding(rng=i))
+        assert evaluator.sampled_encodings.shape == (7, evaluator.codec.encoding_length)
+        assert evaluator.sampled_fitnesses.shape == (7,)

@@ -1,0 +1,84 @@
+"""Tests for the optimization objectives."""
+
+import pytest
+
+from repro.core.objectives import (
+    EDPObjective,
+    EnergyObjective,
+    LatencyObjective,
+    PerformancePerWattObjective,
+    ThroughputObjective,
+    get_objective,
+    list_objectives,
+)
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture()
+def evaluated(evaluator):
+    encoding = evaluator.codec.random_encoding(rng=0)
+    mapping = evaluator.codec.decode(encoding)
+    schedule = evaluator.allocator.allocate(mapping, evaluator.table)
+    return schedule, mapping, evaluator.table
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert isinstance(get_objective("throughput"), ThroughputObjective)
+        assert isinstance(get_objective("EDP"), EDPObjective)
+
+    def test_instance_passthrough(self):
+        objective = LatencyObjective()
+        assert get_objective(objective) is objective
+
+    def test_unknown_objective(self):
+        with pytest.raises(ConfigurationError):
+            get_objective("happiness")
+
+    def test_list_objectives_contains_all(self):
+        names = list_objectives()
+        assert {"throughput", "latency", "energy", "edp", "performance_per_watt"} <= set(names)
+
+
+class TestObjectiveValues:
+    def test_throughput_fitness_equals_report(self, evaluated):
+        schedule, mapping, table = evaluated
+        objective = ThroughputObjective()
+        assert objective.fitness(schedule, mapping, table) == objective.report_value(schedule, mapping, table)
+        assert objective.fitness(schedule, mapping, table) == pytest.approx(schedule.throughput_gflops)
+
+    def test_latency_fitness_is_negated_makespan(self, evaluated):
+        schedule, mapping, table = evaluated
+        objective = LatencyObjective()
+        assert objective.fitness(schedule, mapping, table) == -schedule.makespan_cycles
+        assert objective.report_value(schedule, mapping, table) == schedule.makespan_cycles
+
+    def test_energy_is_assignment_dependent_sum(self, evaluated):
+        schedule, mapping, table = evaluated
+        objective = EnergyObjective()
+        value = objective.report_value(schedule, mapping, table)
+        assert value > 0
+        assert objective.fitness(schedule, mapping, table) == -value
+
+    def test_edp_is_energy_times_delay(self, evaluated):
+        schedule, mapping, table = evaluated
+        energy = EnergyObjective().report_value(schedule, mapping, table)
+        edp = EDPObjective().report_value(schedule, mapping, table)
+        assert edp == pytest.approx(energy * schedule.makespan_seconds)
+
+    def test_performance_per_watt_positive(self, evaluated):
+        schedule, mapping, table = evaluated
+        assert PerformancePerWattObjective().fitness(schedule, mapping, table) > 0
+
+    def test_shorter_makespan_is_better_for_latency_objective(self, evaluator):
+        objective = LatencyObjective()
+        codec = evaluator.codec
+        best = None
+        for seed in range(6):
+            mapping = codec.decode(codec.random_encoding(rng=seed))
+            schedule = evaluator.allocator.allocate(mapping, evaluator.table)
+            fitness = objective.fitness(schedule, mapping, evaluator.table)
+            if best is None or fitness > best[0]:
+                best = (fitness, schedule.makespan_cycles)
+        assert best is not None
+        assert best[0] == -best[1]

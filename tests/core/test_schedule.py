@@ -1,0 +1,99 @@
+"""Tests for the schedule data structure."""
+
+import pytest
+
+from repro.core.schedule import BandwidthSegment, Schedule, ScheduledJob
+from repro.exceptions import SchedulingError
+
+
+def _job(index: int, core: int, start: float, end: float, bw: float = 4.0) -> ScheduledJob:
+    return ScheduledJob(
+        job_index=index,
+        sub_accelerator_index=core,
+        start_cycle=start,
+        end_cycle=end,
+        no_stall_latency_cycles=end - start,
+        required_bw_gbps=bw,
+    )
+
+
+class TestScheduledJob:
+    def test_duration_and_slowdown(self):
+        job = ScheduledJob(0, 0, start_cycle=10, end_cycle=30, no_stall_latency_cycles=10, required_bw_gbps=4)
+        assert job.duration_cycles == 20
+        assert job.slowdown == pytest.approx(2.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            ScheduledJob(0, 0, start_cycle=10, end_cycle=5, no_stall_latency_cycles=1, required_bw_gbps=1)
+
+
+class TestSchedule:
+    def test_makespan_and_throughput(self):
+        jobs = [_job(0, 0, 0, 100), _job(1, 1, 0, 250)]
+        schedule = Schedule(jobs, [], num_sub_accelerators=2, total_flops=1e9, frequency_hz=200e6)
+        assert schedule.makespan_cycles == 250
+        assert schedule.makespan_seconds == pytest.approx(250 / 200e6)
+        assert schedule.throughput_gflops == pytest.approx(1e9 / (250 / 200e6) / 1e9)
+
+    def test_makespan_override_used_by_summary_schedules(self):
+        schedule = Schedule([], [], num_sub_accelerators=2, total_flops=1e9, makespan_cycles_override=500.0)
+        assert schedule.makespan_cycles == 500.0
+        assert schedule.throughput_gflops > 0
+
+    def test_empty_schedule_without_override_has_zero_makespan(self):
+        schedule = Schedule([], [], num_sub_accelerators=1, total_flops=0.0)
+        assert schedule.makespan_cycles == 0.0
+        assert schedule.throughput_gflops == 0.0
+
+    def test_core_busy_and_utilization(self):
+        jobs = [_job(0, 0, 0, 100), _job(1, 0, 100, 200), _job(2, 1, 0, 50)]
+        schedule = Schedule(jobs, [], num_sub_accelerators=2, total_flops=1.0)
+        assert schedule.core_busy_cycles() == [200.0, 50.0]
+        assert schedule.core_utilization() == [pytest.approx(1.0), pytest.approx(0.25)]
+
+    def test_jobs_on_core_sorted_by_start(self):
+        jobs = [_job(0, 0, 100, 200), _job(1, 0, 0, 90)]
+        schedule = Schedule(jobs, [], num_sub_accelerators=1, total_flops=1.0)
+        assert [j.job_index for j in schedule.jobs_on_core(0)] == [1, 0]
+
+    def test_gantt_rows_grouped_by_core(self):
+        jobs = [_job(0, 0, 0, 10), _job(1, 1, 0, 20), _job(2, 0, 10, 30)]
+        schedule = Schedule(jobs, [], num_sub_accelerators=2, total_flops=1.0)
+        rows = schedule.gantt_rows()
+        assert [item[0] for item in rows[0]] == [0, 2]
+        assert [item[0] for item in rows[1]] == [1]
+
+    def test_validate_detects_overlap(self):
+        jobs = [_job(0, 0, 0, 100), _job(1, 0, 50, 150)]
+        schedule = Schedule(jobs, [], num_sub_accelerators=1, total_flops=1.0)
+        with pytest.raises(SchedulingError):
+            schedule.validate()
+
+    def test_validate_accepts_back_to_back_jobs(self):
+        jobs = [_job(0, 0, 0, 100), _job(1, 0, 100, 150)]
+        Schedule(jobs, [], num_sub_accelerators=1, total_flops=1.0).validate()
+
+    def test_bandwidth_timeline_matches_segments(self):
+        segments = [
+            BandwidthSegment(0.0, 10.0, (2.0, 3.0)),
+            BandwidthSegment(10.0, 30.0, (1.0, 4.0)),
+        ]
+        schedule = Schedule([], segments, num_sub_accelerators=2, total_flops=1.0)
+        timeline = schedule.bandwidth_timeline()
+        assert timeline[0] == (0.0, 10.0, (2.0, 3.0))
+        assert len(timeline) == 2
+
+    def test_invalid_construction(self):
+        with pytest.raises(SchedulingError):
+            Schedule([], [], num_sub_accelerators=0, total_flops=1.0)
+        with pytest.raises(SchedulingError):
+            Schedule([], [], num_sub_accelerators=1, total_flops=-1.0)
+
+    def test_average_slowdown(self):
+        jobs = [
+            ScheduledJob(0, 0, 0, 100, no_stall_latency_cycles=100, required_bw_gbps=1),
+            ScheduledJob(1, 1, 0, 300, no_stall_latency_cycles=100, required_bw_gbps=1),
+        ]
+        schedule = Schedule(jobs, [], num_sub_accelerators=2, total_flops=1.0)
+        assert schedule.average_slowdown() == pytest.approx(2.0)

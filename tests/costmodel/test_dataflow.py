@@ -1,0 +1,106 @@
+"""Tests for the HB / LB dataflow descriptions."""
+
+import pytest
+
+from repro.costmodel.dataflow import DataflowStyle, HB_DATAFLOW, LB_DATAFLOW, get_dataflow
+from repro.exceptions import CostModelError
+from repro.workloads.layers import conv2d, depthwise_conv2d, fully_connected
+
+
+class TestLookup:
+    def test_get_dataflow_by_string(self):
+        assert get_dataflow("hb").style is DataflowStyle.HB
+        assert get_dataflow("LB").style is DataflowStyle.LB
+
+    def test_get_dataflow_by_enum(self):
+        assert get_dataflow(DataflowStyle.HB) is HB_DATAFLOW
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(CostModelError):
+            get_dataflow("weight-stationary-deluxe")
+
+
+class TestSpatialMapping:
+    def test_hb_maps_channels(self):
+        layer = conv2d(1, 128, 64, 14, 14, 3, 3)
+        assert HB_DATAFLOW.spatial_dims(layer) == (128, 64)
+
+    def test_lb_maps_rows_and_channels(self):
+        layer = conv2d(1, 128, 64, 14, 14, 3, 3)
+        assert LB_DATAFLOW.spatial_dims(layer) == (14, 64)
+
+    def test_depthwise_uses_kernel_window(self):
+        layer = depthwise_conv2d(1, 96, 28, 28, 3, 3)
+        assert HB_DATAFLOW.spatial_dims(layer) == (96, 9)
+        assert LB_DATAFLOW.spatial_dims(layer) == (28, 9)
+
+    def test_fc_occupies_thin_slice_on_lb(self):
+        layer = fully_connected(64, 512, 512)
+        mapped_hb = HB_DATAFLOW.mapped_pes(layer, 32, 64)
+        mapped_lb = LB_DATAFLOW.mapped_pes(layer, 32, 64)
+        assert mapped_hb == 32 * 64
+        assert mapped_lb == 1 * 64
+
+    def test_mapped_pes_never_exceeds_array(self):
+        layer = conv2d(1, 1024, 1024, 56, 56, 3, 3)
+        assert HB_DATAFLOW.mapped_pes(layer, 16, 16) <= 16 * 16
+
+    def test_mapped_pes_rejects_bad_array(self):
+        layer = fully_connected(1, 8, 8)
+        with pytest.raises(CostModelError):
+            HB_DATAFLOW.mapped_pes(layer, 0, 16)
+
+    def test_temporal_folds_cover_layer(self):
+        layer = conv2d(1, 100, 70, 14, 14, 3, 3)
+        assert HB_DATAFLOW.temporal_folds(layer, 32, 64) == 4 * 2
+
+
+class TestRefetchBehaviour:
+    def test_lb_reads_inputs_once(self):
+        layer = fully_connected(256, 1024, 1024)
+        assert LB_DATAFLOW.input_refetch_factor(layer, 32, 64, sg_bytes=1024, bytes_per_element=1) == 1.0
+
+    def test_hb_convolution_reads_inputs_once(self):
+        layer = conv2d(1, 512, 256, 14, 14, 3, 3)
+        assert HB_DATAFLOW.input_refetch_factor(layer, 32, 64, sg_bytes=2048, bytes_per_element=1) == 1.0
+
+    def test_hb_fc_refetches_when_inputs_do_not_fit(self):
+        layer = fully_connected(256, 1024, 1024)
+        factor = HB_DATAFLOW.input_refetch_factor(layer, 32, 64, sg_bytes=64 * 1024, bytes_per_element=1)
+        assert factor > 1.0
+
+    def test_hb_fc_no_refetch_when_inputs_fit(self):
+        layer = fully_connected(4, 1024, 64)
+        factor = HB_DATAFLOW.input_refetch_factor(layer, 32, 64, sg_bytes=64 * 1024, bytes_per_element=1)
+        assert factor == 1.0
+
+    def test_refetch_factor_is_bounded(self):
+        layer = fully_connected(4096, 8192, 8192)
+        factor = HB_DATAFLOW.input_refetch_factor(layer, 8, 8, sg_bytes=1024, bytes_per_element=1)
+        assert factor <= HB_DATAFLOW._MAX_INPUT_REFETCH
+
+    def test_hb_weight_read_once(self):
+        layer = conv2d(1, 512, 512, 7, 7, 3, 3)
+        assert HB_DATAFLOW.weight_refetch_factor(layer, 32, 64, sg_bytes=1024, bytes_per_element=1) == 1.0
+
+    def test_lb_weight_refetch_when_large(self):
+        layer = conv2d(1, 512, 512, 112, 112, 3, 3)
+        factor = LB_DATAFLOW.weight_refetch_factor(layer, 32, 64, sg_bytes=64 * 1024, bytes_per_element=1)
+        assert factor > 1.0
+
+    def test_output_refetch_only_for_gemm_on_hb(self):
+        conv = conv2d(1, 512, 512, 14, 14, 3, 3)
+        gemm = fully_connected(512, 4096, 4096)
+        assert HB_DATAFLOW.output_refetch_factor(conv, 32, 64, 1024, 1) == 1.0
+        assert HB_DATAFLOW.output_refetch_factor(gemm, 32, 64, 1024, 1) > 1.0
+        assert LB_DATAFLOW.output_refetch_factor(gemm, 32, 64, 1024, 1) == 1.0
+
+
+class TestComputeEfficiency:
+    def test_hb_efficiency_is_unity(self):
+        assert HB_DATAFLOW.compute_efficiency(fully_connected(1, 64, 64)) == 1.0
+
+    def test_lb_penalises_fc_more_than_conv(self):
+        conv = conv2d(1, 64, 64, 14, 14, 3, 3)
+        fc = fully_connected(1, 64, 64)
+        assert LB_DATAFLOW.compute_efficiency(conv) > LB_DATAFLOW.compute_efficiency(fc)

@@ -1,0 +1,37 @@
+"""Tests for the energy model."""
+
+import pytest
+
+from repro.costmodel.energy import EnergyBreakdown, EnergyModel
+
+
+class TestEnergyModel:
+    def test_total_is_sum_of_components(self):
+        breakdown = EnergyModel().estimate(macs=1e6, dram_bytes=1e4, sg_bytes_accessed=1e5, sl_bytes_accessed=1e6)
+        assert breakdown.total_joules == pytest.approx(
+            breakdown.mac_joules + breakdown.sl_joules + breakdown.sg_joules + breakdown.dram_joules
+        )
+
+    def test_dram_byte_costs_more_than_mac(self):
+        model = EnergyModel()
+        dram_only = model.estimate(macs=0, dram_bytes=1, sg_bytes_accessed=0, sl_bytes_accessed=0)
+        mac_only = model.estimate(macs=1, dram_bytes=0, sg_bytes_accessed=0, sl_bytes_accessed=0)
+        assert dram_only.total_joules > 50 * mac_only.total_joules
+
+    def test_memory_hierarchy_ordering(self):
+        model = EnergyModel()
+        assert model.dram_access_pj_per_byte > model.sg_access_pj_per_byte > model.sl_access_pj_per_byte
+
+    def test_zero_activity_zero_energy(self):
+        breakdown = EnergyModel().estimate(macs=0, dram_bytes=0, sg_bytes_accessed=0, sl_bytes_accessed=0)
+        assert breakdown.total_joules == 0.0
+
+    def test_scaled_breakdown(self):
+        breakdown = EnergyBreakdown(mac_joules=1.0, sl_joules=2.0, sg_joules=3.0, dram_joules=4.0)
+        doubled = breakdown.scaled(2.0)
+        assert doubled.total_joules == pytest.approx(20.0)
+
+    def test_custom_costs_respected(self):
+        model = EnergyModel(mac_pj=10.0)
+        breakdown = model.estimate(macs=1e3, dram_bytes=0, sg_bytes_accessed=0, sl_bytes_accessed=0)
+        assert breakdown.mac_joules == pytest.approx(1e3 * 10.0 * 1e-12)

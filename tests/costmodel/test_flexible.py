@@ -1,0 +1,73 @@
+"""Tests for the flexible (configurable-shape) PE-array cost model."""
+
+import pytest
+
+from repro.costmodel import AnalyticalCostModel, FlexibleArrayCostModel
+from repro.costmodel.flexible import best_array_shape, _factor_pairs
+from repro.exceptions import CostModelError
+from repro.workloads.layers import conv2d, fully_connected
+
+
+class TestFactorPairs:
+    def test_factor_pairs_cover_all_divisors(self):
+        pairs = _factor_pairs(12)
+        assert set(pairs) == {(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)}
+
+    def test_factor_pairs_of_prime(self):
+        assert set(_factor_pairs(7)) == {(1, 7), (7, 1)}
+
+
+class TestBestArrayShape:
+    def test_shape_preserves_pe_budget(self):
+        layer = conv2d(1, 96, 48, 14, 14, 3, 3)
+        (rows, cols), _ = best_array_shape(layer, total_pes=2048, dataflow="HB", sg_bytes=146 * 1024)
+        assert rows * cols == 2048
+
+    def test_flexible_no_worse_than_fixed(self):
+        layer = fully_connected(8, 96, 48)
+        fixed = AnalyticalCostModel(32, 64, "HB", sg_bytes=146 * 1024).evaluate(layer)
+        _, flexible = best_array_shape(layer, total_pes=2048, dataflow="HB", sg_bytes=146 * 1024)
+        assert flexible.no_stall_latency_cycles <= fixed.no_stall_latency_cycles + 1e-9
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(CostModelError):
+            best_array_shape(fully_connected(1, 8, 8), total_pes=0, dataflow="HB")
+
+    def test_shape_adapts_to_layer_aspect(self):
+        tall = fully_connected(1, 2048, 8)   # many output channels, few inputs
+        wide = fully_connected(1, 8, 2048)   # few output channels, many inputs
+        (tall_rows, _), _ = best_array_shape(tall, total_pes=256, dataflow="HB")
+        (wide_rows, _), _ = best_array_shape(wide, total_pes=256, dataflow="HB")
+        assert tall_rows > wide_rows
+
+
+class TestFlexibleArrayCostModel:
+    def test_interface_matches_fixed_model(self):
+        model = FlexibleArrayCostModel(total_pes=2048, dataflow="HB", sg_bytes=146 * 1024)
+        estimate = model.evaluate(conv2d(1, 64, 64, 28, 28, 3, 3))
+        assert estimate.no_stall_latency_cycles > 0
+        assert estimate.required_bw_gbps > 0
+        assert estimate.total_pes == 2048
+
+    def test_results_are_cached_per_layer(self):
+        model = FlexibleArrayCostModel(total_pes=512, dataflow="HB")
+        layer = fully_connected(4, 128, 128)
+        first = model.evaluate(layer)
+        second = model.evaluate(layer)
+        assert first is second
+
+    def test_chosen_shape_multiplies_to_budget(self):
+        model = FlexibleArrayCostModel(total_pes=512, dataflow="LB")
+        rows, cols = model.chosen_shape(conv2d(1, 32, 32, 28, 28, 3, 3))
+        assert rows * cols == 512
+
+    def test_flexible_beats_fixed_on_awkward_shapes(self):
+        # A layer whose channel counts align poorly with a 32x64 array.
+        layer = conv2d(1, 48, 24, 20, 20, 3, 3)
+        fixed = AnalyticalCostModel(32, 64, "HB", sg_bytes=146 * 1024).evaluate(layer)
+        flexible = FlexibleArrayCostModel(total_pes=2048, dataflow="HB", sg_bytes=146 * 1024).evaluate(layer)
+        assert flexible.no_stall_latency_cycles <= fixed.no_stall_latency_cycles
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(CostModelError):
+            FlexibleArrayCostModel(total_pes=-1, dataflow="HB")

@@ -1,0 +1,143 @@
+"""Tests for the analytical cost model."""
+
+import pytest
+
+from repro.costmodel import AnalyticalCostModel, DataflowStyle
+from repro.exceptions import CostModelError
+from repro.workloads.layers import conv2d, fully_connected
+from repro.workloads.models import get_model
+
+
+def _hb_model(rows=32, cols=64, sg_kb=146):
+    return AnalyticalCostModel(pe_rows=rows, pe_cols=cols, dataflow="HB", sg_bytes=sg_kb * 1024)
+
+
+def _lb_model(rows=32, cols=64, sg_kb=110):
+    return AnalyticalCostModel(pe_rows=rows, pe_cols=cols, dataflow="LB", sg_bytes=sg_kb * 1024)
+
+
+class TestConstruction:
+    def test_rejects_bad_array(self):
+        with pytest.raises(CostModelError):
+            AnalyticalCostModel(pe_rows=0, pe_cols=64, dataflow="HB")
+
+    def test_rejects_negative_buffers(self):
+        with pytest.raises(CostModelError):
+            AnalyticalCostModel(pe_rows=8, pe_cols=8, dataflow="HB", sg_bytes=-1)
+
+    def test_rejects_bad_frequency(self):
+        with pytest.raises(CostModelError):
+            AnalyticalCostModel(pe_rows=8, pe_cols=8, dataflow="HB", frequency_hz=0)
+
+    def test_rejects_bad_weight_reuse(self):
+        with pytest.raises(CostModelError):
+            AnalyticalCostModel(pe_rows=8, pe_cols=8, dataflow="HB", weight_reuse_jobs=0.5)
+
+    def test_total_pes(self):
+        assert _hb_model(32, 64).total_pes == 2048
+
+
+class TestLatency:
+    def test_latency_positive_and_at_least_compute_bound(self):
+        model = _hb_model()
+        layer = conv2d(1, 256, 256, 14, 14, 3, 3)
+        estimate = model.evaluate(layer)
+        assert estimate.no_stall_latency_cycles >= layer.macs / model.total_pes
+
+    def test_more_pes_means_lower_latency(self):
+        layer = conv2d(1, 256, 256, 14, 14, 3, 3)
+        small = _hb_model(rows=32).evaluate(layer)
+        large = _hb_model(rows=128).evaluate(layer)
+        assert large.no_stall_latency_cycles < small.no_stall_latency_cycles
+
+    def test_fc_much_slower_on_lb_than_hb(self):
+        layer = fully_connected(64, 768, 768)
+        hb = _hb_model().evaluate(layer)
+        lb = _lb_model().evaluate(layer)
+        assert lb.no_stall_latency_cycles > 10 * hb.no_stall_latency_cycles
+
+    def test_conv_comparable_between_styles(self):
+        layer = conv2d(1, 64, 64, 56, 56, 3, 3)
+        hb = _hb_model().evaluate(layer)
+        lb = _lb_model().evaluate(layer)
+        assert lb.no_stall_latency_cycles < 5 * hb.no_stall_latency_cycles
+
+    def test_utilization_bounded_by_one(self):
+        model = _hb_model()
+        for layer in get_model("mobilenet_v2")[:20]:
+            estimate = model.evaluate(layer)
+            assert 0.0 < estimate.utilization <= 1.0
+
+
+class TestTrafficAndBandwidth:
+    def test_traffic_at_least_compulsory(self):
+        model = _hb_model()
+        layer = conv2d(1, 64, 64, 28, 28, 3, 3)
+        estimate = model.evaluate(layer)
+        compulsory = layer.weight_elements + layer.input_elements + layer.output_elements
+        assert estimate.dram_traffic_bytes >= compulsory
+
+    def test_lb_traffic_not_higher_than_hb_for_fc(self):
+        layer = fully_connected(128, 1024, 1024)
+        hb = _hb_model().evaluate(layer)
+        lb = _lb_model().evaluate(layer)
+        assert lb.dram_traffic_bytes <= hb.dram_traffic_bytes
+
+    def test_lb_required_bw_much_lower_for_fc(self):
+        layer = fully_connected(64, 768, 768)
+        hb = _hb_model().evaluate(layer)
+        lb = _lb_model().evaluate(layer)
+        assert lb.required_bw_gbps < hb.required_bw_gbps / 10
+
+    def test_weight_reuse_reduces_traffic(self):
+        layer = fully_connected(4, 1024, 1024)
+        base = AnalyticalCostModel(32, 64, "HB", sg_bytes=146 * 1024).evaluate(layer)
+        amortized = AnalyticalCostModel(32, 64, "HB", sg_bytes=146 * 1024, weight_reuse_jobs=8).evaluate(layer)
+        assert amortized.dram_traffic_bytes < base.dram_traffic_bytes
+
+    def test_required_bw_consistent_with_traffic_and_latency(self):
+        model = _hb_model()
+        layer = conv2d(1, 128, 128, 28, 28, 3, 3)
+        estimate = model.evaluate(layer)
+        expected = estimate.dram_traffic_bytes / (estimate.no_stall_latency_cycles / model.frequency_hz) / 1e9
+        assert estimate.required_bw_gbps == pytest.approx(expected, rel=1e-9)
+
+    def test_recommendation_layers_most_bandwidth_intensive(self):
+        model = _hb_model()
+        vision_bw = [model.evaluate(l).required_bw_gbps for l in get_model("resnet50")]
+        recom_bw = [model.evaluate(l).required_bw_gbps for l in get_model("dlrm")]
+        assert sum(recom_bw) / len(recom_bw) > sum(vision_bw) / len(vision_bw)
+
+
+class TestDerivedQueries:
+    def test_latency_with_sufficient_bandwidth_is_no_stall(self):
+        model = _hb_model()
+        layer = conv2d(1, 128, 128, 28, 28, 3, 3)
+        estimate = model.evaluate(layer)
+        assert model.latency_with_bandwidth(layer, estimate.required_bw_gbps * 2) == pytest.approx(
+            estimate.no_stall_latency_cycles
+        )
+
+    def test_latency_scales_with_bandwidth_deficit(self):
+        model = _hb_model()
+        layer = fully_connected(64, 1024, 1024)
+        estimate = model.evaluate(layer)
+        starved = model.latency_with_bandwidth(layer, estimate.required_bw_gbps / 4)
+        assert starved == pytest.approx(4 * estimate.no_stall_latency_cycles, rel=1e-6)
+
+    def test_latency_with_bandwidth_rejects_non_positive(self):
+        model = _hb_model()
+        with pytest.raises(CostModelError):
+            model.latency_with_bandwidth(fully_connected(1, 8, 8), 0.0)
+
+    def test_roofline_bounded_by_peak(self):
+        model = _hb_model()
+        layer = conv2d(1, 512, 512, 14, 14, 3, 3)
+        attainable = model.roofline_attainable_flops(layer, available_bw_gbps=1000.0)
+        assert attainable <= 2.0 * model.total_pes * model.frequency_hz + 1e-6
+
+    def test_energy_positive_and_dram_dominated_for_fc(self):
+        model = _hb_model()
+        estimate = model.evaluate(fully_connected(1, 2048, 2048))
+        assert estimate.energy_joules > 0
+        assert estimate.energy.dram_joules > estimate.energy.mac_joules

@@ -1,0 +1,50 @@
+"""Tests for the experiment scales."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.settings import SCALE_ENV_VAR, ExperimentScale, get_scale, list_scales
+
+
+class TestScales:
+    def test_three_scales_available(self):
+        assert list_scales() == ["paper", "small", "smoke"]
+
+    def test_paper_scale_matches_the_paper(self):
+        paper = get_scale("paper")
+        assert paper.group_size == 100
+        assert paper.sampling_budget == 10_000
+        assert paper.population_size == 100
+
+    def test_default_is_small(self, monkeypatch):
+        monkeypatch.delenv(SCALE_ENV_VAR, raising=False)
+        assert get_scale().name == "small"
+
+    def test_environment_variable_respected(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "smoke")
+        assert get_scale().name == "smoke"
+
+    def test_explicit_name_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(SCALE_ENV_VAR, "paper")
+        assert get_scale("smoke").name == "smoke"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_scale("galactic")
+
+    def test_scale_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentScale(
+                name="broken",
+                group_size=0,
+                sampling_budget=10,
+                rl_sampling_budget=10,
+                convergence_budget=10,
+                exhaustive_samples=10,
+                population_size=10,
+            )
+
+    def test_scales_are_ordered_by_effort(self):
+        smoke, small, paper = get_scale("smoke"), get_scale("small"), get_scale("paper")
+        assert smoke.sampling_budget < small.sampling_budget < paper.sampling_budget
+        assert smoke.group_size < small.group_size < paper.group_size

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search"])
+        assert args.setting == "S2"
+        assert args.optimizer == "magma"
+
+    def test_experiment_names_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+
+class TestCommands:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "S1" in output and "magma" in output and "resnet50" in output
+
+    def test_search_command_small_run(self, capsys):
+        exit_code = main([
+            "search", "--setting", "S1", "--task", "vision",
+            "--group-size", "12", "--budget", "60", "--optimizer", "stdga",
+            "--show-schedule",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "throughput=" in output
+        assert "core0" in output
+
+    def test_compare_command(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        exit_code = main([
+            "compare", "--setting", "S1", "--task", "recommendation",
+            "--optimizers", "herald-like", "magma", "--scale", "smoke",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "MAGMA" in output and "Herald-like" in output
+
+    def test_experiment_command_outputs_json(self, capsys):
+        exit_code = main(["experiment", "fig7"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "per_task" in payload and "per_model" in payload

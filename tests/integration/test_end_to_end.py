@@ -1,0 +1,117 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the full pipeline — model zoo -> workload -> analysis
+table -> search -> schedule — on the paper's preset platforms, and check the
+qualitative relationships the paper's headline claims rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    M3E,
+    JobAnalyzer,
+    TaskType,
+    build_setting,
+    build_task_workload,
+)
+from repro.analysis.reporting import normalized_throughputs
+from repro.optimizers import MagmaOptimizer
+
+
+class TestFullPipeline:
+    def test_quickstart_flow(self):
+        platform = build_setting("S2", 16.0)
+        group = build_task_workload(TaskType.MIX, group_size=16, seed=0,
+                                    num_sub_accelerators=platform.num_sub_accelerators)[0]
+        explorer = M3E(platform, sampling_budget=200)
+        result = explorer.search(group, optimizer="magma", seed=0,
+                                 optimizer_options={"population_size": 16})
+        assert result.throughput_gflops > 0
+        result.schedule.validate()
+        # Every job appears exactly once in the final schedule.
+        assert sorted(j.job_index for j in result.schedule.jobs) == list(range(group.size))
+
+    def test_throughput_bounded_by_platform_peak(self):
+        platform = build_setting("S1", 16.0)
+        group = build_task_workload(TaskType.VISION, group_size=16, seed=1,
+                                    num_sub_accelerators=platform.num_sub_accelerators)[0]
+        explorer = M3E(platform, sampling_budget=150)
+        result = explorer.search(group, optimizer="magma", seed=0,
+                                 optimizer_options={"population_size": 12})
+        assert result.throughput_gflops <= platform.peak_gflops
+
+    def test_more_bandwidth_never_hurts(self):
+        group = build_task_workload(TaskType.MIX, group_size=16, seed=2, num_sub_accelerators=4)[0]
+        throughputs = []
+        for bw in (1.0, 16.0):
+            platform = build_setting("S2", bw)
+            explorer = M3E(platform, sampling_budget=150)
+            result = explorer.search(group, optimizer="herald-like", seed=0)
+            throughputs.append(result.throughput_gflops)
+        assert throughputs[1] >= throughputs[0]
+
+    def test_magma_beats_manual_mappers_on_heterogeneous_mix(self):
+        """The paper's headline: the learned mapping beats the manual ones."""
+        platform = build_setting("S2", 16.0)
+        group = build_task_workload(TaskType.MIX, group_size=24, seed=3,
+                                    num_sub_accelerators=platform.num_sub_accelerators)[0]
+        explorer = M3E(platform, sampling_budget=800)
+        results = explorer.compare(group, optimizers=["ai-mt-like", "magma"], seed=0)
+        normalised = normalized_throughputs(results, reference="MAGMA")
+        assert normalised["AI-MT-like"] < 1.0
+
+    def test_objectives_can_be_swapped(self):
+        platform = build_setting("S1", 16.0)
+        group = build_task_workload(TaskType.RECOMMENDATION, group_size=12, seed=4,
+                                    num_sub_accelerators=platform.num_sub_accelerators)[0]
+        for objective in ("throughput", "latency", "energy", "edp"):
+            explorer = M3E(platform, objective=objective, sampling_budget=60)
+            result = explorer.search(group, optimizer="stdga", seed=0,
+                                     optimizer_options={"population_size": 10})
+            assert np.isfinite(result.best_fitness)
+
+    def test_large_heterogeneous_platform_runs(self):
+        platform = build_setting("S4", 256.0)
+        group = build_task_workload(TaskType.MIX, group_size=16, seed=5,
+                                    num_sub_accelerators=platform.num_sub_accelerators)[0]
+        explorer = M3E(platform, sampling_budget=100)
+        result = explorer.search(group, optimizer="magma", seed=0,
+                                 optimizer_options={"population_size": 12})
+        assert result.best_mapping.num_sub_accelerators == 8
+
+    def test_flexible_platform_not_slower_per_job(self):
+        """Flexible PE arrays reduce (or preserve) per-job no-stall latency (Fig. 14)."""
+        fixed = build_setting("S1", 16.0)
+        flexible = fixed.with_flexible_arrays(True)
+        group = build_task_workload(TaskType.VISION, group_size=12, seed=6,
+                                    num_sub_accelerators=fixed.num_sub_accelerators)[0]
+        fixed_table = JobAnalyzer(fixed).analyze(group)
+        flexible_table = JobAnalyzer(flexible).analyze(group)
+        assert flexible_table.latency_cycles.mean() <= fixed_table.latency_cycles.mean() + 1e-6
+
+    def test_warm_start_transfer_between_groups(self):
+        from repro.optimizers.warmstart import WarmStartEngine
+
+        platform = build_setting("S2", 16.0)
+        source = build_task_workload(TaskType.MIX, group_size=16, seed=7,
+                                     num_sub_accelerators=4)[0]
+        target = build_task_workload(TaskType.MIX, group_size=16, seed=8,
+                                     num_sub_accelerators=4)[0]
+        explorer = M3E(platform, sampling_budget=300)
+        source_result = explorer.search(source, optimizer="magma", seed=0,
+                                        optimizer_options={"population_size": 16})
+        engine = WarmStartEngine()
+        codec = explorer.build_evaluator(source).codec
+        engine.record("mix", source_result.best_encoding, codec, source_result.best_fitness)
+
+        target_evaluator = explorer.build_evaluator(target)
+        warm = engine.suggest("mix", target_evaluator.codec, count=4, rng=0)
+        warm_fitness = target_evaluator.evaluate(warm[0], count_sample=False)
+        random_population = target_evaluator.codec.random_population(16, rng=0)
+        random_mean = np.mean(
+            target_evaluator.evaluate_population(random_population, count_samples=False)
+        )
+        # Transferred knowledge is at least competitive with the average
+        # random starting point (Table V shows it is far better at scale).
+        assert warm_fitness > 0.5 * random_mean

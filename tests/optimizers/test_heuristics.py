@@ -1,0 +1,86 @@
+"""Tests for the manual mappers (Herald-like, AI-MT-like)."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import MappingEvaluator
+from repro.optimizers import AIMTLikeMapper, HeraldLikeMapper
+
+
+class TestHeraldLike:
+    def test_produces_valid_mapping(self, evaluator):
+        mapper = HeraldLikeMapper(seed=0)
+        encoding = mapper.optimize(evaluator)
+        mapping = evaluator.codec.decode(encoding)
+        assert mapping.num_jobs == evaluator.codec.num_jobs
+
+    def test_uses_single_sample(self, small_platform, mix_group):
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=10)
+        HeraldLikeMapper(seed=0).optimize(evaluator)
+        assert evaluator.samples_used == 1
+
+    def test_deterministic(self, small_platform, mix_group):
+        encodings = []
+        for _ in range(2):
+            evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=10)
+            encodings.append(HeraldLikeMapper(seed=0).optimize(evaluator))
+        assert np.allclose(encodings[0], encodings[1])
+
+    def test_avoids_catastrophic_lb_assignment(self, small_platform, mix_group):
+        """Latency-greedy assignment never puts a job on a core where it is
+        orders of magnitude slower while a fast core sits idle."""
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=10)
+        encoding = HeraldLikeMapper(seed=0).optimize(evaluator)
+        mapping = evaluator.codec.decode(encoding)
+        table = evaluator.table
+        # The per-core loads (in latency terms) should be reasonably balanced.
+        loads = [
+            sum(table.latency(j, core) for j in jobs)
+            for core, jobs in enumerate(mapping.assignments)
+        ]
+        assert max(loads) < 100 * (min(loads) + 1)
+
+    def test_orders_bandwidth_heavy_jobs_first(self, evaluator):
+        encoding = HeraldLikeMapper(seed=0).optimize(evaluator)
+        mapping = evaluator.codec.decode(encoding)
+        table = evaluator.table
+        for core, jobs in enumerate(mapping.assignments):
+            bandwidths = [table.bandwidth(j, core) for j in jobs]
+            assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_records_jobs_per_core_metadata(self, evaluator):
+        mapper = HeraldLikeMapper(seed=0)
+        mapper.optimize(evaluator)
+        assert sum(mapper.metadata["jobs_per_core"]) == evaluator.codec.num_jobs
+
+
+class TestAIMTLike:
+    def test_produces_valid_mapping(self, evaluator):
+        encoding = AIMTLikeMapper(seed=0).optimize(evaluator)
+        mapping = evaluator.codec.decode(encoding)
+        assert mapping.num_jobs == evaluator.codec.num_jobs
+
+    def test_balances_job_counts_across_cores(self, evaluator):
+        encoding = AIMTLikeMapper(seed=0).optimize(evaluator)
+        mapping = evaluator.codec.decode(encoding)
+        counts = mapping.jobs_per_core()
+        assert max(counts) - min(counts) <= 1
+
+    def test_worse_than_herald_on_heterogeneous_platform(self, s2_platform):
+        """AI-MT assumes homogeneity, so it loses badly on S2 (paper Fig. 9)."""
+        from repro.workloads import TaskType, build_task_workload
+
+        group = build_task_workload(TaskType.MIX, group_size=24, seed=0,
+                                    num_sub_accelerators=s2_platform.num_sub_accelerators)[0]
+        herald_eval = MappingEvaluator(group, s2_platform, sampling_budget=10)
+        aimt_eval = MappingEvaluator(group, s2_platform, sampling_budget=10)
+        herald_fitness = herald_eval.evaluate(HeraldLikeMapper(seed=0).optimize(herald_eval), count_sample=False)
+        aimt_fitness = aimt_eval.evaluate(AIMTLikeMapper(seed=0).optimize(aimt_eval), count_sample=False)
+        assert herald_fitness > 2 * aimt_fitness
+
+    def test_deterministic(self, small_platform, mix_group):
+        encodings = []
+        for _ in range(2):
+            evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=10)
+            encodings.append(AIMTLikeMapper(seed=0).optimize(evaluator))
+        assert np.allclose(encodings[0], encodings[1])

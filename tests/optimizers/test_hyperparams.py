@@ -1,0 +1,66 @@
+"""Tests for the MAGMA hyper-parameter tuner."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.optimizers.hyperparams import HyperParameterSpace, MagmaHyperParameterTuner
+from repro.optimizers.magma import MagmaConfig
+from repro.workloads import TaskType, build_task_workload
+
+
+class TestHyperParameterSpace:
+    def test_sample_is_within_ranges(self):
+        space = HyperParameterSpace()
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            config = space.sample(rng)
+            assert config.population_size in space.population_sizes
+            assert config.mutation_rate in space.mutation_rates
+            assert config.crossover_gen_rate in space.crossover_gen_rates
+
+    def test_neighbours_stay_in_space(self):
+        space = HyperParameterSpace()
+        rng = np.random.default_rng(1)
+        base = space.sample(rng)
+        for _ in range(20):
+            neighbour = space.neighbours(base, rng)
+            assert neighbour.population_size in space.population_sizes
+            assert neighbour.elite_ratio in space.elite_ratios
+
+
+class TestTuner:
+    @pytest.fixture()
+    def problems(self, small_platform):
+        group = build_task_workload(TaskType.MIX, group_size=10, seed=0,
+                                    num_sub_accelerators=small_platform.num_sub_accelerators)[0]
+        return [(group, small_platform)]
+
+    def test_requires_problems(self):
+        with pytest.raises(OptimizationError):
+            MagmaHyperParameterTuner(problems=[])
+
+    def test_tune_returns_best_scoring_config(self, problems):
+        space = HyperParameterSpace(
+            population_sizes=(8,),
+            elite_ratios=(0.25,),
+            mutation_rates=(0.05, 0.2),
+            crossover_gen_rates=(0.9,),
+            crossover_rg_rates=(0.05,),
+            crossover_accel_rates=(0.05,),
+        )
+        tuner = MagmaHyperParameterTuner(problems, sampling_budget_per_run=40, space=space, seed=0)
+        best = tuner.tune(num_trials=3)
+        assert isinstance(best, MagmaConfig)
+        assert tuner.best_trial is not None
+        assert best == tuner.best_trial.config
+        assert len(tuner.trials) == 3
+
+    def test_rejects_non_positive_trials(self, problems):
+        tuner = MagmaHyperParameterTuner(problems, sampling_budget_per_run=20, seed=0)
+        with pytest.raises(OptimizationError):
+            tuner.tune(num_trials=0)
+
+    def test_best_trial_none_before_tuning(self, problems):
+        tuner = MagmaHyperParameterTuner(problems, sampling_budget_per_run=20, seed=0)
+        assert tuner.best_trial is None

@@ -1,0 +1,127 @@
+"""Tests for MAGMA's genetic operators."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoding import MappingCodec
+from repro.optimizers import operators
+
+
+@pytest.fixture()
+def codec() -> MappingCodec:
+    return MappingCodec(num_jobs=10, num_sub_accelerators=4)
+
+
+@pytest.fixture()
+def parents(codec):
+    rng = np.random.default_rng(0)
+    return codec.random_encoding(rng), codec.random_encoding(rng)
+
+
+class TestMutation:
+    def test_mutation_preserves_validity(self, codec, parents):
+        child = operators.mutate(parents[0], codec, rng=1, mutation_rate=0.5)
+        codec.validate(child)
+        mapping = codec.decode(child)
+        assert mapping.num_jobs == 10
+
+    def test_zero_rate_is_identity(self, codec, parents):
+        child = operators.mutate(parents[0], codec, rng=1, mutation_rate=0.0)
+        assert np.array_equal(child, parents[0])
+
+    def test_full_rate_changes_most_genes(self, codec, parents):
+        child = operators.mutate(parents[0], codec, rng=1, mutation_rate=1.0)
+        assert np.sum(child != parents[0]) > codec.genome_length
+
+    def test_parent_not_modified_in_place(self, codec, parents):
+        original = parents[0].copy()
+        operators.mutate(parents[0], codec, rng=2, mutation_rate=1.0)
+        assert np.array_equal(parents[0], original)
+
+    def test_mutated_selection_genes_stay_in_range(self, codec, parents):
+        child = operators.mutate(parents[0], codec, rng=3, mutation_rate=1.0)
+        selection = child[: codec.genome_length]
+        assert np.all((selection >= 0) & (selection < codec.num_sub_accelerators))
+
+
+class TestCrossoverGen:
+    def test_only_one_genome_is_touched(self, codec, parents):
+        dad, mom = parents
+        son, daughter = operators.crossover_gen(dad, mom, codec, rng=5)
+        genome = codec.genome_length
+        selection_changed = not np.array_equal(son[:genome], dad[:genome])
+        priority_changed = not np.array_equal(son[genome:], dad[genome:])
+        # Exactly one of the two genomes may change (the other is preserved).
+        assert not (selection_changed and priority_changed)
+
+    def test_children_are_gene_swaps_of_parents(self, codec, parents):
+        dad, mom = parents
+        son, daughter = operators.crossover_gen(dad, mom, codec, rng=7)
+        for position in range(codec.encoding_length):
+            assert son[position] in (dad[position], mom[position])
+            assert daughter[position] in (dad[position], mom[position])
+
+    def test_material_is_conserved(self, codec, parents):
+        dad, mom = parents
+        son, daughter = operators.crossover_gen(dad, mom, codec, rng=9)
+        assert np.allclose(np.sort(np.concatenate([son, daughter])),
+                           np.sort(np.concatenate([dad, mom])))
+
+
+class TestCrossoverRg:
+    def test_both_genomes_swapped_over_same_range(self, codec, parents):
+        dad, mom = parents
+        son, _ = operators.crossover_rg(dad, mom, codec, rng=11)
+        genome = codec.genome_length
+        selection_diff = np.flatnonzero(son[:genome] != dad[:genome])
+        priority_diff = np.flatnonzero(son[genome:] != dad[genome:])
+        # Any job whose selection gene came from mom also took mom's priority
+        # gene (cross-genome dependency preserved), up to coincidental equality.
+        for job in selection_diff:
+            assert son[genome + job] == mom[genome + job]
+        for job in priority_diff:
+            assert son[job] == mom[job]
+
+    def test_material_is_conserved(self, codec, parents):
+        dad, mom = parents
+        son, daughter = operators.crossover_rg(dad, mom, codec, rng=13)
+        assert np.allclose(np.sort(np.concatenate([son, daughter])),
+                           np.sort(np.concatenate([dad, mom])))
+
+    def test_single_job_codec_handled(self):
+        codec = MappingCodec(num_jobs=1, num_sub_accelerators=2)
+        dad = codec.random_encoding(rng=0)
+        mom = codec.random_encoding(rng=1)
+        son, daughter = operators.crossover_rg(dad, mom, codec, rng=2)
+        assert np.array_equal(son, mom)
+        assert np.array_equal(daughter, dad)
+
+
+class TestCrossoverAccel:
+    def test_moms_core_assignment_is_copied(self, codec, parents):
+        dad, mom = parents
+        rng = np.random.default_rng(17)
+        son = operators.crossover_accel(dad, mom, codec, rng=rng)
+        codec.validate(son)
+        genome = codec.genome_length
+        mom_selection = mom[:genome].astype(int)
+        son_selection = son[:genome].astype(int)
+        # Find the core whose jobs were copied: all of mom's jobs on it must
+        # now be on the same core in the son with mom's priorities.
+        copied_cores = [
+            core
+            for core in range(codec.num_sub_accelerators)
+            if np.flatnonzero(mom_selection == core).size > 0
+            and all(
+                son_selection[j] == core and son[genome + j] == mom[genome + j]
+                for j in np.flatnonzero(mom_selection == core)
+            )
+        ]
+        assert copied_cores, "no core was copied from mom"
+
+    def test_result_remains_valid_mapping(self, codec, parents):
+        dad, mom = parents
+        for seed in range(5):
+            son = operators.crossover_accel(dad, mom, codec, rng=seed)
+            mapping = codec.decode(son)
+            assert sorted(j for core in mapping.assignments for j in core) == list(range(10))

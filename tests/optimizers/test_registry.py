@@ -1,0 +1,45 @@
+"""Tests for the optimizer registry."""
+
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.optimizers import build_optimizer, list_optimizers
+from repro.optimizers.base import BaseOptimizer
+from repro.optimizers.magma import MagmaOptimizer
+from repro.optimizers.registry import OPTIMIZER_REGISTRY, PAPER_COMPARISON_METHODS
+
+
+class TestRegistry:
+    def test_every_registered_name_builds(self):
+        for name in OPTIMIZER_REGISTRY:
+            optimizer = build_optimizer(name, seed=0)
+            assert isinstance(optimizer, BaseOptimizer)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(build_optimizer("MAGMA", seed=0), MagmaOptimizer)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(OptimizationError):
+            build_optimizer("simulated-annealing")
+
+    def test_options_are_forwarded(self):
+        optimizer = build_optimizer("magma", seed=0, population_size=17)
+        assert optimizer.config.population_size == 17
+
+    def test_list_optimizers_contains_paper_methods(self):
+        available = set(list_optimizers())
+        assert {"magma", "stdga", "de", "cma", "pso", "tbpsa", "a2c", "ppo2",
+                "herald-like", "ai-mt-like"} <= available
+
+    def test_paper_comparison_list_matches_figure_order(self):
+        assert PAPER_COMPARISON_METHODS[0] == "herald-like"
+        assert PAPER_COMPARISON_METHODS[-1] == "magma"
+        assert len(PAPER_COMPARISON_METHODS) == 10
+
+    def test_each_paper_method_is_registered(self):
+        for name in PAPER_COMPARISON_METHODS:
+            assert name in OPTIMIZER_REGISTRY
+
+    def test_display_names_are_distinct(self):
+        names = {build_optimizer(name, seed=0).name for name in PAPER_COMPARISON_METHODS}
+        assert len(names) == len(PAPER_COMPARISON_METHODS)

@@ -1,0 +1,141 @@
+"""Tests for the RL components: NumPy MLP, environment, A2C, PPO2."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluator import MappingEvaluator
+from repro.exceptions import OptimizationError
+from repro.optimizers.rl.a2c import A2COptimizer
+from repro.optimizers.rl.env import SequentialMappingEnv
+from repro.optimizers.rl.nn import MLP, AdamOptimizer, RMSPropOptimizer, clip_gradients, softmax
+from repro.optimizers.rl.ppo import PPOOptimizer
+
+
+class TestMLP:
+    def test_forward_shape(self):
+        mlp = MLP([6, 16, 16, 4], rng=0)
+        out, _ = mlp.forward(np.zeros((5, 6)))
+        assert out.shape == (5, 4)
+
+    def test_requires_two_layer_sizes(self):
+        with pytest.raises(OptimizationError):
+            MLP([4], rng=0)
+
+    def test_gradient_matches_finite_differences(self):
+        """The analytical backward pass agrees with numerical differentiation."""
+        rng = np.random.default_rng(0)
+        mlp = MLP([3, 5, 2], rng=rng)
+        x = rng.normal(size=(4, 3))
+        target = rng.normal(size=(4, 2))
+
+        def loss_for(params):
+            original = mlp.params
+            mlp.params = params
+            out, _ = mlp.forward(x)
+            mlp.params = original
+            return 0.5 * float(np.sum((out - target) ** 2))
+
+        out, cache = mlp.forward(x)
+        grads = mlp.backward(out - target, cache)
+        epsilon = 1e-6
+        for key in ("W0", "b1"):
+            index = (0,) * mlp.params[key].ndim
+            perturbed = {k: v.copy() for k, v in mlp.params.items()}
+            perturbed[key][index] += epsilon
+            numerical = (loss_for(perturbed) - loss_for(mlp.params)) / epsilon
+            assert grads[key][index] == pytest.approx(numerical, rel=1e-3, abs=1e-5)
+
+    def test_softmax_sums_to_one(self):
+        probabilities = softmax(np.array([[1.0, 2.0, 3.0], [100.0, 100.0, 100.0]]))
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+        assert np.all(probabilities > 0)
+
+    def test_gradient_clipping_bounds_norm(self):
+        grads = {"W0": np.full((4, 4), 10.0)}
+        clipped = clip_gradients(grads, max_norm=1.0)
+        total = np.sqrt(sum(np.sum(g**2) for g in clipped.values()))
+        assert total == pytest.approx(1.0)
+
+    def test_rmsprop_and_adam_reduce_quadratic_loss(self):
+        for optimizer in (RMSPropOptimizer(learning_rate=0.05), AdamOptimizer(learning_rate=0.05)):
+            params = {"w": np.array([5.0])}
+            for _ in range(200):
+                grads = {"w": 2 * params["w"]}
+                optimizer.step(params, grads)
+            assert abs(params["w"][0]) < 1.0
+
+
+class TestEnvironment:
+    def test_episode_length_equals_group_size(self, evaluator):
+        env = SequentialMappingEnv(evaluator, num_priority_buckets=3)
+        observation = env.reset()
+        assert observation.shape == (env.spec.observation_size,)
+        done = False
+        steps = 0
+        while not done:
+            _, reward, done = env.step(0)
+            steps += 1
+        assert steps == evaluator.codec.num_jobs
+        assert reward > 0  # final reward is the mapping fitness
+
+    def test_invalid_action_rejected(self, evaluator):
+        env = SequentialMappingEnv(evaluator)
+        env.reset()
+        with pytest.raises(OptimizationError):
+            env.step(env.spec.num_actions)
+
+    def test_step_after_done_rejected(self, evaluator):
+        env = SequentialMappingEnv(evaluator)
+        env.reset()
+        for _ in range(evaluator.codec.num_jobs):
+            env.step(0)
+        with pytest.raises(OptimizationError):
+            env.step(0)
+
+    def test_encoding_reflects_actions(self, evaluator):
+        env = SequentialMappingEnv(evaluator, num_priority_buckets=2)
+        env.reset()
+        chosen_core = 1
+        action = chosen_core * 2  # bucket 0 on core 1
+        for _ in range(evaluator.codec.num_jobs):
+            env.step(action)
+        encoding = env.encoding()
+        assert np.all(encoding[: evaluator.codec.num_jobs] == chosen_core)
+
+    def test_each_episode_consumes_one_sample(self, small_platform, mix_group):
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=5)
+        env = SequentialMappingEnv(evaluator)
+        for _ in range(3):
+            env.reset()
+            done = False
+            while not done:
+                _, _, done = env.step(0)
+        assert evaluator.samples_used == 3
+
+
+@pytest.mark.parametrize("factory", [
+    lambda seed: A2COptimizer(seed=seed, hidden_size=16, num_hidden_layers=2, num_parallel_envs=2),
+    lambda seed: PPOOptimizer(seed=seed, hidden_size=16, num_hidden_layers=2, episodes_per_rollout=2,
+                              update_epochs=1, minibatch_size=32),
+], ids=["A2C", "PPO2"])
+class TestAgents:
+    def test_respects_budget_and_returns_solution(self, factory, small_platform, mix_group):
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=20)
+        best = factory(0).optimize(evaluator)
+        assert best is not None
+        assert evaluator.samples_used <= 20
+        evaluator.codec.validate(best)
+
+    def test_metadata_reports_episodes(self, factory, small_platform, mix_group):
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=16)
+        optimizer = factory(1)
+        optimizer.optimize(evaluator)
+        assert optimizer.metadata["episodes"] >= 1
+
+    def test_deterministic_given_seed(self, factory, small_platform, mix_group):
+        fitnesses = []
+        for _ in range(2):
+            evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=12)
+            factory(7).optimize(evaluator)
+            fitnesses.append(evaluator.best_fitness)
+        assert fitnesses[0] == pytest.approx(fitnesses[1])

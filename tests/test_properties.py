@@ -1,0 +1,214 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants.
+
+These cover the invariants the rest of the system relies on:
+
+* every encoding decodes to a permutation-complete mapping and the
+  encode/decode round trip is stable,
+* the bandwidth allocator never finishes before either the compute bound or
+  the traffic bound, never over-allocates the system bandwidth, and is
+  invariant to the core order,
+* the cost model's estimates stay positive, bounded, and monotone in the
+  obvious directions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.analyzer import JobAnalysisTable
+from repro.core.bw_allocator import BandwidthAllocator
+from repro.core.encoding import MappingCodec
+from repro.costmodel import AnalyticalCostModel
+from repro.workloads.layers import conv2d, fully_connected
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+problem_shapes = st.tuples(
+    st.integers(min_value=1, max_value=12),  # jobs
+    st.integers(min_value=1, max_value=5),   # cores
+)
+
+
+@st.composite
+def encodings(draw):
+    """A codec plus a raw (possibly out-of-domain) candidate vector."""
+    num_jobs, num_cores = draw(problem_shapes)
+    codec = MappingCodec(num_jobs=num_jobs, num_sub_accelerators=num_cores)
+    raw = draw(
+        st.lists(
+            st.floats(min_value=-10, max_value=10, allow_nan=False, allow_infinity=False),
+            min_size=codec.encoding_length,
+            max_size=codec.encoding_length,
+        )
+    )
+    return codec, np.asarray(raw)
+
+
+@st.composite
+def scheduling_problems(draw):
+    """A random mapping plus a consistent analysis table and system bandwidth."""
+    num_jobs, num_cores = draw(problem_shapes)
+    codec = MappingCodec(num_jobs=num_jobs, num_sub_accelerators=num_cores)
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    latency = rng.uniform(1.0, 5_000.0, size=(num_jobs, num_cores))
+    bandwidth = rng.uniform(0.05, 64.0, size=(num_jobs, num_cores))
+    table = JobAnalysisTable(
+        latency_cycles=latency,
+        required_bw_gbps=bandwidth,
+        energy_joules=np.ones_like(latency),
+        dram_traffic_bytes=latency * bandwidth,
+        job_flops=rng.uniform(1e3, 1e9, size=num_jobs),
+    )
+    mapping = codec.decode(codec.random_encoding(rng))
+    system_bw = draw(st.floats(min_value=0.5, max_value=256.0, allow_nan=False))
+    return mapping, table, system_bw
+
+
+# ----------------------------------------------------------------------
+# Encoding properties
+# ----------------------------------------------------------------------
+class TestEncodingProperties:
+    @given(encodings())
+    @settings(max_examples=60, deadline=None)
+    def test_decode_is_a_partition_of_all_jobs(self, data):
+        codec, raw = data
+        mapping = codec.decode(raw)
+        jobs = sorted(j for core in mapping.assignments for j in core)
+        assert jobs == list(range(codec.num_jobs))
+
+    @given(encodings())
+    @settings(max_examples=60, deadline=None)
+    def test_repair_is_idempotent(self, data):
+        codec, raw = data
+        repaired_once = codec.repair(raw)
+        repaired_twice = codec.repair(repaired_once)
+        assert np.allclose(repaired_once, repaired_twice)
+
+    @given(encodings())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_round_trip(self, data):
+        codec, raw = data
+        mapping = codec.decode(raw)
+        recovered = codec.decode(codec.encode(mapping))
+        assert recovered.assignments == mapping.assignments
+
+    @given(encodings())
+    @settings(max_examples=60, deadline=None)
+    def test_selection_genes_stay_in_core_range(self, data):
+        codec, raw = data
+        repaired = codec.repair(raw)
+        selection = repaired[: codec.num_jobs]
+        assert np.all((selection >= 0) & (selection <= codec.num_sub_accelerators - 1))
+
+
+# ----------------------------------------------------------------------
+# Bandwidth-allocator properties
+# ----------------------------------------------------------------------
+class TestAllocatorProperties:
+    @given(scheduling_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_makespan_respects_lower_bounds(self, problem):
+        mapping, table, system_bw = problem
+        allocator = BandwidthAllocator(system_bw)
+        makespan = allocator.makespan_cycles(mapping, table)
+
+        # Compute bound: the busiest core's summed no-stall latencies.
+        compute_bound = max(
+            (sum(table.latency_cycles[j, core] for j in jobs) for core, jobs in enumerate(mapping.assignments)),
+            default=0.0,
+        )
+        # Traffic bound: all bytes must cross the shared link.
+        traffic_bound = sum(
+            table.latency_cycles[j, core] * table.required_bw_gbps[j, core]
+            for core, jobs in enumerate(mapping.assignments)
+            for j in jobs
+        ) / system_bw
+        assert makespan >= compute_bound - 1e-6
+        assert makespan >= traffic_bound - 1e-6
+
+    @given(scheduling_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_fast_path_matches_recorded_schedule(self, problem):
+        mapping, table, system_bw = problem
+        allocator = BandwidthAllocator(system_bw)
+        fast = allocator.makespan_cycles(mapping, table)
+        schedule = allocator.allocate(mapping, table)
+        assert fast == pytest.approx(schedule.makespan_cycles, rel=1e-9)
+        schedule.validate()
+
+    @given(scheduling_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_never_allocates_more_than_system_bandwidth(self, problem):
+        mapping, table, system_bw = problem
+        schedule = BandwidthAllocator(system_bw).allocate(mapping, table)
+        for segment in schedule.segments:
+            assert segment.total_allocated_gbps <= system_bw * (1 + 1e-9)
+
+    @given(scheduling_problems())
+    @settings(max_examples=40, deadline=None)
+    def test_every_job_scheduled_exactly_once(self, problem):
+        mapping, table, system_bw = problem
+        schedule = BandwidthAllocator(system_bw).allocate(mapping, table)
+        assert sorted(job.job_index for job in schedule.jobs) == list(range(table.num_jobs))
+
+    @given(scheduling_problems())
+    @settings(max_examples=30, deadline=None)
+    def test_more_bandwidth_never_slows_the_schedule(self, problem):
+        mapping, table, system_bw = problem
+        tight = BandwidthAllocator(system_bw).makespan_cycles(mapping, table)
+        generous = BandwidthAllocator(system_bw * 4).makespan_cycles(mapping, table)
+        assert generous <= tight * (1 + 1e-9)
+
+
+# ----------------------------------------------------------------------
+# Cost-model properties
+# ----------------------------------------------------------------------
+layer_dims = st.tuples(
+    st.integers(min_value=1, max_value=8),     # batch
+    st.sampled_from([8, 16, 32, 64, 128, 256]),  # output channels
+    st.sampled_from([3, 8, 16, 64, 128]),        # input channels
+    st.sampled_from([1, 7, 14, 28, 56]),         # spatial
+    st.sampled_from([1, 3]),                     # kernel
+)
+
+
+class TestCostModelProperties:
+    @given(layer_dims, st.sampled_from(["HB", "LB"]))
+    @settings(max_examples=60, deadline=None)
+    def test_estimates_are_positive_and_bounded(self, dims, style):
+        n, k, c, y, kernel = dims
+        layer = conv2d(n, k, c, y, y, kernel, kernel)
+        model = AnalyticalCostModel(32, 64, style, sg_bytes=146 * 1024)
+        estimate = model.evaluate(layer)
+        assert estimate.no_stall_latency_cycles >= 1.0
+        assert estimate.required_bw_gbps > 0
+        assert estimate.dram_traffic_bytes >= layer.output_elements
+        assert 0 < estimate.utilization <= 1.0
+        # The array can never do more work per cycle than it has PEs.
+        assert layer.macs / estimate.no_stall_latency_cycles <= model.total_pes + 1e-6
+
+    @given(layer_dims)
+    @settings(max_examples=40, deadline=None)
+    def test_latency_monotone_in_batch_size(self, dims):
+        n, k, c, y, kernel = dims
+        model = AnalyticalCostModel(32, 64, "HB", sg_bytes=146 * 1024)
+        small = model.evaluate(conv2d(n, k, c, y, y, kernel, kernel))
+        large = model.evaluate(conv2d(n + 1, k, c, y, y, kernel, kernel))
+        assert large.no_stall_latency_cycles >= small.no_stall_latency_cycles
+
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.sampled_from([64, 128, 256, 1024]),
+        st.sampled_from([64, 128, 256, 1024]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fc_never_faster_on_lb_than_hb(self, batch, out_features, in_features):
+        layer = fully_connected(batch, out_features, in_features)
+        hb = AnalyticalCostModel(32, 64, "HB", sg_bytes=146 * 1024).evaluate(layer)
+        lb = AnalyticalCostModel(32, 64, "LB", sg_bytes=110 * 1024).evaluate(layer)
+        assert lb.no_stall_latency_cycles >= hb.no_stall_latency_cycles
+        assert lb.required_bw_gbps <= hb.required_bw_gbps * (1 + 1e-9)

@@ -1,0 +1,99 @@
+"""Tests for the shared utility modules (rng, units, tables)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, spawn_rngs
+from repro.utils.tables import format_table, geometric_mean, normalize_by
+from repro.utils.units import (
+    BYTES_PER_GB,
+    DEFAULT_FREQUENCY_HZ,
+    bytes_per_cycle_to_gbps,
+    cycles_to_seconds,
+    gbps_to_bytes_per_cycle,
+    macs_to_flops,
+    seconds_to_cycles,
+)
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        a = ensure_rng(123).random(5)
+        b = ensure_rng(123).random(5)
+        assert np.allclose(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_spawn_rngs_are_independent_but_reproducible(self):
+        first = [r.random() for r in spawn_rngs(7, 3)]
+        second = [r.random() for r in spawn_rngs(7, 3)]
+        assert first == second
+        assert len(set(first)) == 3
+
+    def test_spawn_rngs_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 2)
+        assert len(children) == 2
+        assert children[0].random() != children[1].random()
+
+    def test_spawn_rngs_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_derive_seed_in_range(self):
+        seed = derive_seed(np.random.default_rng(0))
+        assert 0 <= seed < 2**31
+
+
+class TestUnits:
+    def test_cycles_seconds_round_trip(self):
+        cycles = 1_000_000.0
+        assert seconds_to_cycles(cycles_to_seconds(cycles)) == pytest.approx(cycles)
+
+    def test_default_frequency_is_200mhz(self):
+        assert DEFAULT_FREQUENCY_HZ == pytest.approx(200e6)
+
+    def test_bandwidth_conversion_round_trip(self):
+        gbps = 12.5
+        assert bytes_per_cycle_to_gbps(gbps_to_bytes_per_cycle(gbps)) == pytest.approx(gbps)
+
+    def test_one_gbps_at_200mhz_is_five_bytes_per_cycle(self):
+        assert gbps_to_bytes_per_cycle(1.0) == pytest.approx(1e9 / 200e6)
+
+    def test_macs_to_flops(self):
+        assert macs_to_flops(10) == 20
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(100, frequency_hz=0)
+        with pytest.raises(ValueError):
+            seconds_to_cycles(1.0, frequency_hz=-1)
+
+    def test_bytes_per_gb_constant(self):
+        assert BYTES_PER_GB == 1e9
+
+
+class TestTables:
+    def test_geometric_mean_matches_log_average(self):
+        values = [2.0, 8.0, 4.0]
+        expected = math.exp(sum(math.log(v) for v in values) / 3)
+        assert geometric_mean(values) == pytest.approx(expected)
+
+    def test_normalize_by_reference(self):
+        assert normalize_by({"x": 3.0, "y": 6.0}, "y")["x"] == pytest.approx(0.5)
+
+    def test_normalize_by_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_by({"x": 0.0}, "x")
+
+    def test_format_table_handles_mixed_types(self):
+        text = format_table(["a", "b"], [["row", 123456.789], ["other", 0.0000012]])
+        assert "1.235e+05" in text
+        assert "1.200e-06" in text
+
+    def test_format_table_zero(self):
+        text = format_table(["v"], [[0.0]])
+        assert "0" in text.splitlines()[-1]

@@ -1,0 +1,92 @@
+"""Tests for the benchmark workload generator."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.benchmark import BenchmarkBuilder, TaskType, WorkloadSpec, build_task_workload
+from repro.workloads.models import ModelFamily
+
+
+class TestTaskType:
+    def test_mix_spans_all_families(self):
+        assert set(TaskType.MIX.families) == {
+            ModelFamily.VISION,
+            ModelFamily.LANGUAGE,
+            ModelFamily.RECOMMENDATION,
+        }
+
+    @pytest.mark.parametrize(
+        "task,family",
+        [
+            (TaskType.VISION, ModelFamily.VISION),
+            (TaskType.LANGUAGE, ModelFamily.LANGUAGE),
+            (TaskType.RECOMMENDATION, ModelFamily.RECOMMENDATION),
+        ],
+    )
+    def test_single_family_tasks(self, task, family):
+        assert task.families == [family]
+
+
+class TestWorkloadSpec:
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(task=TaskType.VISION, num_jobs=0)
+        with pytest.raises(WorkloadError):
+            WorkloadSpec(task=TaskType.VISION, group_size=0)
+
+    def test_unknown_models_rejected_at_build(self):
+        spec = WorkloadSpec(task=TaskType.VISION, num_jobs=10, models=["not-a-model"])
+        with pytest.raises(WorkloadError):
+            BenchmarkBuilder(spec)
+
+
+class TestBenchmarkBuilder:
+    def test_batch_has_requested_number_of_jobs(self):
+        spec = WorkloadSpec(task=TaskType.MIX, num_jobs=37, group_size=10, seed=3)
+        batch = BenchmarkBuilder(spec).build_batch()
+        assert len(batch) == 37
+
+    def test_same_seed_same_workload(self):
+        spec = WorkloadSpec(task=TaskType.MIX, num_jobs=25, seed=7)
+        a = BenchmarkBuilder(spec).build_batch()
+        b = BenchmarkBuilder(spec).build_batch()
+        assert [j.layer for j in a] == [j.layer for j in b]
+
+    def test_different_seed_changes_workload(self):
+        a = BenchmarkBuilder(WorkloadSpec(task=TaskType.MIX, num_jobs=40, seed=1)).build_batch()
+        b = BenchmarkBuilder(WorkloadSpec(task=TaskType.MIX, num_jobs=40, seed=2)).build_batch()
+        assert [j.layer for j in a] != [j.layer for j in b]
+
+    def test_task_restricts_model_families(self):
+        batch = BenchmarkBuilder(WorkloadSpec(task=TaskType.VISION, num_jobs=50, seed=0)).build_batch()
+        assert set(batch.task_types) == {"vision"}
+
+    def test_mix_task_contains_multiple_families(self):
+        batch = BenchmarkBuilder(WorkloadSpec(task=TaskType.MIX, num_jobs=200, seed=0)).build_batch()
+        assert len(set(batch.task_types)) == 3
+
+    def test_explicit_model_subset(self):
+        spec = WorkloadSpec(task=TaskType.VISION, num_jobs=30, seed=0, models=["resnet50"])
+        batch = BenchmarkBuilder(spec).build_batch()
+        assert set(batch.model_names) == {"resnet50"}
+
+    def test_groups_respect_group_size(self):
+        spec = WorkloadSpec(task=TaskType.MIX, num_jobs=60, group_size=20, seed=0)
+        groups = BenchmarkBuilder(spec).build_groups(num_sub_accelerators=4)
+        assert [g.size for g in groups] == [20, 20, 20]
+
+
+class TestBuildTaskWorkload:
+    def test_returns_requested_number_of_groups(self):
+        groups = build_task_workload(TaskType.MIX, group_size=15, num_groups=2, seed=0)
+        assert len(groups) == 2
+        assert all(g.size == 15 for g in groups)
+
+    def test_group_size_respects_core_count_validation(self):
+        with pytest.raises(WorkloadError):
+            build_task_workload(TaskType.MIX, group_size=2, num_groups=1, num_sub_accelerators=8)
+
+    def test_deterministic_across_calls(self):
+        a = build_task_workload(TaskType.LANGUAGE, group_size=10, seed=5)[0]
+        b = build_task_workload(TaskType.LANGUAGE, group_size=10, seed=5)[0]
+        assert [j.layer for j in a] == [j.layer for j in b]

@@ -1,0 +1,92 @@
+"""Tests for dependency-free group partitioning."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.groups import JobGroup, interleave_batches, partition_into_groups
+from repro.workloads.jobs import Job, JobBatch
+from repro.workloads.layers import fully_connected
+
+
+def _batch(count: int, model: str = "m", task: str = "vision") -> JobBatch:
+    layer = fully_connected(1, 32, 32)
+    return JobBatch(Job(job_id=i, layer=layer, model_name=model, task_type=task) for i in range(count))
+
+
+class TestJobGroup:
+    def test_empty_group_rejected(self):
+        with pytest.raises(WorkloadError):
+            JobGroup(group_id=0, jobs=())
+
+    def test_size_and_total_flops(self):
+        batch = _batch(6)
+        group = JobGroup(group_id=0, jobs=tuple(batch.jobs))
+        assert group.size == 6
+        assert group.total_flops == batch.total_flops
+
+    def test_indexing_and_iteration(self):
+        group = JobGroup(group_id=1, jobs=tuple(_batch(4).jobs))
+        assert group[0].job_id == 0
+        assert [j.job_id for j in group] == [0, 1, 2, 3]
+
+    def test_describe_mentions_size(self):
+        group = JobGroup(group_id=2, jobs=tuple(_batch(3).jobs))
+        assert "size=3" in group.describe()
+
+
+class TestPartitioning:
+    def test_even_partition(self):
+        groups = partition_into_groups(_batch(20), group_size=5)
+        assert len(groups) == 4
+        assert all(g.size == 5 for g in groups)
+
+    def test_every_job_appears_exactly_once(self):
+        batch = _batch(23)
+        groups = partition_into_groups(batch, group_size=5)
+        seen = [job.job_id for group in groups for job in group]
+        assert sorted(seen) == list(range(23))
+
+    def test_group_size_must_cover_cores(self):
+        with pytest.raises(WorkloadError):
+            partition_into_groups(_batch(20), group_size=2, num_sub_accelerators=4)
+
+    def test_drop_incomplete_trailing_group(self):
+        groups = partition_into_groups(_batch(22), group_size=5, drop_incomplete=True)
+        assert len(groups) == 4
+        assert sum(g.size for g in groups) == 20
+
+    def test_tiny_trailing_fragment_merges_into_previous_group(self):
+        groups = partition_into_groups(_batch(21), group_size=10, num_sub_accelerators=4)
+        assert len(groups) == 2
+        assert groups[-1].size == 11
+
+    def test_shuffle_is_deterministic_per_seed(self):
+        batch = _batch(30)
+        a = partition_into_groups(batch, group_size=10, shuffle=True, rng=42)
+        b = partition_into_groups(batch, group_size=10, shuffle=True, rng=42)
+        assert [j.job_id for j in a[0]] == [j.job_id for j in b[0]]
+
+    def test_empty_batch_returns_no_groups(self):
+        assert partition_into_groups(JobBatch([]), group_size=4) == []
+
+    def test_invalid_group_size(self):
+        with pytest.raises(WorkloadError):
+            partition_into_groups(_batch(4), group_size=0)
+
+
+class TestInterleaving:
+    def test_interleave_alternates_models(self):
+        a = _batch(3, model="a")
+        b = _batch(3, model="b")
+        combined = interleave_batches([a, b])
+        assert [job.model_name for job in combined][:4] == ["a", "b", "a", "b"]
+
+    def test_interleave_handles_uneven_lengths(self):
+        a = _batch(4, model="a")
+        b = _batch(2, model="b")
+        combined = interleave_batches([a, b])
+        assert len(combined) == 6
+        assert [job.job_id for job in combined] == list(range(6))
+
+    def test_interleave_empty_input(self):
+        assert len(interleave_batches([])) == 0

@@ -1,0 +1,67 @@
+"""Tests for jobs and job batches."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.jobs import Job, JobBatch
+from repro.workloads.layers import fully_connected
+from repro.workloads.models import get_model
+
+
+def _make_jobs(count: int, start: int = 0):
+    layer = fully_connected(1, 64, 64)
+    return [Job(job_id=start + i, layer=layer, model_name="m", task_type="vision") for i in range(count)]
+
+
+class TestJob:
+    def test_flops_delegates_to_layer(self):
+        layer = fully_connected(2, 128, 64)
+        job = Job(job_id=0, layer=layer)
+        assert job.flops == layer.flops
+        assert job.macs == layer.macs
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(WorkloadError):
+            Job(job_id=-1, layer=fully_connected(1, 8, 8))
+
+    def test_describe_contains_id_and_model(self):
+        job = Job(job_id=7, layer=fully_connected(1, 8, 8), model_name="resnet50")
+        assert "job7" in job.describe()
+        assert "resnet50" in job.describe()
+
+
+class TestJobBatch:
+    def test_len_and_iteration(self):
+        batch = JobBatch(_make_jobs(5))
+        assert len(batch) == 5
+        assert [job.job_id for job in batch] == [0, 1, 2, 3, 4]
+
+    def test_duplicate_ids_rejected(self):
+        jobs = _make_jobs(3) + _make_jobs(1)
+        with pytest.raises(WorkloadError):
+            JobBatch(jobs)
+
+    def test_total_flops_is_sum(self):
+        batch = JobBatch(_make_jobs(4))
+        assert batch.total_flops == sum(job.flops for job in batch)
+
+    def test_from_layers_assigns_sequential_ids(self):
+        layers = get_model("ncf")
+        batch = JobBatch.from_layers(layers, model_name="ncf", task_type="recommendation")
+        assert [job.job_id for job in batch] == list(range(len(layers)))
+        assert all(job.model_name == "ncf" for job in batch)
+
+    def test_concatenate_reassigns_ids(self):
+        a = JobBatch(_make_jobs(3))
+        b = JobBatch(_make_jobs(3))
+        combined = a.concatenate(b)
+        assert len(combined) == 6
+        assert [job.job_id for job in combined] == list(range(6))
+
+    def test_model_and_task_listings(self):
+        layers = get_model("ncf")
+        a = JobBatch.from_layers(layers, model_name="ncf", task_type="recommendation")
+        b = JobBatch.from_layers(get_model("gpt2")[:5], model_name="gpt2", task_type="language")
+        combined = a.concatenate(b)
+        assert combined.model_names == ["ncf", "gpt2"]
+        assert combined.task_types == ["recommendation", "language"]

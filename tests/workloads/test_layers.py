@@ -1,0 +1,110 @@
+"""Unit tests for the layer IR."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.workloads.layers import (
+    LayerType,
+    attention,
+    conv2d,
+    depthwise_conv2d,
+    embedding_lookup,
+    fully_connected,
+    pointwise_conv2d,
+)
+
+
+class TestLayerConstruction:
+    def test_conv2d_dimensions(self):
+        layer = conv2d(n=2, k=64, c=32, y=28, x=28, r=3, s=3, name="conv")
+        assert layer.layer_type is LayerType.CONV2D
+        assert layer.k == 64 and layer.c == 32
+        assert layer.name == "conv"
+
+    def test_depthwise_forces_matching_channels(self):
+        layer = depthwise_conv2d(n=1, c=96, y=14, x=14, r=3, s=3)
+        assert layer.k == layer.c == 96
+
+    def test_pointwise_kernel_is_one_by_one(self):
+        layer = pointwise_conv2d(n=1, k=128, c=64, y=14, x=14)
+        assert layer.r == 1 and layer.s == 1
+
+    def test_fully_connected_has_unit_spatial_dims(self):
+        layer = fully_connected(n=4, out_features=1000, in_features=2048)
+        assert layer.y == layer.x == layer.r == layer.s == 1
+
+    def test_attention_scales_with_sequence_length(self):
+        short = attention(n=1, sequence_length=32, hidden_dim=256)
+        long = attention(n=1, sequence_length=64, hidden_dim=256)
+        # Quadratic growth in sequence length (both N and K scale with it).
+        assert long.macs == 4 * short.macs
+
+    def test_embedding_is_data_movement_dominated(self):
+        layer = embedding_lookup(n=1, num_lookups=16, embedding_dim=64)
+        assert layer.arithmetic_intensity < 1.0
+
+    @pytest.mark.parametrize("bad_value", [0, -1])
+    def test_rejects_non_positive_dimensions(self, bad_value):
+        with pytest.raises(WorkloadError):
+            conv2d(n=bad_value, k=8, c=8, y=4, x=4, r=3, s=3)
+
+    def test_rejects_non_integer_dimensions(self):
+        with pytest.raises(WorkloadError):
+            fully_connected(n=1, out_features=10.5, in_features=8)  # type: ignore[arg-type]
+
+
+class TestDerivedQuantities:
+    def test_conv_mac_count(self):
+        layer = conv2d(n=1, k=8, c=4, y=5, x=5, r=3, s=3)
+        assert layer.macs == 8 * 4 * 5 * 5 * 3 * 3
+
+    def test_depthwise_macs_exclude_channel_reduction(self):
+        dw = depthwise_conv2d(n=1, c=16, y=8, x=8, r=3, s=3)
+        full = conv2d(n=1, k=16, c=16, y=8, x=8, r=3, s=3)
+        assert dw.macs * 16 == full.macs
+
+    def test_flops_are_twice_macs(self):
+        layer = fully_connected(n=2, out_features=64, in_features=32)
+        assert layer.flops == 2 * layer.macs
+
+    def test_fc_weight_elements(self):
+        layer = fully_connected(n=1, out_features=100, in_features=50)
+        assert layer.weight_elements == 100 * 50
+
+    def test_input_elements_account_for_halo(self):
+        layer = conv2d(n=1, k=1, c=1, y=4, x=4, r=3, s=3, stride=1)
+        # Input spatial extent is (4-1)*1 + 3 = 6 in each dimension.
+        assert layer.input_elements == 6 * 6
+
+    def test_output_elements(self):
+        layer = conv2d(n=2, k=3, c=1, y=4, x=5, r=1, s=1)
+        assert layer.output_elements == 2 * 3 * 4 * 5
+
+    def test_arithmetic_intensity_increases_with_channels(self):
+        small = conv2d(n=1, k=16, c=16, y=14, x=14, r=3, s=3)
+        large = conv2d(n=1, k=256, c=256, y=14, x=14, r=3, s=3)
+        assert large.arithmetic_intensity > small.arithmetic_intensity
+
+
+class TestTransforms:
+    def test_with_batch_changes_only_batch(self):
+        layer = conv2d(n=1, k=8, c=8, y=7, x=7, r=3, s=3)
+        batched = layer.with_batch(4)
+        assert batched.n == 4
+        assert batched.k == layer.k
+        assert batched.macs == 4 * layer.macs
+
+    def test_scaled_spatial_never_reaches_zero(self):
+        layer = conv2d(n=1, k=8, c=8, y=2, x=2, r=1, s=1)
+        shrunk = layer.scaled_spatial(8)
+        assert shrunk.y == 1 and shrunk.x == 1
+
+    def test_scaled_spatial_rejects_bad_factor(self):
+        layer = conv2d(n=1, k=8, c=8, y=2, x=2, r=1, s=1)
+        with pytest.raises(WorkloadError):
+            layer.scaled_spatial(0)
+
+    def test_describe_mentions_name_and_dims(self):
+        layer = conv2d(n=1, k=8, c=8, y=2, x=2, r=1, s=1, name="stage1.conv")
+        text = layer.describe()
+        assert "stage1.conv" in text and "K8" in text
