@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.core.framework import SearchResult
 from repro.exceptions import ExperimentError
-from repro.utils.tables import format_table, geometric_mean
+from repro.utils.tables import format_table, geometric_mean, unique_key
 
 
 def normalized_throughputs(
@@ -67,9 +67,16 @@ class ComparisonReport:
     results: Dict[str, SearchResult] = field(default_factory=dict)
     reference: str = "MAGMA"
 
-    def add(self, result: SearchResult) -> None:
-        """Add one method's search result."""
-        self.results[result.optimizer_name] = result
+    def add(self, result: SearchResult, name: Optional[str] = None) -> None:
+        """Add one method's search result.
+
+        ``name`` overrides the row label (callers holding an
+        already-deduplicated results dict pass its key); otherwise the
+        optimizer's display name is used, suffixed if it would collide with a
+        row already in the report.
+        """
+        label = name if name is not None else result.optimizer_name
+        self.results[unique_key(label, self.results)] = result
 
     @property
     def best_method(self) -> Optional[str]:

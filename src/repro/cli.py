@@ -13,6 +13,12 @@ Search a mapping for a Mix workload on the S2 accelerator with MAGMA::
 Run one of the paper's experiments (figure / table) at a chosen scale::
 
     repro-magma experiment fig8 --scale small
+
+Fitness evaluation defaults to the vectorized ``batch`` backend; pass
+``--eval-backend scalar`` to ``search``/``compare`` to force the
+one-encoding-at-a-time reference oracle (bit-identical, much slower)::
+
+    repro-magma search --setting S2 --task mix --eval-backend scalar
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.accelerator import build_setting, list_settings
 from repro.analysis.gantt import render_ascii_gantt
 from repro.analysis.reporting import ComparisonReport
+from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS
 from repro.core.framework import M3E
 from repro.experiments import (
     get_scale,
@@ -83,7 +90,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_sub_accelerators=platform.num_sub_accelerators,
     )[0]
-    explorer = M3E(platform, sampling_budget=args.budget)
+    explorer = M3E(platform, sampling_budget=args.budget, eval_backend=args.eval_backend)
     result = explorer.search(group, optimizer=args.optimizer, seed=args.seed)
     print(platform.describe())
     print(
@@ -105,12 +112,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         methods=args.optimizers,
         scale=scale,
         seed=args.seed,
+        eval_backend=args.eval_backend,
     )
     report = ComparisonReport(
         title=f"{args.task} on {args.setting} (BW={args.bandwidth} GB/s, scale={scale.name})"
     )
-    for result in results.values():
-        report.add(result)
+    for name, result in results.items():
+        report.add(result, name=name)
     print(report.to_text())
     return 0
 
@@ -163,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--group-size", type=int, default=100)
     search.add_argument("--budget", type=int, default=10_000)
     search.add_argument("--seed", type=int, default=0)
+    search.add_argument(
+        "--eval-backend",
+        default=DEFAULT_EVAL_BACKEND,
+        choices=list(EVAL_BACKENDS),
+        help="fitness evaluation path: vectorized 'batch' (default) or the 'scalar' oracle",
+    )
     search.add_argument("--show-schedule", action="store_true")
     search.set_defaults(func=_cmd_search)
 
@@ -173,6 +187,12 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--optimizers", nargs="+", default=["herald-like", "ai-mt-like", "stdga", "magma"])
     compare.add_argument("--scale", default=None)
     compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument(
+        "--eval-backend",
+        default=DEFAULT_EVAL_BACKEND,
+        choices=list(EVAL_BACKENDS),
+        help="fitness evaluation path: vectorized 'batch' (default) or the 'scalar' oracle",
+    )
     compare.set_defaults(func=_cmd_compare)
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")

@@ -6,17 +6,21 @@ representation, the objectives, the fitness evaluator, and the top-level
 :class:`M3E` search driver.
 """
 
-from repro.core.encoding import Mapping, MappingCodec
+from repro.core.encoding import Mapping, MappingBatch, MappingCodec
 from repro.core.analyzer import JobAnalyzer, JobAnalysisTable, JobProfile
-from repro.core.bw_allocator import BandwidthAllocator, ScheduleEvent
+from repro.core.bw_allocator import BandwidthAllocator, BatchBandwidthAllocator, ScheduleEvent
 from repro.core.schedule import Schedule, ScheduledJob
 from repro.core.objectives import Objective, ThroughputObjective, LatencyObjective, EnergyObjective, EDPObjective, get_objective
-from repro.core.evaluator import MappingEvaluator, EvaluationResult
+from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, MappingEvaluator, EvaluationResult
 from repro.core.framework import M3E, SearchResult
 
 __all__ = [
     "Mapping",
+    "MappingBatch",
     "MappingCodec",
+    "BatchBandwidthAllocator",
+    "DEFAULT_EVAL_BACKEND",
+    "EVAL_BACKENDS",
     "JobAnalyzer",
     "JobAnalysisTable",
     "JobProfile",

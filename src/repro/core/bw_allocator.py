@@ -11,6 +11,17 @@ The allocator consumes the decoded mapping description plus the Job Analysis
 Table and produces either just the makespan (fast path used inside the
 optimization loop) or a full :class:`~repro.core.schedule.Schedule` with the
 job timeline and bandwidth segments (used for reporting and Fig. 15).
+
+Two allocators implement the same simulation:
+
+* :class:`BandwidthAllocator` — the scalar reference oracle, one mapping at a
+  time, able to record the full timeline, and
+* :class:`BatchBandwidthAllocator` — the vectorized engine behind the
+  ``batch`` evaluation backend: it stacks the per-core live-job state of a
+  whole population (``(pop, cores)`` arrays) so each iteration of the event
+  loop advances *every* individual at once.  Its makespans are bit-identical
+  to the scalar path; both share the same explicitly-sequential bandwidth
+  demand summation so floating-point rounding cannot diverge between them.
 """
 
 from __future__ import annotations
@@ -21,7 +32,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.analyzer import JobAnalysisTable
-from repro.core.encoding import Mapping
+from repro.core.encoding import Mapping, MappingBatch
 from repro.core.schedule import BandwidthSegment, Schedule, ScheduledJob
 from repro.exceptions import SchedulingError
 from repro.utils.units import DEFAULT_FREQUENCY_HZ
@@ -131,8 +142,14 @@ class BandwidthAllocator:
 
         active = current_job >= 0
         while np.any(active):
-            demand = required_bw[active]
-            total_demand = float(demand.sum())
+            # Sum the demand core-by-core in index order (idle cores hold an
+            # exact 0.0, which leaves a sequential float sum unchanged).  The
+            # batched allocator accumulates its per-row demand column-by-column
+            # in the same order, so both paths round identically even on
+            # platforms with 8+ cores where NumPy's pairwise sum would differ.
+            total_demand = 0.0
+            for bw_value in required_bw:
+                total_demand += float(bw_value)
             allocation = np.zeros(num_cores)
             if total_demand <= self.system_bandwidth_gbps:
                 allocation[active] = required_bw[active]
@@ -162,6 +179,10 @@ class BandwidthAllocator:
 
             # Advance time and drain work proportionally to each core's allocation.
             remaining_work[active] -= dt * allocation[active]
+            # Floating-point rounding can drive a non-finished core's residual
+            # slightly negative, which would yield a negative runtime (and a
+            # spurious SchedulingError) on the next event; clamp at zero.
+            np.maximum(remaining_work, 0.0, out=remaining_work)
             remaining_work[finished] = 0.0
             now += dt
             for core in np.flatnonzero(finished):
@@ -181,3 +202,127 @@ class BandwidthAllocator:
             active = current_job >= 0
 
         return now, scheduled_jobs, segments
+
+
+class BatchBandwidthAllocator:
+    """Vectorized Algorithm 1 over a whole population of mappings.
+
+    State arrays are shaped ``(pop, cores)``; each iteration of the event
+    loop advances every still-running individual by its own next event.
+    Individuals finish after different event counts — completed rows are
+    masked (their time step is forced to zero) until the whole batch drains.
+
+    Every floating-point operation mirrors the scalar
+    :class:`BandwidthAllocator` element-wise, so the returned makespans are
+    bit-identical to running the scalar simulation per individual.
+    """
+
+    def __init__(self, system_bandwidth_gbps: float, frequency_hz: float = DEFAULT_FREQUENCY_HZ):
+        if system_bandwidth_gbps <= 0:
+            raise SchedulingError(
+                f"system bandwidth must be positive, got {system_bandwidth_gbps}"
+            )
+        if frequency_hz <= 0:
+            raise SchedulingError(f"frequency must be positive, got {frequency_hz}")
+        self.system_bandwidth_gbps = system_bandwidth_gbps
+        self.frequency_hz = frequency_hz
+
+    # ------------------------------------------------------------------
+    def makespan_cycles(self, batch: MappingBatch, table: JobAnalysisTable) -> np.ndarray:
+        """Simulate every mapping of *batch* and return a ``(pop,)`` makespan array."""
+        if batch.num_jobs != table.num_jobs:
+            raise SchedulingError(
+                f"mapping covers {batch.num_jobs} jobs but the analysis table has {table.num_jobs}"
+            )
+        num_cores = batch.num_sub_accelerators
+        if num_cores > table.num_sub_accelerators:
+            raise SchedulingError(
+                f"mapping targets {num_cores} cores but the analysis table only has "
+                f"{table.num_sub_accelerators}"
+            )
+        pop = batch.pop_size
+        job_axis = np.arange(batch.num_jobs)[None, :]
+        latency_of_job = table.latency_cycles[job_axis, batch.selection]
+        bw_of_job = table.required_bw_gbps[job_axis, batch.selection]
+        bad = (latency_of_job <= 0) | (bw_of_job <= 0)
+        if np.any(bad):
+            first_row, first_job = np.argwhere(bad)[0]
+            raise SchedulingError(
+                f"job {first_job} has non-positive latency/bandwidth on core "
+                f"{batch.selection[first_row, first_job]}"
+            )
+
+        queue_pos = np.zeros((pop, num_cores), dtype=int)
+        current_job = np.full((pop, num_cores), -1, dtype=int)
+        remaining_work = np.zeros((pop, num_cores))
+        required_bw = np.zeros((pop, num_cores))
+        now = np.zeros(pop)
+
+        self._launch(batch, table, queue_pos, current_job, remaining_work, required_bw,
+                     np.ones((pop, num_cores), dtype=bool))
+        active = current_job >= 0
+        live = active.any(axis=1)
+
+        while np.any(live):
+            # Column-by-column accumulation mirrors the scalar allocator's
+            # sequential per-core demand sum bit for bit (idle slots hold 0.0).
+            total_demand = np.zeros(pop)
+            for core in range(num_cores):
+                total_demand = total_demand + required_bw[:, core]
+            over = total_demand > self.system_bandwidth_gbps
+            scale = np.ones(pop)
+            np.divide(self.system_bandwidth_gbps, total_demand, out=scale, where=over)
+            allocation = np.where(over[:, None], required_bw * scale[:, None], required_bw)
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                runtimes = np.where(
+                    active, remaining_work / np.maximum(allocation, _EPSILON), np.inf
+                )
+            dt_rows = runtimes.min(axis=1)
+            if np.any(live & (~np.isfinite(dt_rows) | (dt_rows < 0))):
+                raise SchedulingError("bandwidth allocation produced a non-finite time step")
+            dt = np.where(live, dt_rows, 0.0)
+
+            finished = active & (runtimes <= dt[:, None] * (1.0 + 1e-12) + _EPSILON)
+            remaining_work = np.maximum(remaining_work - dt[:, None] * allocation, 0.0)
+            remaining_work[finished] = 0.0
+            now = now + dt
+
+            self._launch(batch, table, queue_pos, current_job, remaining_work, required_bw,
+                         finished)
+            active = current_job >= 0
+            live = active.any(axis=1)
+
+        return now
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _launch(
+        batch: MappingBatch,
+        table: JobAnalysisTable,
+        queue_pos: np.ndarray,
+        current_job: np.ndarray,
+        remaining_work: np.ndarray,
+        required_bw: np.ndarray,
+        mask: np.ndarray,
+    ) -> None:
+        """Pop the next queued job (if any) on every ``(individual, core)`` in *mask*."""
+        rows, cores = np.nonzero(mask)
+        if rows.size == 0:
+            return
+        pos = queue_pos[rows, cores]
+        has_next = pos < batch.queue_lengths[rows, cores]
+
+        idle_rows, idle_cores = rows[~has_next], cores[~has_next]
+        current_job[idle_rows, idle_cores] = -1
+        remaining_work[idle_rows, idle_cores] = 0.0
+        required_bw[idle_rows, idle_cores] = 0.0
+
+        run_rows, run_cores, run_pos = rows[has_next], cores[has_next], pos[has_next]
+        jobs = batch.queues[run_rows, run_cores, run_pos]
+        queue_pos[run_rows, run_cores] = run_pos + 1
+        latency = table.latency_cycles[jobs, run_cores]
+        bandwidth = table.required_bw_gbps[jobs, run_cores]
+        current_job[run_rows, run_cores] = jobs
+        remaining_work[run_rows, run_cores] = latency * bandwidth
+        required_bw[run_rows, run_cores] = bandwidth

@@ -12,6 +12,13 @@ flat vector of length ``2 * G`` split into two genomes:
 :class:`MappingCodec` owns the encode/decode/validate/repair logic;
 :class:`Mapping` is a decoded mapping description (per-core ordered job
 lists), i.e. the "mapping description" consumed by the BW allocator.
+
+The codec also offers a batched API — :meth:`MappingCodec.repair_batch` and
+:meth:`MappingCodec.decode_batch` — that repairs/decodes a whole ``(pop, 2G)``
+population in vectorized NumPy and yields a :class:`MappingBatch`, the dense
+array form consumed by the batched bandwidth allocator
+(:class:`~repro.core.bw_allocator.BatchBandwidthAllocator`).  The batch decode
+is bit-identical to decoding each row with :meth:`MappingCodec.decode`.
 """
 
 from __future__ import annotations
@@ -73,6 +80,41 @@ class Mapping:
             for core, core_jobs in enumerate(self.assignments)
         ]
         return "; ".join(parts)
+
+
+@dataclass(frozen=True)
+class MappingBatch:
+    """Dense array form of a decoded population of mappings.
+
+    ``queues[p, a, :queue_lengths[p, a]]`` is the execution order of the jobs
+    individual ``p`` assigns to core ``a`` (remaining slots are padded with
+    ``-1``), and ``selection[p, j]`` is the core job ``j`` runs on.  This is
+    the representation the batched bandwidth allocator sweeps in one
+    vectorized event loop.
+    """
+
+    selection: np.ndarray  # (pop, G) int
+    queues: np.ndarray  # (pop, A, G) int, -1 padded
+    queue_lengths: np.ndarray  # (pop, A) int
+    num_jobs: int
+
+    @property
+    def pop_size(self) -> int:
+        """Number of individuals in the batch."""
+        return self.queues.shape[0]
+
+    @property
+    def num_sub_accelerators(self) -> int:
+        """Number of cores each mapping targets."""
+        return self.queues.shape[1]
+
+    def mapping(self, index: int) -> Mapping:
+        """Materialise one individual as a :class:`Mapping` description."""
+        assignments = tuple(
+            tuple(int(j) for j in self.queues[index, a, : self.queue_lengths[index, a]])
+            for a in range(self.num_sub_accelerators)
+        )
+        return Mapping(assignments=assignments, num_jobs=self.num_jobs)
 
 
 class MappingCodec:
@@ -155,6 +197,28 @@ class MappingCodec:
         repaired[self.num_jobs:] = priority
         return repaired
 
+    def repair_batch(self, population: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`repair` of a whole ``(pop, 2G)`` population.
+
+        Applies the exact same element-wise rint/clip projection as the scalar
+        repair, so ``repair_batch(pop)[i]`` is bit-identical to
+        ``repair(pop[i])``.
+        """
+        array = np.atleast_2d(np.asarray(population, dtype=float))
+        if array.ndim != 2 or array.shape[1] != self.encoding_length:
+            raise EncodingError(
+                f"population must be a (pop, {self.encoding_length}) array, "
+                f"got shape {np.asarray(population).shape}"
+            )
+        if not np.all(np.isfinite(array)):
+            raise EncodingError("population contains non-finite values")
+        repaired = array.copy()
+        repaired[:, : self.num_jobs] = np.clip(
+            np.rint(repaired[:, : self.num_jobs]), 0, self.num_sub_accelerators - 1
+        )
+        repaired[:, self.num_jobs:] = np.clip(repaired[:, self.num_jobs:], 0.0, 1.0 - 1e-12)
+        return repaired
+
     # ------------------------------------------------------------------
     def decode(self, encoding: np.ndarray) -> Mapping:
         """Decode an encoded vector into a :class:`Mapping` description.
@@ -175,6 +239,37 @@ class MappingCodec:
         return Mapping(
             assignments=tuple(tuple(core_jobs) for core_jobs in assignments),
             num_jobs=self.num_jobs,
+        )
+
+    def decode_batch(self, population: np.ndarray) -> MappingBatch:
+        """Decode a ``(pop, 2G)`` population into a :class:`MappingBatch`.
+
+        Per-row this performs the same repair, stable priority sort (ties
+        break on job index), and per-core bucketing as :meth:`decode`, but
+        fully vectorized: the per-core queue slot of every job is derived from
+        a cumulative per-core count along the sorted order.
+        """
+        repaired = self.repair_batch(population)
+        pop = repaired.shape[0]
+        num_jobs = self.num_jobs
+        num_cores = self.num_sub_accelerators
+        selection = repaired[:, :num_jobs].astype(int)
+        priority = repaired[:, num_jobs:]
+        # Stable argsort by priority == lexsort((arange, priority)) per row.
+        order = np.argsort(priority, axis=1, kind="stable")
+        core_of_pos = np.take_along_axis(selection, order, axis=1)
+        # counts[p, pos, a] = how many of the first pos+1 sorted jobs sit on
+        # core a; the slot of each job within its core's queue follows.
+        counts = np.cumsum(core_of_pos[:, :, None] == np.arange(num_cores), axis=1)
+        rows = np.arange(pop)[:, None]
+        slots = counts[rows, np.arange(num_jobs)[None, :], core_of_pos] - 1
+        queues = np.full((pop, num_cores, num_jobs), -1, dtype=int)
+        queues[rows, core_of_pos, slots] = order
+        return MappingBatch(
+            selection=selection,
+            queues=queues,
+            queue_lengths=counts[:, -1, :],
+            num_jobs=num_jobs,
         )
 
     def encode(self, mapping: Mapping) -> np.ndarray:

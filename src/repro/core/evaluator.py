@@ -6,23 +6,47 @@ allocator simulates it under the system-bandwidth constraint, and the fitness
 function extracts the objective.  The evaluator also keeps a sample counter
 and the best-so-far trace, which every experiment uses to enforce the shared
 sampling budget and to draw convergence curves (Fig. 11, Fig. 16).
+
+Two evaluation backends are available (``backend`` constructor argument, also
+exposed as ``--eval-backend {scalar,batch}`` on the CLI):
+
+* ``"batch"`` (default) — :meth:`MappingEvaluator.evaluate_population` decodes
+  and simulates the whole population in one vectorized sweep through
+  :class:`~repro.core.bw_allocator.BatchBandwidthAllocator`, with an
+  encoding -> fitness memoization cache so elites and duplicate children cost
+  no re-simulation.  Budget accounting still charges every requested sample,
+  exactly as Section VI-B prescribes.
+* ``"scalar"`` — the original one-encoding-at-a-time reference oracle.
+
+Both backends produce bit-identical fitnesses, history, and best-encoding for
+the same inputs; the scalar path is kept as the correctness oracle for the
+equivalence property tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.accelerator import AcceleratorPlatform
 from repro.core.analyzer import JobAnalysisTable, JobAnalyzer
-from repro.core.bw_allocator import BandwidthAllocator
+from repro.core.bw_allocator import BandwidthAllocator, BatchBandwidthAllocator
 from repro.core.encoding import Mapping, MappingCodec
 from repro.core.objectives import Objective, ThroughputObjective, get_objective
 from repro.core.schedule import Schedule
-from repro.exceptions import OptimizationError
+from repro.exceptions import ConfigurationError, OptimizationError
 from repro.workloads.groups import JobGroup
+
+#: Valid values for the evaluator's ``backend`` argument.
+EVAL_BACKENDS: Tuple[str, ...] = ("scalar", "batch")
+
+#: Default evaluation backend (the vectorized fast path).
+DEFAULT_EVAL_BACKEND = "batch"
+
+#: Soft cap on the number of memoized encoding->fitness entries.
+_FITNESS_CACHE_LIMIT = 200_000
 
 
 @dataclass(frozen=True)
@@ -50,10 +74,16 @@ class MappingEvaluator:
         objective: Objective | str = "throughput",
         analysis_table: Optional[JobAnalysisTable] = None,
         sampling_budget: Optional[int] = None,
+        backend: str = DEFAULT_EVAL_BACKEND,
     ):
+        if backend not in EVAL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown evaluation backend {backend!r}; available: {list(EVAL_BACKENDS)}"
+            )
         self.group = group
         self.platform = platform
         self.objective = get_objective(objective)
+        self.backend = backend
         self.codec = MappingCodec(
             num_jobs=group.size,
             num_sub_accelerators=platform.num_sub_accelerators,
@@ -63,7 +93,14 @@ class MappingEvaluator:
             system_bandwidth_gbps=platform.system_bandwidth_gbps,
             frequency_hz=platform.sub_accelerators[0].frequency_hz,
         )
+        self.batch_allocator = BatchBandwidthAllocator(
+            system_bandwidth_gbps=platform.system_bandwidth_gbps,
+            frequency_hz=platform.sub_accelerators[0].frequency_hz,
+        )
         self.sampling_budget = sampling_budget
+        #: Memoized repaired-encoding -> fitness map used by the batch
+        #: backend.  Hits skip re-simulation but still consume budget.
+        self._fitness_cache: Dict[bytes, float] = {}
         #: When true, every evaluated encoding and its fitness are recorded
         #: (used by the exploration-visualisation experiment, Fig. 10).
         self.record_samples = False
@@ -144,35 +181,111 @@ class MappingEvaluator:
             raise OptimizationError(
                 f"sampling budget of {self.sampling_budget} evaluations exhausted"
             )
-        mapping = self.codec.decode(encoding)
-        makespan = self.allocator.makespan_cycles(mapping, self.table)
-        schedule = self._lightweight_schedule(makespan)
-        fitness = self.objective.fitness(schedule, mapping, self.table)
+        repaired = self.codec.repair(np.asarray(encoding, dtype=float))
+        if self.backend == "batch":
+            # One-at-a-time callers (RL environments, heuristics, DE trials in
+            # scalar-era code paths) share the population memo cache: repeated
+            # encodings skip re-simulation but still charge budget below.
+            key = repaired.tobytes()
+            fitness = self._fitness_cache.get(key)
+            if fitness is None:
+                fitness = float(self._scalar_fitness(repaired))
+                if len(self._fitness_cache) < _FITNESS_CACHE_LIMIT:
+                    self._fitness_cache[key] = fitness
+        else:
+            fitness = self._scalar_fitness(encoding)
         if count_sample:
-            self._samples_used += 1
-            if fitness > self._best_fitness:
-                self._best_fitness = fitness
-                self._best_encoding = self.codec.repair(np.asarray(encoding, dtype=float))
-            self._history.append(self._best_fitness)
-            if self.record_samples:
-                self._sampled_encodings.append(self.codec.repair(np.asarray(encoding, dtype=float)))
-                self._sampled_fitnesses.append(fitness)
+            self._record_sample(fitness, repaired)
         return fitness
 
     def evaluate_population(self, population: np.ndarray, count_samples: bool = True) -> np.ndarray:
         """Evaluate a ``(pop, 2G)`` array of encodings, respecting the budget.
 
-        If the budget runs out part-way through, the remaining individuals
-        receive ``-inf`` fitness so population-based optimizers can finish
-        their generation without over-spending samples.
+        On the ``batch`` backend the whole population is decoded and simulated
+        in one vectorized sweep (memoized per repaired encoding); the
+        ``scalar`` backend evaluates row by row.  Both yield bit-identical
+        fitnesses, history, and best-encoding.  If the budget runs out
+        part-way through, the remaining individuals receive ``-inf`` fitness
+        so population-based optimizers can finish their generation without
+        over-spending samples.
         """
         population = np.atleast_2d(np.asarray(population, dtype=float))
-        fitnesses = np.full(population.shape[0], -np.inf)
-        for i, encoding in enumerate(population):
-            if count_samples and self.budget_exhausted:
-                break
-            fitnesses[i] = self.evaluate(encoding, count_sample=count_samples)
+        num = population.shape[0]
+        fitnesses = np.full(num, -np.inf)
+        if count_samples:
+            remaining = self.remaining_budget
+            num_evaluated = num if remaining is None else min(num, remaining)
+        else:
+            num_evaluated = num
+        if num_evaluated == 0:
+            return fitnesses
+
+        if self.backend == "batch":
+            values, repaired = self._batch_fitnesses(population[:num_evaluated])
+        else:
+            repaired = np.stack(
+                [self.codec.repair(population[i]) for i in range(num_evaluated)]
+            )
+            values = np.array(
+                [self._scalar_fitness(population[i]) for i in range(num_evaluated)]
+            )
+
+        for i in range(num_evaluated):
+            fitness = float(values[i])
+            fitnesses[i] = fitness
+            if count_samples:
+                self._record_sample(fitness, repaired[i].copy())
         return fitnesses
+
+    # ------------------------------------------------------------------
+    # Backend internals
+    # ------------------------------------------------------------------
+    def _record_sample(self, fitness: float, repaired: np.ndarray) -> None:
+        """Charge one budget sample and update the best/history bookkeeping."""
+        self._samples_used += 1
+        if fitness > self._best_fitness:
+            self._best_fitness = fitness
+            self._best_encoding = repaired
+        self._history.append(self._best_fitness)
+        if self.record_samples:
+            self._sampled_encodings.append(repaired)
+            self._sampled_fitnesses.append(fitness)
+
+    def _scalar_fitness(self, encoding: np.ndarray) -> float:
+        """Reference fitness of one encoding via the scalar allocator."""
+        mapping = self.codec.decode(encoding)
+        makespan = self.allocator.makespan_cycles(mapping, self.table)
+        schedule = self._lightweight_schedule(makespan)
+        return self.objective.fitness(schedule, mapping, self.table)
+
+    def _batch_fitnesses(self, population: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Fitness of every row via the batched allocator, memoized.
+
+        Returns ``(fitnesses, repaired)``.  Rows whose repaired encoding was
+        seen before (earlier generations or duplicates within this batch) are
+        served from the cache without re-simulation.
+        """
+        repaired = self.codec.repair_batch(population)
+        keys = [row.tobytes() for row in repaired]
+        fresh: Dict[bytes, int] = {}
+        for i, key in enumerate(keys):
+            if key not in self._fitness_cache and key not in fresh:
+                fresh[key] = i
+        computed: Dict[bytes, float] = {}
+        if fresh:
+            rows = repaired[list(fresh.values())]
+            batch = self.codec.decode_batch(rows)
+            makespans = self.batch_allocator.makespan_cycles(batch, self.table)
+            for slot, key in enumerate(fresh):
+                schedule = self._lightweight_schedule(float(makespans[slot]))
+                mapping = batch.mapping(slot) if self.objective.needs_mapping else None
+                computed[key] = float(self.objective.fitness(schedule, mapping, self.table))
+            if len(self._fitness_cache) < _FITNESS_CACHE_LIMIT:
+                self._fitness_cache.update(computed)
+        fitnesses = np.array(
+            [computed.get(key, self._fitness_cache.get(key)) for key in keys], dtype=float
+        )
+        return fitnesses, repaired
 
     def detailed_evaluation(self, encoding: np.ndarray) -> EvaluationResult:
         """Evaluate one encoding and return the decoded mapping plus metrics."""

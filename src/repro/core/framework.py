@@ -11,17 +11,17 @@ convergence history.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.accelerator import AcceleratorPlatform
 from repro.core.analyzer import JobAnalysisTable, JobAnalyzer
 from repro.core.encoding import Mapping
-from repro.core.evaluator import MappingEvaluator
+from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, MappingEvaluator
 from repro.core.objectives import Objective
 from repro.core.schedule import Schedule
-from repro.exceptions import OptimizationError
+from repro.exceptions import ConfigurationError, OptimizationError
 from repro.utils.rng import SeedLike
 from repro.workloads.groups import JobGroup
 
@@ -82,6 +82,10 @@ class M3E:
         Objective name or instance (default ``"throughput"``).
     sampling_budget:
         Number of fitness evaluations each search may use (paper: 10K).
+    eval_backend:
+        Evaluation backend handed to every evaluator this explorer builds:
+        ``"batch"`` (vectorized population sweep, the default) or
+        ``"scalar"`` (the one-at-a-time reference oracle).
     """
 
     def __init__(
@@ -89,22 +93,40 @@ class M3E:
         platform: AcceleratorPlatform,
         objective: Objective | str = "throughput",
         sampling_budget: int = DEFAULT_SAMPLING_BUDGET,
+        eval_backend: str = DEFAULT_EVAL_BACKEND,
     ):
         if sampling_budget <= 0:
             raise OptimizationError(f"sampling_budget must be positive, got {sampling_budget}")
+        if eval_backend not in EVAL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown evaluation backend {eval_backend!r}; available: {list(EVAL_BACKENDS)}"
+            )
         self.platform = platform
         self.objective = objective
         self.sampling_budget = sampling_budget
+        self.eval_backend = eval_backend
         self._analyzer = JobAnalyzer(platform)
-        self._table_cache: Dict[int, JobAnalysisTable] = {}
+        self._table_cache: Dict[Tuple, JobAnalysisTable] = {}
 
     # ------------------------------------------------------------------
     def analyze(self, group: JobGroup) -> JobAnalysisTable:
-        """Build (and cache) the Job Analysis Table for a group."""
-        key = id(group)
+        """Build (and cache) the Job Analysis Table for a group.
+
+        The cache is keyed by a content fingerprint of the group (its layer
+        shapes, in order) rather than ``id(group)``: an ``id`` can be reused
+        by a new group once the old one is garbage collected, which would
+        silently return the wrong table.  The fingerprint also lets two
+        equal-content groups share one table.
+        """
+        key = self._group_fingerprint(group)
         if key not in self._table_cache:
             self._table_cache[key] = self._analyzer.analyze(group)
         return self._table_cache[key]
+
+    @staticmethod
+    def _group_fingerprint(group: JobGroup) -> Tuple:
+        """Hashable content key of a group; the table depends only on the layers."""
+        return tuple(job.layer for job in group.jobs)
 
     def build_evaluator(self, group: JobGroup, sampling_budget: Optional[int] = None) -> MappingEvaluator:
         """Construct the fitness evaluator for a group (pre-processing step)."""
@@ -114,6 +136,7 @@ class M3E:
             objective=self.objective,
             analysis_table=self.analyze(group),
             sampling_budget=sampling_budget if sampling_budget is not None else self.sampling_budget,
+            backend=self.eval_backend,
         )
 
     # ------------------------------------------------------------------
@@ -183,10 +206,14 @@ class M3E:
         budget, exactly as in Section VI-B.
         """
         from repro.utils.rng import spawn_rngs
+        from repro.utils.tables import unique_key
 
         rngs = spawn_rngs(seed, len(optimizers))
         results: Dict[str, SearchResult] = {}
         for algorithm, rng in zip(optimizers, rngs):
             result = self.search(group, optimizer=algorithm, seed=rng, sampling_budget=sampling_budget)
-            results[result.optimizer_name] = result
+            # Two optimizers may share a display name (e.g. two MAGMA
+            # instances with different configs); suffix instead of silently
+            # overwriting the earlier result.
+            results[unique_key(result.optimizer_name, results)] = result
         return results

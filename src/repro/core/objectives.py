@@ -26,6 +26,12 @@ class Objective(abc.ABC):
     #: Registry name, set by subclasses.
     name: str = "objective"
 
+    #: Whether :meth:`fitness` reads the decoded :class:`Mapping`.  The batch
+    #: evaluation backend only materialises per-individual Mapping objects for
+    #: objectives that need them (energy-family); makespan-only objectives set
+    #: this to ``False`` and may receive ``mapping=None`` on the fast path.
+    needs_mapping: bool = True
+
     @abc.abstractmethod
     def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
         """Return the fitness (to maximise) of one evaluated mapping."""
@@ -42,6 +48,7 @@ class ThroughputObjective(Objective):
     """Maximise group throughput (total FLOPs / makespan), the paper's default."""
 
     name = "throughput"
+    needs_mapping = False
 
     def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
         return schedule.throughput_gflops
@@ -54,6 +61,7 @@ class LatencyObjective(Objective):
     """Minimise the makespan of the group (fitness is the negated makespan)."""
 
     name = "latency"
+    needs_mapping = False
 
     def fitness(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
         return -schedule.makespan_cycles

@@ -17,6 +17,7 @@ from repro.analysis.convergence import ConvergenceCurve, convergence_from_histor
 from repro.analysis.gantt import schedule_to_bandwidth_series, schedule_to_gantt
 from repro.analysis.pca import project_encodings
 from repro.analysis.reporting import normalized_throughputs
+from repro.core.evaluator import DEFAULT_EVAL_BACKEND
 from repro.core.framework import M3E, SearchResult
 from repro.core.analyzer import JobAnalyzer
 from repro.exceptions import ExperimentError
@@ -26,7 +27,7 @@ from repro.optimizers.magma import MagmaConfig, MagmaOptimizer
 from repro.optimizers.registry import PAPER_COMPARISON_METHODS
 from repro.optimizers.warmstart import WarmStartEngine
 from repro.utils.rng import spawn_rngs
-from repro.utils.tables import geometric_mean
+from repro.utils.tables import geometric_mean, unique_key
 from repro.workloads.benchmark import TaskType, build_task_workload
 from repro.workloads.models import MODEL_REGISTRY, ModelFamily
 from repro.workloads.benchmark import DEFAULT_BATCH_SIZES
@@ -87,18 +88,22 @@ def run_method_comparison(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     group: Optional[JobGroup] = None,
+    eval_backend: str = DEFAULT_EVAL_BACKEND,
 ) -> Dict[str, SearchResult]:
     """Run several mapping methods on one (setting, bandwidth, task) problem.
 
     This is the primitive behind Fig. 8, Fig. 9, and Fig. 12: every method
     receives the same group, platform, objective, and (scaled) sampling
     budget, with independent random streams spawned from *seed*.
+    ``eval_backend`` selects the fitness-evaluation path (``"batch"`` — the
+    vectorized default — or the ``"scalar"`` reference oracle); both produce
+    bit-identical results.
     """
     scale = scale or get_scale()
     platform = build_setting(setting, bandwidth_gbps)
     if group is None:
         group = _group_for(task, platform, scale, seed)
-    explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+    explorer = M3E(platform, sampling_budget=scale.sampling_budget, eval_backend=eval_backend)
     rngs = spawn_rngs(seed, len(methods))
     results: Dict[str, SearchResult] = {}
     for method, rng in zip(methods, rngs):
@@ -108,7 +113,9 @@ def run_method_comparison(
             optimizer=optimizer,
             sampling_budget=_budget_for(method, scale),
         )
-        results[result.optimizer_name] = result
+        # Same-named methods (e.g. the same optimizer requested twice) must
+        # not silently overwrite each other; suffix like M3E.compare does.
+        results[unique_key(result.optimizer_name, results)] = result
     return results
 
 

@@ -69,15 +69,23 @@ class BaseOptimizer(abc.ABC):
         population_size: int,
         initial_encodings: Optional[np.ndarray],
     ) -> np.ndarray:
-        """Random population, optionally seeded with user-provided encodings."""
+        """Random population, optionally seeded with user-provided encodings.
+
+        When the warm-start engine supplies more seeds than
+        ``population_size`` every seed is kept, so the returned population can
+        be *larger* than requested — population-based optimizers must size
+        their generations from ``len(population)``, not their configured
+        population size.
+        """
         if population_size <= 0:
             raise OptimizationError(f"population_size must be positive, got {population_size}")
         population = evaluator.codec.random_population(population_size, self.rng)
         if initial_encodings is not None:
-            seeds = np.atleast_2d(np.asarray(initial_encodings, dtype=float))
-            count = min(len(seeds), population_size)
-            for i in range(count):
-                population[i] = evaluator.codec.repair(seeds[i])
+            seeds = evaluator.codec.repair_batch(initial_encodings)
+            if len(seeds) >= population_size:
+                population = seeds.copy()
+            else:
+                population[: len(seeds)] = seeds
         return population
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

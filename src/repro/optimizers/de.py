@@ -1,9 +1,11 @@
 """Differential Evolution baseline (DE in Table IV of the paper).
 
-Classic ``DE/rand/1/bin`` with the paper's weights (0.8 for both the local
-and global differential vectors).  DE operates on the raw real-valued
-encoding; the evaluator's repair step projects candidates back into the valid
-mapping domain before decoding.
+Classic generational ``DE/rand-to-best/1/bin`` with the paper's weights (0.8
+for both the local and global differential vectors).  DE operates on the raw
+real-valued encoding; the codec's repair step projects candidates back into
+the valid mapping domain before decoding.  All trial vectors of a generation
+are built first and then evaluated as one population, so the evaluator's
+batch backend simulates the whole generation in a single vectorized sweep.
 """
 
 from __future__ import annotations
@@ -55,12 +57,12 @@ class DifferentialEvolutionOptimizer(BaseOptimizer):
         generations = 0
 
         while not evaluator.budget_exhausted:
+            pop_size = len(population)
             best_index = int(np.argmax(fitnesses))
             best = population[best_index]
-            for i in range(self.population_size):
-                if evaluator.budget_exhausted:
-                    break
-                candidates = [idx for idx in range(self.population_size) if idx != i]
+            trials = np.empty_like(population)
+            for i in range(pop_size):
+                candidates = [idx for idx in range(pop_size) if idx != i]
                 r1, r2 = self.rng.choice(candidates, size=2, replace=False)
                 # rand-to-best mutation: pull towards the population best
                 # (global weight) plus a scaled random difference (local weight).
@@ -72,12 +74,14 @@ class DifferentialEvolutionOptimizer(BaseOptimizer):
                 # Binomial crossover with a guaranteed mutant gene.
                 cross_mask = self.rng.random(dimension) < self.crossover_probability
                 cross_mask[int(self.rng.integers(0, dimension))] = True
-                trial = np.where(cross_mask, mutant, population[i])
-                trial = codec.repair(trial)
-                trial_fitness = evaluator.evaluate(trial)
-                if trial_fitness >= fitnesses[i]:
-                    population[i] = trial
-                    fitnesses[i] = trial_fitness
+                trials[i] = codec.repair(np.where(cross_mask, mutant, population[i]))
+            trial_fitnesses = evaluator.evaluate_population(trials)
+            # Trials left unevaluated by budget exhaustion carry -inf and must
+            # never replace an incumbent (even an -inf one from a truncated
+            # initial evaluation).
+            improved = (trial_fitnesses >= fitnesses) & np.isfinite(trial_fitnesses)
+            population[improved] = trials[improved]
+            fitnesses[improved] = trial_fitnesses[improved]
             generations += 1
 
         self.metadata["generations"] = generations

@@ -117,16 +117,21 @@ class MagmaOptimizer(BaseOptimizer):
         population = population[order]
         fitnesses = fitnesses[order]
 
-        num_elites = max(1, int(round(cfg.elite_ratio * cfg.population_size)))
+        # Elitism must follow the *actual* population size: warm-starting with
+        # more initial encodings than cfg.population_size (Section V-C) grows
+        # the population, and sizing elites from the configured value would
+        # desynchronize the elite/child split from the sorted population.
+        pop_size = len(population)
+        num_elites = max(1, int(round(cfg.elite_ratio * pop_size)))
         elites = population[:num_elites]
 
         children: List[np.ndarray] = []
         parent_pool = population[: max(2, num_elites * 2)]
-        while len(children) < cfg.population_size - num_elites:
+        while len(children) < pop_size - num_elites:
             dad, mom = self._pick_parents(parent_pool)
             child_a, child_b = self._recombine(dad, mom, codec)
             children.append(operators.mutate(child_a, codec, self.rng, cfg.mutation_rate))
-            if len(children) < cfg.population_size - num_elites:
+            if len(children) < pop_size - num_elites:
                 children.append(operators.mutate(child_b, codec, self.rng, cfg.mutation_rate))
 
         next_population = np.vstack([elites, np.asarray(children)])

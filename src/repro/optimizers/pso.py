@@ -63,7 +63,8 @@ class PSOOptimizer(BaseOptimizer):
         span = np.maximum(upper - lower, 1e-9)
 
         positions = self._initial_population(evaluator, self.population_size, initial_encodings)
-        velocities = (self.rng.random((self.population_size, dimension)) - 0.5) * span * 0.1
+        num_particles = len(positions)  # can exceed population_size with warm-start seeds
+        velocities = (self.rng.random((num_particles, dimension)) - 0.5) * span * 0.1
         fitnesses = evaluator.evaluate_population(positions)
 
         personal_best = positions.copy()
@@ -75,8 +76,8 @@ class PSOOptimizer(BaseOptimizer):
         iterations = 0
         clamp = self.velocity_clamp * span
         while not evaluator.budget_exhausted:
-            r_personal = self.rng.random((self.population_size, dimension))
-            r_global = self.rng.random((self.population_size, dimension))
+            r_personal = self.rng.random((num_particles, dimension))
+            r_global = self.rng.random((num_particles, dimension))
             velocities = (
                 self.momentum * velocities
                 + self.personal_best_weight * r_personal * (personal_best - positions)

@@ -4,6 +4,10 @@ Uniform random sampling of the mapping space.  With a very large budget this
 is the "exhaustively sampled" best-effort optimum the paper uses as the
 reference point in Fig. 10; with the standard budget it is the weakest
 sensible baseline and a useful sanity check for every other algorithm.
+
+Samples are proposed in batches so the evaluator's ``batch`` backend
+simulates each batch in one vectorized sweep; the evaluator truncates the
+final batch at the remaining sampling budget.
 """
 
 from __future__ import annotations

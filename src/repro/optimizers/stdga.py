@@ -57,13 +57,16 @@ class StandardGAOptimizer(BaseOptimizer):
         while not evaluator.budget_exhausted:
             order = np.argsort(fitnesses)[::-1]
             population, fitnesses = population[order], fitnesses[order]
-            num_elites = max(1, int(round(self.elite_ratio * self.population_size)))
+            # Size elites and children from the actual population, which can
+            # exceed population_size when warm-start seeds were injected.
+            pop_size = len(population)
+            num_elites = max(1, int(round(self.elite_ratio * pop_size)))
             children: List[np.ndarray] = []
-            while len(children) < self.population_size - num_elites:
+            while len(children) < pop_size - num_elites:
                 dad, mom = self._tournament(population, fitnesses), self._tournament(population, fitnesses)
                 son, daughter = self._crossover(dad, mom, evaluator)
                 children.append(self._mutate(son, evaluator))
-                if len(children) < self.population_size - num_elites:
+                if len(children) < pop_size - num_elites:
                     children.append(self._mutate(daughter, evaluator))
             child_array = np.asarray(children)
             child_fitnesses = evaluator.evaluate_population(child_array)

@@ -9,7 +9,7 @@ from repro.utils.units import (
     bytes_per_cycle_to_gbps,
     macs_to_flops,
 )
-from repro.utils.tables import format_table, geometric_mean
+from repro.utils.tables import format_table, geometric_mean, unique_key
 
 __all__ = [
     "ensure_rng",
@@ -22,4 +22,5 @@ __all__ = [
     "macs_to_flops",
     "format_table",
     "geometric_mean",
+    "unique_key",
 ]

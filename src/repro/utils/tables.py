@@ -3,7 +3,23 @@
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Container, Iterable, Sequence
+
+
+def unique_key(name: str, existing: Container[str]) -> str:
+    """Return *name*, suffixed ``#2``/``#3``/... if it collides with *existing*.
+
+    Shared by every results-dict builder (``M3E.compare``,
+    ``run_method_comparison``, ``ComparisonReport.add``) so two optimizers
+    with the same display name are reported side by side instead of silently
+    overwriting each other — and so the collision policy lives in one place.
+    """
+    if name not in existing:
+        return name
+    suffix = 2
+    while f"{name}#{suffix}" in existing:
+        suffix += 1
+    return f"{name}#{suffix}"
 
 
 def geometric_mean(values: Iterable[float]) -> float:

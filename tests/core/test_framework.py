@@ -60,6 +60,57 @@ class TestM3E:
         assert set(results) == {"Herald-like", "AI-MT-like", "Random"}
         assert all(r.throughput_gflops > 0 for r in results.values())
 
+    def test_analysis_cache_survives_group_id_reuse(self, small_platform):
+        """Regression: the table cache was keyed by ``id(group)``, so a new
+        group reusing a garbage-collected group's id silently received the
+        wrong (stale) table."""
+        import gc
+
+        from repro.workloads import TaskType, build_task_workload
+
+        explorer = M3E(small_platform, sampling_budget=50)
+
+        def table_for(seed):
+            group = build_task_workload(
+                TaskType.MIX, group_size=8, seed=seed,
+                num_sub_accelerators=small_platform.num_sub_accelerators,
+            )[0]
+            return explorer.analyze(group)
+
+        # Many create/analyze/discard cycles: with id() keying, CPython
+        # routinely reuses a freed group's id and returns the wrong table.
+        tables = [table_for(seed) for seed in range(6)]
+        gc.collect()
+        for seed in range(6):
+            fresh_group = build_task_workload(
+                TaskType.MIX, group_size=8, seed=seed,
+                num_sub_accelerators=small_platform.num_sub_accelerators,
+            )[0]
+            fresh = explorer.analyze(fresh_group)
+            assert np.array_equal(fresh.latency_cycles, tables[seed].latency_cycles)
+            assert np.array_equal(fresh.required_bw_gbps, tables[seed].required_bw_gbps)
+
+    def test_compare_does_not_overwrite_same_named_optimizers(self, small_platform, mix_group):
+        """Regression: two optimizers sharing a display name silently
+        overwrote each other in the compare() results dict."""
+        explorer = M3E(small_platform, sampling_budget=40)
+        twins = [
+            MagmaOptimizer(seed=0, population_size=8),
+            MagmaOptimizer(seed=1, population_size=10),
+        ]
+        results = explorer.compare(mix_group, optimizers=twins, seed=0)
+        assert len(results) == 2
+        assert set(results) == {"MAGMA", "MAGMA#2"}
+        assert all(r.throughput_gflops > 0 for r in results.values())
+
+    def test_eval_backend_validated_and_threaded(self, small_platform, mix_group):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            M3E(small_platform, eval_backend="nope")
+        explorer = M3E(small_platform, sampling_budget=50, eval_backend="scalar")
+        assert explorer.build_evaluator(mix_group).backend == "scalar"
+
     def test_warm_start_encodings_accepted(self, small_platform, mix_group):
         explorer = M3E(small_platform, sampling_budget=60)
         evaluator = explorer.build_evaluator(mix_group)

@@ -88,6 +88,30 @@ class TestFig16:
             assert all(value > 0 for value in panel.values())
 
 
+class TestMethodComparison:
+    def test_duplicate_methods_are_suffixed_not_overwritten(self):
+        """Regression: requesting the same method twice silently dropped one
+        result from the comparison dict (and from the CLI report)."""
+        results = run_method_comparison(
+            "S2", 16.0, TaskType.MIX, methods=("magma", "magma"), scale=SMOKE, seed=0
+        )
+        assert set(results) == {"MAGMA", "MAGMA#2"}
+
+    def test_eval_backends_agree_end_to_end(self):
+        per_backend = {
+            backend: run_method_comparison(
+                "S2", 16.0, TaskType.MIX, methods=("magma", "random"),
+                scale=SMOKE, seed=0, eval_backend=backend,
+            )
+            for backend in ("scalar", "batch")
+        }
+        for name in per_backend["scalar"]:
+            assert (
+                per_backend["scalar"][name].best_fitness
+                == per_backend["batch"][name].best_fitness
+            )
+
+
 class TestFig17:
     def test_group_size_sweep_normalised(self):
         result = run_fig17_group_size(scale=SMOKE, group_sizes=(4, 8, 16), seed=0)

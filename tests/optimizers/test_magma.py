@@ -68,6 +68,27 @@ class TestSearchBehaviour:
         initial_best = max(history[:16])
         assert evaluator.best_fitness >= initial_best
 
+    def test_elitism_follows_actual_population_size(self, small_platform, mix_group):
+        """Regression: num_elites was derived from cfg.population_size, which
+        desynchronizes elitism when warm-start seeds grow the population."""
+        evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=200)
+        optimizer = MagmaOptimizer(seed=7, population_size=4, elite_ratio=0.5)
+        # 12 warm-start seeds > population_size=4: the population is 12-wide.
+        seeds = evaluator.codec.random_population(12, rng=8)
+        population = optimizer._initial_population(evaluator, 4, seeds)
+        assert len(population) == 12
+        fitnesses = evaluator.evaluate_population(population)
+        next_population, next_fitnesses = optimizer._next_generation(
+            evaluator, population, fitnesses
+        )
+        # Generation size is preserved and elites count follows the actual
+        # population (6 = 0.5 * 12), not the configured size (2 = 0.5 * 4).
+        assert len(next_population) == 12
+        assert len(next_fitnesses) == 12
+        order = np.argsort(fitnesses)[::-1]
+        expected_elites = population[order][:6]
+        assert np.array_equal(next_population[:6], expected_elites)
+
     def test_warm_start_population_is_used(self, small_platform, mix_group):
         evaluator = MappingEvaluator(mix_group, small_platform, sampling_budget=40)
         seed_encoding = evaluator.codec.random_encoding(rng=5)
