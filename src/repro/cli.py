@@ -16,9 +16,12 @@ Run one of the paper's experiments (figure / table) at a chosen scale::
 
 Fitness evaluation defaults to the vectorized ``batch`` backend; pass
 ``--eval-backend scalar`` to ``search``/``compare`` to force the
-one-encoding-at-a-time reference oracle (bit-identical, much slower)::
+one-encoding-at-a-time reference oracle (bit-identical, much slower), or
+``--eval-backend parallel`` to shard the batch sweep across worker processes
+(``--eval-workers N`` sizes the pool, default one per CPU core)::
 
     repro-magma search --setting S2 --task mix --eval-backend scalar
+    repro-magma search --setting S2 --task mix --eval-backend parallel --eval-workers 4
 """
 
 from __future__ import annotations
@@ -90,7 +93,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_sub_accelerators=platform.num_sub_accelerators,
     )[0]
-    explorer = M3E(platform, sampling_budget=args.budget, eval_backend=args.eval_backend)
+    explorer = M3E(
+        platform,
+        sampling_budget=args.budget,
+        eval_backend=args.eval_backend,
+        eval_workers=args.eval_workers,
+    )
     result = explorer.search(group, optimizer=args.optimizer, seed=args.seed)
     print(platform.describe())
     print(
@@ -113,6 +121,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         scale=scale,
         seed=args.seed,
         eval_backend=args.eval_backend,
+        eval_workers=args.eval_workers,
     )
     report = ComparisonReport(
         title=f"{args.task} on {args.setting} (BW={args.bandwidth} GB/s, scale={scale.name})"
@@ -175,7 +184,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--eval-backend",
         default=DEFAULT_EVAL_BACKEND,
         choices=list(EVAL_BACKENDS),
-        help="fitness evaluation path: vectorized 'batch' (default) or the 'scalar' oracle",
+        help="fitness evaluation path: vectorized 'batch' (default), multi-process "
+        "'parallel', or the 'scalar' oracle",
+    )
+    search.add_argument(
+        "--eval-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --eval-backend parallel (default: one per CPU core)",
     )
     search.add_argument("--show-schedule", action="store_true")
     search.set_defaults(func=_cmd_search)
@@ -191,7 +208,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--eval-backend",
         default=DEFAULT_EVAL_BACKEND,
         choices=list(EVAL_BACKENDS),
-        help="fitness evaluation path: vectorized 'batch' (default) or the 'scalar' oracle",
+        help="fitness evaluation path: vectorized 'batch' (default), multi-process "
+        "'parallel', or the 'scalar' oracle",
+    )
+    compare.add_argument(
+        "--eval-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --eval-backend parallel (default: one per CPU core)",
     )
     compare.set_defaults(func=_cmd_compare)
 

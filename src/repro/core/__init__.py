@@ -13,6 +13,7 @@ from repro.core.schedule import Schedule, ScheduledJob
 from repro.core.objectives import Objective, ThroughputObjective, LatencyObjective, EnergyObjective, EDPObjective, get_objective
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, MappingEvaluator, EvaluationResult
 from repro.core.framework import M3E, SearchResult
+from repro.core.parallel import EvaluatorSpec, ParallelEvaluationPool, SimulationRig
 
 __all__ = [
     "Mapping",
@@ -36,6 +37,9 @@ __all__ = [
     "get_objective",
     "MappingEvaluator",
     "EvaluationResult",
+    "EvaluatorSpec",
+    "ParallelEvaluationPool",
+    "SimulationRig",
     "M3E",
     "SearchResult",
 ]

@@ -263,35 +263,46 @@ class BatchBandwidthAllocator:
         active = current_job >= 0
         live = active.any(axis=1)
 
-        while np.any(live):
-            # Column-by-column accumulation mirrors the scalar allocator's
-            # sequential per-core demand sum bit for bit (idle slots hold 0.0).
-            total_demand = np.zeros(pop)
-            for core in range(num_cores):
-                total_demand = total_demand + required_bw[:, core]
-            over = total_demand > self.system_bandwidth_gbps
-            scale = np.ones(pop)
-            np.divide(self.system_bandwidth_gbps, total_demand, out=scale, where=over)
-            allocation = np.where(over[:, None], required_bw * scale[:, None], required_bw)
+        # Reused per-iteration buffers: the event loop runs O(G) iterations
+        # whose cost is dominated by per-op overhead on small arrays, so
+        # in-place arithmetic (identical values, no reallocation) measurably
+        # shortens the sweep — which is also what lets the parallel backend's
+        # shards scale.  The errstate guard is hoisted for the same reason.
+        total_demand = np.zeros(pop)
+        scale = np.empty(pop)
+        step_work = np.empty((pop, num_cores))
 
-            with np.errstate(divide="ignore", invalid="ignore"):
+        with np.errstate(divide="ignore", invalid="ignore"):
+            while np.any(live):
+                # Column-by-column accumulation mirrors the scalar allocator's
+                # sequential per-core demand sum bit for bit (idle slots hold 0.0).
+                total_demand[:] = required_bw[:, 0]
+                for core in range(1, num_cores):
+                    np.add(total_demand, required_bw[:, core], out=total_demand)
+                over = total_demand > self.system_bandwidth_gbps
+                scale.fill(1.0)
+                np.divide(self.system_bandwidth_gbps, total_demand, out=scale, where=over)
+                allocation = np.where(over[:, None], required_bw * scale[:, None], required_bw)
+
                 runtimes = np.where(
                     active, remaining_work / np.maximum(allocation, _EPSILON), np.inf
                 )
-            dt_rows = runtimes.min(axis=1)
-            if np.any(live & (~np.isfinite(dt_rows) | (dt_rows < 0))):
-                raise SchedulingError("bandwidth allocation produced a non-finite time step")
-            dt = np.where(live, dt_rows, 0.0)
+                dt_rows = runtimes.min(axis=1)
+                if np.any(live & (~np.isfinite(dt_rows) | (dt_rows < 0))):
+                    raise SchedulingError("bandwidth allocation produced a non-finite time step")
+                dt = np.where(live, dt_rows, 0.0)
 
-            finished = active & (runtimes <= dt[:, None] * (1.0 + 1e-12) + _EPSILON)
-            remaining_work = np.maximum(remaining_work - dt[:, None] * allocation, 0.0)
-            remaining_work[finished] = 0.0
-            now = now + dt
+                finished = active & (runtimes <= dt[:, None] * (1.0 + 1e-12) + _EPSILON)
+                np.multiply(allocation, dt[:, None], out=step_work)
+                np.subtract(remaining_work, step_work, out=remaining_work)
+                np.maximum(remaining_work, 0.0, out=remaining_work)
+                remaining_work[finished] = 0.0
+                now = now + dt
 
-            self._launch(batch, table, queue_pos, current_job, remaining_work, required_bw,
-                         finished)
-            active = current_job >= 0
-            live = active.any(axis=1)
+                self._launch(batch, table, queue_pos, current_job, remaining_work, required_bw,
+                             finished)
+                active = current_job >= 0
+                live = active.any(axis=1)
 
         return now
 

@@ -7,8 +7,8 @@ function extracts the objective.  The evaluator also keeps a sample counter
 and the best-so-far trace, which every experiment uses to enforce the shared
 sampling budget and to draw convergence curves (Fig. 11, Fig. 16).
 
-Two evaluation backends are available (``backend`` constructor argument, also
-exposed as ``--eval-backend {scalar,batch}`` on the CLI):
+Three evaluation backends are available (``backend`` constructor argument,
+also exposed as ``--eval-backend {scalar,batch,parallel}`` on the CLI):
 
 * ``"batch"`` (default) — :meth:`MappingEvaluator.evaluate_population` decodes
   and simulates the whole population in one vectorized sweep through
@@ -16,9 +16,16 @@ exposed as ``--eval-backend {scalar,batch}`` on the CLI):
   encoding -> fitness memoization cache so elites and duplicate children cost
   no re-simulation.  Budget accounting still charges every requested sample,
   exactly as Section VI-B prescribes.
+* ``"parallel"`` — the batch sweep sharded across a persistent pool of worker
+  processes (:mod:`repro.core.parallel`); ``num_workers`` picks the pool
+  size (default: one per CPU core).  Workers run the same
+  :class:`~repro.core.parallel.SimulationRig` code path the batch backend
+  uses in process, and the memo cache stays in the main process (only cache
+  misses are dispatched, computed fitnesses are merged back), so the results
+  are bit-identical to ``batch``.
 * ``"scalar"`` — the original one-encoding-at-a-time reference oracle.
 
-Both backends produce bit-identical fitnesses, history, and best-encoding for
+All backends produce bit-identical fitnesses, history, and best-encoding for
 the same inputs; the scalar path is kept as the correctness oracle for the
 equivalence property tests.
 """
@@ -35,12 +42,13 @@ from repro.core.analyzer import JobAnalysisTable, JobAnalyzer
 from repro.core.bw_allocator import BandwidthAllocator, BatchBandwidthAllocator
 from repro.core.encoding import Mapping, MappingCodec
 from repro.core.objectives import Objective, ThroughputObjective, get_objective
+from repro.core.parallel import EvaluatorSpec, ParallelEvaluationPool, SimulationRig
 from repro.core.schedule import Schedule
 from repro.exceptions import ConfigurationError, OptimizationError
 from repro.workloads.groups import JobGroup
 
 #: Valid values for the evaluator's ``backend`` argument.
-EVAL_BACKENDS: Tuple[str, ...] = ("scalar", "batch")
+EVAL_BACKENDS: Tuple[str, ...] = ("scalar", "batch", "parallel")
 
 #: Default evaluation backend (the vectorized fast path).
 DEFAULT_EVAL_BACKEND = "batch"
@@ -75,6 +83,7 @@ class MappingEvaluator:
         analysis_table: Optional[JobAnalysisTable] = None,
         sampling_budget: Optional[int] = None,
         backend: str = DEFAULT_EVAL_BACKEND,
+        num_workers: Optional[int] = None,
     ):
         if backend not in EVAL_BACKENDS:
             raise ConfigurationError(
@@ -97,6 +106,26 @@ class MappingEvaluator:
             system_bandwidth_gbps=platform.system_bandwidth_gbps,
             frequency_hz=platform.sub_accelerators[0].frequency_hz,
         )
+        #: The row-fitness engine shared (as a code path) with parallel workers.
+        self._rig = SimulationRig(
+            codec=self.codec,
+            allocator=self.batch_allocator,
+            table=self.table,
+            objective=self.objective,
+        )
+        self._pool: Optional[ParallelEvaluationPool] = None
+        if backend == "parallel":
+            self._pool = ParallelEvaluationPool(
+                spec=EvaluatorSpec.capture(
+                    self.codec, self.batch_allocator, self.table, self.objective
+                ),
+                num_workers=num_workers,
+            )
+        elif num_workers is not None:
+            raise ConfigurationError(
+                f"num_workers is only meaningful for the 'parallel' backend, "
+                f"not {backend!r}"
+            )
         self.sampling_budget = sampling_budget
         #: Memoized repaired-encoding -> fitness map used by the batch
         #: backend.  Hits skip re-simulation but still consume budget.
@@ -182,10 +211,12 @@ class MappingEvaluator:
                 f"sampling budget of {self.sampling_budget} evaluations exhausted"
             )
         repaired = self.codec.repair(np.asarray(encoding, dtype=float))
-        if self.backend == "batch":
+        if self.backend in ("batch", "parallel"):
             # One-at-a-time callers (RL environments, heuristics, DE trials in
             # scalar-era code paths) share the population memo cache: repeated
             # encodings skip re-simulation but still charge budget below.
+            # Single encodings are never dispatched to workers — the IPC cost
+            # would dwarf the simulation.
             key = repaired.tobytes()
             fitness = self._fitness_cache.get(key)
             if fitness is None:
@@ -193,7 +224,11 @@ class MappingEvaluator:
                 if len(self._fitness_cache) < _FITNESS_CACHE_LIMIT:
                     self._fitness_cache[key] = fitness
         else:
-            fitness = self._scalar_fitness(encoding)
+            # The scalar oracle must score the *repaired* encoding, exactly
+            # like the batch path: simulating the raw vector would let the two
+            # backends (and the recorded best_encoding's fitness) disagree on
+            # out-of-domain encodings.
+            fitness = self._scalar_fitness(repaired)
         if count_sample:
             self._record_sample(fitness, repaired)
         return fitness
@@ -202,12 +237,12 @@ class MappingEvaluator:
         """Evaluate a ``(pop, 2G)`` array of encodings, respecting the budget.
 
         On the ``batch`` backend the whole population is decoded and simulated
-        in one vectorized sweep (memoized per repaired encoding); the
-        ``scalar`` backend evaluates row by row.  Both yield bit-identical
-        fitnesses, history, and best-encoding.  If the budget runs out
-        part-way through, the remaining individuals receive ``-inf`` fitness
-        so population-based optimizers can finish their generation without
-        over-spending samples.
+        in one vectorized sweep (memoized per repaired encoding); ``parallel``
+        shards the same sweep across worker processes; the ``scalar`` backend
+        evaluates row by row.  All yield bit-identical fitnesses, history, and
+        best-encoding.  If the budget runs out part-way through, the remaining
+        individuals receive ``-inf`` fitness so population-based optimizers
+        can finish their generation without over-spending samples.
         """
         population = np.atleast_2d(np.asarray(population, dtype=float))
         num = population.shape[0]
@@ -220,21 +255,27 @@ class MappingEvaluator:
         if num_evaluated == 0:
             return fitnesses
 
-        if self.backend == "batch":
-            values, repaired = self._batch_fitnesses(population[:num_evaluated])
+        if self.backend == "parallel":
+            values, repaired = self._memoized_fitnesses(
+                population[:num_evaluated], self._pool.evaluate
+            )
+        elif self.backend == "batch":
+            values, repaired = self._memoized_fitnesses(
+                population[:num_evaluated], self._rig.fitnesses_for_rows
+            )
         else:
+            # The scalar oracle simulates the repaired rows (the batch path
+            # always has), so out-of-domain encodings score identically.
             repaired = np.stack(
                 [self.codec.repair(population[i]) for i in range(num_evaluated)]
             )
             values = np.array(
-                [self._scalar_fitness(population[i]) for i in range(num_evaluated)]
+                [self._scalar_fitness(repaired[i]) for i in range(num_evaluated)]
             )
 
-        for i in range(num_evaluated):
-            fitness = float(values[i])
-            fitnesses[i] = fitness
-            if count_samples:
-                self._record_sample(fitness, repaired[i].copy())
+        fitnesses[:num_evaluated] = values
+        if count_samples:
+            self._record_population(values, repaired)
         return fitnesses
 
     # ------------------------------------------------------------------
@@ -251,6 +292,27 @@ class MappingEvaluator:
             self._sampled_encodings.append(repaired)
             self._sampled_fitnesses.append(fitness)
 
+    def _record_population(self, fitnesses: np.ndarray, repaired: np.ndarray) -> None:
+        """Vectorized :meth:`_record_sample` over a whole evaluated population.
+
+        Produces exactly the bookkeeping a per-row loop would — the running
+        best is a cumulative maximum seeded with the previous best, and the
+        best encoding is the first row achieving the new maximum — but in a
+        handful of array ops, so ``record_samples=True`` reporting runs
+        (Fig. 10/15-style full-timeline recording) stay on the fast path.
+        """
+        num = len(fitnesses)
+        self._samples_used += num
+        running_best = np.maximum.accumulate(np.maximum(fitnesses, self._best_fitness))
+        self._history.extend(float(v) for v in running_best)
+        new_best = float(running_best[-1])
+        if new_best > self._best_fitness:
+            self._best_fitness = new_best
+            self._best_encoding = repaired[int(np.argmax(fitnesses))].copy()
+        if self.record_samples:
+            self._sampled_encodings.extend(repaired[i].copy() for i in range(num))
+            self._sampled_fitnesses.extend(float(v) for v in fitnesses)
+
     def _scalar_fitness(self, encoding: np.ndarray) -> float:
         """Reference fitness of one encoding via the scalar allocator."""
         mapping = self.codec.decode(encoding)
@@ -258,12 +320,17 @@ class MappingEvaluator:
         schedule = self._lightweight_schedule(makespan)
         return self.objective.fitness(schedule, mapping, self.table)
 
-    def _batch_fitnesses(self, population: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Fitness of every row via the batched allocator, memoized.
+    def _memoized_fitnesses(
+        self, population: np.ndarray, simulate: Callable[[np.ndarray], np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fitness of every row, memoized; *simulate* scores the cache misses.
 
         Returns ``(fitnesses, repaired)``.  Rows whose repaired encoding was
         seen before (earlier generations or duplicates within this batch) are
-        served from the cache without re-simulation.
+        served from the cache without re-simulation; only the unique misses
+        reach *simulate* — the in-process batch sweep or the worker pool.
+        Freshly computed fitnesses merge back into the main-process cache, so
+        parallel workers never need shared state.
         """
         repaired = self.codec.repair_batch(population)
         keys = [row.tobytes() for row in repaired]
@@ -273,13 +340,8 @@ class MappingEvaluator:
                 fresh[key] = i
         computed: Dict[bytes, float] = {}
         if fresh:
-            rows = repaired[list(fresh.values())]
-            batch = self.codec.decode_batch(rows)
-            makespans = self.batch_allocator.makespan_cycles(batch, self.table)
-            for slot, key in enumerate(fresh):
-                schedule = self._lightweight_schedule(float(makespans[slot]))
-                mapping = batch.mapping(slot) if self.objective.needs_mapping else None
-                computed[key] = float(self.objective.fitness(schedule, mapping, self.table))
+            values = simulate(repaired[list(fresh.values())])
+            computed = {key: float(values[slot]) for slot, key in enumerate(fresh)}
             if len(self._fitness_cache) < _FITNESS_CACHE_LIMIT:
                 self._fitness_cache.update(computed)
         fitnesses = np.array(
@@ -288,8 +350,15 @@ class MappingEvaluator:
         return fitnesses, repaired
 
     def detailed_evaluation(self, encoding: np.ndarray) -> EvaluationResult:
-        """Evaluate one encoding and return the decoded mapping plus metrics."""
-        mapping = self.codec.decode(encoding)
+        """Evaluate one encoding and return the decoded mapping plus metrics.
+
+        The encoding is repaired first, so the metrics always describe the
+        same point the search fitness was measured at — a continuous
+        optimizer's raw, out-of-domain vector must not yield a different
+        result than its recorded (repaired) counterpart.
+        """
+        repaired = self.codec.repair(np.asarray(encoding, dtype=float))
+        mapping = self.codec.decode(repaired)
         schedule = self.allocator.allocate(mapping, self.table)
         fitness = self.objective.fitness(schedule, mapping, self.table)
         value = self.objective.report_value(schedule, mapping, self.table)
@@ -301,9 +370,30 @@ class MappingEvaluator:
         )
 
     def schedule_for(self, encoding: np.ndarray) -> Schedule:
-        """Return the full schedule (timeline + bandwidth segments) of an encoding."""
-        mapping = self.codec.decode(encoding)
+        """Return the full schedule (timeline + bandwidth segments) of an encoding.
+
+        Repairs before decoding, for the same reason as
+        :meth:`detailed_evaluation`.
+        """
+        repaired = self.codec.repair(np.asarray(encoding, dtype=float))
+        mapping = self.codec.decode(repaired)
         return self.allocator.allocate(mapping, self.table)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (the parallel backend's worker pool).
+
+        Safe to call on any backend and more than once; a closed parallel
+        evaluator lazily restarts its pool if it is used again.
+        """
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "MappingEvaluator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     def _lightweight_schedule(self, makespan_cycles: float) -> Schedule:
@@ -311,13 +401,7 @@ class MappingEvaluator:
 
         The throughput / latency objectives only need the makespan and the
         total FLOPs; skipping the per-job timeline keeps the inner loop of
-        10K-sample searches fast.
+        10K-sample searches fast.  Delegates to the rig so the scalar oracle
+        and the batch/parallel paths share one construction.
         """
-        return Schedule(
-            jobs=(),
-            segments=(),
-            num_sub_accelerators=self.platform.num_sub_accelerators,
-            total_flops=self.table.total_flops,
-            frequency_hz=self.allocator.frequency_hz,
-            makespan_cycles_override=makespan_cycles,
-        )
+        return self._rig.summary_schedule(makespan_cycles)

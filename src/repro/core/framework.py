@@ -84,8 +84,13 @@ class M3E:
         Number of fitness evaluations each search may use (paper: 10K).
     eval_backend:
         Evaluation backend handed to every evaluator this explorer builds:
-        ``"batch"`` (vectorized population sweep, the default) or
-        ``"scalar"`` (the one-at-a-time reference oracle).
+        ``"batch"`` (vectorized population sweep, the default), ``"parallel"``
+        (the batch sweep sharded across worker processes), or ``"scalar"``
+        (the one-at-a-time reference oracle).
+    eval_workers:
+        Worker-process count for the ``parallel`` backend (default: one per
+        CPU core).  Rejected for the other backends, where it would be
+        silently meaningless.
     """
 
     def __init__(
@@ -94,6 +99,7 @@ class M3E:
         objective: Objective | str = "throughput",
         sampling_budget: int = DEFAULT_SAMPLING_BUDGET,
         eval_backend: str = DEFAULT_EVAL_BACKEND,
+        eval_workers: Optional[int] = None,
     ):
         if sampling_budget <= 0:
             raise OptimizationError(f"sampling_budget must be positive, got {sampling_budget}")
@@ -101,10 +107,16 @@ class M3E:
             raise ConfigurationError(
                 f"unknown evaluation backend {eval_backend!r}; available: {list(EVAL_BACKENDS)}"
             )
+        if eval_workers is not None and eval_backend != "parallel":
+            raise ConfigurationError(
+                f"eval_workers is only meaningful for the 'parallel' backend, "
+                f"not {eval_backend!r}"
+            )
         self.platform = platform
         self.objective = objective
         self.sampling_budget = sampling_budget
         self.eval_backend = eval_backend
+        self.eval_workers = eval_workers
         self._analyzer = JobAnalyzer(platform)
         self._table_cache: Dict[Tuple, JobAnalysisTable] = {}
 
@@ -137,6 +149,7 @@ class M3E:
             analysis_table=self.analyze(group),
             sampling_budget=sampling_budget if sampling_budget is not None else self.sampling_budget,
             backend=self.eval_backend,
+            num_workers=self.eval_workers,
         )
 
     # ------------------------------------------------------------------
@@ -170,16 +183,21 @@ class M3E:
         else:
             algorithm = build_optimizer(optimizer, seed=seed, **(optimizer_options or {}))
 
-        best_encoding = algorithm.optimize(evaluator, initial_encodings=initial_encodings)
-        if best_encoding is None:
-            if evaluator.best_encoding is None:
-                raise OptimizationError(
-                    f"optimizer {algorithm.name!r} returned no solution and evaluated no samples"
-                )
-            best_encoding = evaluator.best_encoding
+        try:
+            best_encoding = algorithm.optimize(evaluator, initial_encodings=initial_encodings)
+            if best_encoding is None:
+                if evaluator.best_encoding is None:
+                    raise OptimizationError(
+                        f"optimizer {algorithm.name!r} returned no solution and evaluated no samples"
+                    )
+                best_encoding = evaluator.best_encoding
 
-        detail = evaluator.detailed_evaluation(best_encoding)
-        schedule = evaluator.schedule_for(best_encoding)
+            detail = evaluator.detailed_evaluation(best_encoding)
+            schedule = evaluator.schedule_for(best_encoding)
+        finally:
+            # The parallel backend's worker pool persists across generations;
+            # release it once the search is over (no-op for other backends).
+            evaluator.close()
         return SearchResult(
             best_encoding=np.asarray(best_encoding, dtype=float),
             best_mapping=detail.mapping,

@@ -1,0 +1,296 @@
+"""Sharded multi-process evaluation backend (the ``parallel`` eval backend).
+
+The batch evaluation engine simulates a whole population in one vectorized
+sweep, but a single process can only use one core.  The population sweep is
+embarrassingly parallel across *rows* (each individual's simulation is
+independent), so this module shards a population across a persistent pool of
+worker processes:
+
+* :class:`EvaluatorSpec` is a small picklable recipe — codec shape, system
+  bandwidth, objective, and the dense Job Analysis Table arrays — from which
+  a worker can rebuild the full evaluation state without ever shipping the
+  (heavier, model-bearing) :class:`~repro.workloads.groups.JobGroup` or
+  platform objects across the process boundary.
+* :class:`SimulationRig` is the reconstructed state: codec + batched
+  allocator + table + objective.  The in-process ``batch`` backend and the
+  workers run the *same* rig code path, which is what makes the ``parallel``
+  backend bit-identical to ``batch`` by construction.
+* :class:`ParallelEvaluationPool` owns the worker pool: it bootstraps each
+  worker once (``initializer`` rebuilds the rig from the spec), splits a
+  population of repaired encodings into deterministic contiguous shards,
+  gathers the per-shard fitness arrays preserving row order, and is reused
+  across generations until :meth:`ParallelEvaluationPool.close`.
+
+Memoization stays in the main process: the evaluator dispatches only rows
+that miss its encoding -> fitness cache and merges the freshly computed
+fitnesses back, so workers never need a shared cache (and duplicate rows are
+simulated exactly once per search, same as the ``batch`` backend).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.analyzer import JobAnalysisTable
+from repro.core.bw_allocator import BatchBandwidthAllocator
+from repro.core.encoding import MappingCodec
+from repro.core.objectives import Objective, get_objective
+from repro.core.schedule import Schedule
+from repro.exceptions import ConfigurationError
+
+#: Shards smaller than this are simulated inline in the main process: the
+#: pickling + dispatch overhead would exceed the simulation cost.
+MIN_ROWS_PER_WORKER = 8
+
+
+def resolve_num_workers(num_workers: Optional[int]) -> int:
+    """Resolve a worker-count request against the machine's CPU count.
+
+    ``None`` (auto) uses every available core, capped at 8 — population
+    shards are overhead-bound below ~25 rows, so more workers than that
+    rarely helps.  Explicit requests are honoured as given.
+    """
+    if num_workers is None:
+        return max(1, min(os.cpu_count() or 1, 8))
+    if num_workers < 1:
+        raise ConfigurationError(f"eval workers must be >= 1, got {num_workers}")
+    return int(num_workers)
+
+
+@dataclass(frozen=True, eq=False)
+class EvaluatorSpec:
+    """Picklable recipe for rebuilding per-worker evaluation state.
+
+    Carries exactly what the decode -> BW-allocate -> fitness loop needs:
+    the codec shape, the shared-bandwidth constraint, the objective, and the
+    dense Job Analysis Table arrays.  Everything here pickles cheaply (NumPy
+    arrays plus scalars), so the spec crosses the process boundary once per
+    worker regardless of how many generations the pool serves.
+
+    ``eq=False``: a generated ``__eq__`` would be wrong here (ndarray
+    comparison is elementwise, objectives compare by identity), so specs keep
+    identity semantics.
+    """
+
+    num_jobs: int
+    num_sub_accelerators: int
+    system_bandwidth_gbps: float
+    frequency_hz: float
+    objective: Objective
+    latency_cycles: np.ndarray
+    required_bw_gbps: np.ndarray
+    energy_joules: np.ndarray
+    dram_traffic_bytes: np.ndarray
+    job_flops: np.ndarray
+
+    @classmethod
+    def capture(
+        cls,
+        codec: MappingCodec,
+        allocator: BatchBandwidthAllocator,
+        table: JobAnalysisTable,
+        objective: Objective | str,
+    ) -> "EvaluatorSpec":
+        """Snapshot an evaluator's state into a spec (arrays are shared, not copied)."""
+        return cls(
+            num_jobs=codec.num_jobs,
+            num_sub_accelerators=codec.num_sub_accelerators,
+            system_bandwidth_gbps=allocator.system_bandwidth_gbps,
+            frequency_hz=allocator.frequency_hz,
+            objective=get_objective(objective),
+            latency_cycles=table.latency_cycles,
+            required_bw_gbps=table.required_bw_gbps,
+            energy_joules=table.energy_joules,
+            dram_traffic_bytes=table.dram_traffic_bytes,
+            job_flops=table.job_flops,
+        )
+
+    def build_rig(self) -> "SimulationRig":
+        """Reconstruct the full evaluation state described by this spec."""
+        table = JobAnalysisTable(
+            latency_cycles=self.latency_cycles,
+            required_bw_gbps=self.required_bw_gbps,
+            energy_joules=self.energy_joules,
+            dram_traffic_bytes=self.dram_traffic_bytes,
+            job_flops=self.job_flops,
+        )
+        return SimulationRig(
+            codec=MappingCodec(
+                num_jobs=self.num_jobs,
+                num_sub_accelerators=self.num_sub_accelerators,
+            ),
+            allocator=BatchBandwidthAllocator(
+                system_bandwidth_gbps=self.system_bandwidth_gbps,
+                frequency_hz=self.frequency_hz,
+            ),
+            table=table,
+            objective=self.objective,
+        )
+
+
+class SimulationRig:
+    """Codec + batched allocator + table + objective: the row-fitness engine.
+
+    ``fitnesses_for_rows`` is the one implementation of "simulate these
+    repaired encodings and score them" — the ``batch`` backend calls it in
+    process and every ``parallel`` worker calls it on its shard, so the two
+    backends cannot drift apart numerically.
+    """
+
+    def __init__(
+        self,
+        codec: MappingCodec,
+        allocator: BatchBandwidthAllocator,
+        table: JobAnalysisTable,
+        objective: Objective,
+    ):
+        self.codec = codec
+        self.allocator = allocator
+        self.table = table
+        self.objective = objective
+
+    def fitnesses_for_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Fitness of each (already repaired) encoding row, in row order."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        batch = self.codec.decode_batch(rows)
+        makespans = self.allocator.makespan_cycles(batch, self.table)
+        fitnesses = np.empty(len(rows), dtype=float)
+        for slot in range(len(rows)):
+            schedule = self.summary_schedule(float(makespans[slot]))
+            mapping = batch.mapping(slot) if self.objective.needs_mapping else None
+            fitnesses[slot] = float(self.objective.fitness(schedule, mapping, self.table))
+        return fitnesses
+
+    def summary_schedule(self, makespan_cycles: float) -> Schedule:
+        """Minimal Schedule carrying only the makespan (the fast fitness path)."""
+        return Schedule(
+            jobs=(),
+            segments=(),
+            num_sub_accelerators=self.codec.num_sub_accelerators,
+            total_flops=self.table.total_flops,
+            frequency_hz=self.allocator.frequency_hz,
+            makespan_cycles_override=makespan_cycles,
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker process side
+# ----------------------------------------------------------------------
+#: Per-worker rig, rebuilt once by the pool initializer (module-global so the
+#: map function can reach it; each worker process has its own copy).
+_WORKER_RIG: Optional[SimulationRig] = None
+
+
+def _bootstrap_worker(spec: EvaluatorSpec) -> None:
+    """Pool initializer: rebuild the evaluation state once per worker."""
+    global _WORKER_RIG
+    _WORKER_RIG = spec.build_rig()
+
+
+def _evaluate_shard(rows: np.ndarray) -> np.ndarray:
+    """Map function: fitness of one contiguous shard of repaired encodings."""
+    if _WORKER_RIG is None:  # pragma: no cover - defensive, initializer always runs
+        raise RuntimeError("parallel evaluation worker used before bootstrap")
+    return _WORKER_RIG.fitnesses_for_rows(rows)
+
+
+# ----------------------------------------------------------------------
+# Main process side
+# ----------------------------------------------------------------------
+class ParallelEvaluationPool:
+    """Persistent pool of evaluation workers sharing one :class:`EvaluatorSpec`.
+
+    The pool is created lazily on the first evaluation, reused across
+    generations (workers keep their reconstructed rig for their lifetime),
+    and shut down cleanly by :meth:`close` (also invoked on garbage
+    collection and by ``with`` blocks).  Sharding is deterministic:
+    ``np.array_split`` contiguous chunks in row order, one per worker, and
+    the gathered result preserves row order exactly.
+    """
+
+    def __init__(
+        self,
+        spec: EvaluatorSpec,
+        num_workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        self.spec = spec
+        self.num_workers = resolve_num_workers(num_workers)
+        if start_method is None:
+            # fork reuses the parent's imported modules (cheap bootstrap);
+            # spawn is the portable fallback and works because the spec is
+            # picklable and the worker entry points are module-level.
+            start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        self.start_method = start_method
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._fallback_rig: Optional[SimulationRig] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        """True while worker processes are alive."""
+        return self._pool is not None
+
+    def _ensure_pool(self) -> multiprocessing.pool.Pool:
+        if self._pool is None:
+            context = multiprocessing.get_context(self.start_method)
+            self._pool = context.Pool(
+                processes=self.num_workers,
+                initializer=_bootstrap_worker,
+                initargs=(self.spec,),
+            )
+        return self._pool
+
+    def _shards(self, rows: np.ndarray) -> List[np.ndarray]:
+        """Deterministic contiguous-chunk assignment, one shard per worker."""
+        num_shards = min(self.num_workers, max(1, len(rows) // MIN_ROWS_PER_WORKER))
+        return [shard for shard in np.array_split(rows, num_shards) if len(shard)]
+
+    def evaluate(self, rows: np.ndarray) -> np.ndarray:
+        """Fitness of each (already repaired) encoding row, preserving row order."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if len(rows) == 0:
+            return np.empty(0, dtype=float)
+        shards = self._shards(rows)
+        if len(shards) == 1:
+            # A single shard gains nothing from IPC (one worker would do all
+            # the work anyway); run it in process and leave the pool alone.
+            return self._local_rig().fitnesses_for_rows(rows)
+        results = self._ensure_pool().map(_evaluate_shard, shards)
+        return np.concatenate(results)
+
+    def _local_rig(self) -> SimulationRig:
+        if self._fallback_rig is None:
+            self._fallback_rig = self.spec.build_rig()
+        return self._fallback_rig
+
+    def warm_up(self) -> None:
+        """Start the workers eagerly (used by benchmarks to exclude startup cost)."""
+        pool = self._ensure_pool()
+        pool.map(_evaluate_shard, [np.empty((0, 2 * self.spec.num_jobs))])
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker processes down; the pool can be lazily re-created."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            if self._pool is not None:
+                self._pool.terminate()
+        except Exception:
+            pass

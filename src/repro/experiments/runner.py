@@ -89,6 +89,7 @@ def run_method_comparison(
     seed: int = 0,
     group: Optional[JobGroup] = None,
     eval_backend: str = DEFAULT_EVAL_BACKEND,
+    eval_workers: Optional[int] = None,
 ) -> Dict[str, SearchResult]:
     """Run several mapping methods on one (setting, bandwidth, task) problem.
 
@@ -96,14 +97,20 @@ def run_method_comparison(
     receives the same group, platform, objective, and (scaled) sampling
     budget, with independent random streams spawned from *seed*.
     ``eval_backend`` selects the fitness-evaluation path (``"batch"`` — the
-    vectorized default — or the ``"scalar"`` reference oracle); both produce
-    bit-identical results.
+    vectorized default — ``"parallel"`` — the same sweep sharded across
+    ``eval_workers`` processes — or the ``"scalar"`` reference oracle); all
+    produce bit-identical results.
     """
     scale = scale or get_scale()
     platform = build_setting(setting, bandwidth_gbps)
     if group is None:
         group = _group_for(task, platform, scale, seed)
-    explorer = M3E(platform, sampling_budget=scale.sampling_budget, eval_backend=eval_backend)
+    explorer = M3E(
+        platform,
+        sampling_budget=scale.sampling_budget,
+        eval_backend=eval_backend,
+        eval_workers=eval_workers,
+    )
     rngs = spawn_rngs(seed, len(methods))
     results: Dict[str, SearchResult] = {}
     for method, rng in zip(methods, rngs):

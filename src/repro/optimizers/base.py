@@ -20,6 +20,23 @@ from repro.exceptions import OptimizationError
 from repro.utils.rng import SeedLike, ensure_rng
 
 
+def ranked_finite(fitnesses: np.ndarray) -> np.ndarray:
+    """Indices of the *evaluated* rows of a generation, best fitness first.
+
+    When :meth:`MappingEvaluator.evaluate_population` truncates a generation
+    on budget exhaustion, the unevaluated rows carry ``-inf`` placeholders.
+    Elite selection and mean recombination must never consume those rows —
+    they are arbitrary samples whose fitness was never measured — so rankers
+    go through this mask.  Ties preserve row order (stable sort), matching
+    what a stable descending sort of the full generation would pick.
+    """
+    fitnesses = np.asarray(fitnesses, dtype=float)
+    finite = np.flatnonzero(np.isfinite(fitnesses))
+    if finite.size == 0:
+        return finite
+    return finite[np.argsort(-fitnesses[finite], kind="stable")]
+
+
 class BaseOptimizer(abc.ABC):
     """Common interface and bookkeeping for mapping optimizers.
 

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.core.evaluator import MappingEvaluator
 from repro.exceptions import OptimizationError
-from repro.optimizers.base import BaseOptimizer
+from repro.optimizers.base import BaseOptimizer, ranked_finite
 from repro.utils.rng import SeedLike
 
 
@@ -106,10 +106,18 @@ class CMAESOptimizer(BaseOptimizer):
 
             encodings = np.clip(samples, 0.0, 1.0) * scale
             fitnesses = evaluator.evaluate_population(encodings)
-            order = np.argsort(fitnesses)[::-1]
+            # A generation truncated by budget exhaustion leaves -inf
+            # placeholder rows; recombining the mean from those (unevaluated)
+            # samples would adapt the distribution towards arbitrary noise.
+            order = ranked_finite(fitnesses)
+            if order.size == 0:
+                break
             top = order[:mu]
+            top_weights = weights[: top.size]
+            if top.size < mu:
+                top_weights = top_weights / top_weights.sum()
 
-            y_w = np.sum(weights[:, None] * y[top], axis=0)
+            y_w = np.sum(top_weights[:, None] * y[top], axis=0)
             mean = mean + sigma * y_w
             mean = np.clip(mean, 0.0, 1.0)
 
@@ -126,12 +134,12 @@ class CMAESOptimizer(BaseOptimizer):
             h_sigma = float(np.linalg.norm(p_sigma) / np.sqrt(1 - (1 - c_sigma) ** (2 * (generations + 1))) < (1.4 + 2 / (dimension + 1)) * chi_n)
             p_c = (1 - c_c) * p_c + h_sigma * np.sqrt(c_c * (2 - c_c) * mu_eff) * y_w
             if use_diagonal:
-                rank_mu = np.sum(weights[:, None] * (y[top] ** 2), axis=0)
+                rank_mu = np.sum(top_weights[:, None] * (y[top] ** 2), axis=0)
                 diag_c = (1 - c_1 - c_mu) * diag_c + c_1 * (p_c**2) + c_mu * rank_mu
                 diag_c = np.maximum(diag_c, 1e-12)
             else:
                 rank_one = np.outer(p_c, p_c)
-                rank_mu = sum(w * np.outer(y_i, y_i) for w, y_i in zip(weights, y[top]))
+                rank_mu = sum(w * np.outer(y_i, y_i) for w, y_i in zip(top_weights, y[top]))
                 cov = (1 - c_1 - c_mu) * cov + c_1 * rank_one + c_mu * rank_mu
                 cov = (cov + cov.T) / 2
             generations += 1

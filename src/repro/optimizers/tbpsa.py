@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.core.evaluator import MappingEvaluator
 from repro.exceptions import OptimizationError
-from repro.optimizers.base import BaseOptimizer
+from repro.optimizers.base import BaseOptimizer, ranked_finite
 from repro.utils.rng import SeedLike
 
 
@@ -78,7 +78,12 @@ class TBPSAOptimizer(BaseOptimizer):
             encodings = samples * scale
             fitnesses = evaluator.evaluate_population(encodings)
 
-            order = np.argsort(fitnesses)[::-1]
+            # Budget truncation leaves -inf placeholders for unevaluated
+            # samples; the mean/sigma re-estimation must only average rows
+            # whose fitness was actually measured.
+            order = ranked_finite(fitnesses)
+            if order.size == 0:
+                break
             elite_count = max(2, population_size // 2)
             elite = samples[order[:elite_count]]
             mean = elite.mean(axis=0)

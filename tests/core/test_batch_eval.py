@@ -163,11 +163,126 @@ class TestBackendEquivalence:
                 group, optimizer="magma", seed=13,
                 optimizer_options={"population_size": 10},
             )
-        assert results["scalar"].best_fitness == results["batch"].best_fitness
-        assert np.array_equal(results["scalar"].best_encoding, results["batch"].best_encoding)
-        assert results["scalar"].history == results["batch"].history
+        for backend in EVAL_BACKENDS:
+            assert results["scalar"].best_fitness == results[backend].best_fitness
+            assert np.array_equal(
+                results["scalar"].best_encoding, results[backend].best_encoding
+            )
+            assert results["scalar"].history == results[backend].history
 
     def test_rejects_unknown_backend(self):
         platform, group = _problem("S1", 16.0, 8)
         with pytest.raises(ConfigurationError):
             MappingEvaluator(group, platform, backend="gpu")
+
+
+class TestOutOfDomainParity:
+    """Regression tests: every backend must simulate the *repaired* encoding.
+
+    The scalar backend used to hand the raw encoding to its fitness path
+    while the batch backend simulated the repaired one, so an out-of-domain
+    vector (e.g. a continuous optimizer's un-rounded selection gene) could
+    score differently per backend, and the recorded ``best_encoding`` was a
+    repaired vector whose fitness was never the one measured.
+    """
+
+    def _evaluators(self, sampling_budget=None):
+        platform, group = _problem("S2", 16.0, 10)
+        return {
+            backend: MappingEvaluator(
+                group, platform, sampling_budget=sampling_budget, backend=backend
+            )
+            for backend in ("scalar", "batch")
+        }
+
+    def test_single_evaluate_identical_on_unrepaired_encoding(self):
+        evaluators = self._evaluators(sampling_budget=10)
+        encoding = evaluators["scalar"].codec.random_encoding(rng=0)
+        encoding[0] = 2.7  # selection gene off the integer lattice
+        encoding[-1] = 1.9  # priority gene outside [0, 1)
+        fitnesses = {name: ev.evaluate(encoding) for name, ev in evaluators.items()}
+        assert fitnesses["scalar"] == fitnesses["batch"]
+
+    def test_property_unrepaired_populations_identical(self):
+        """Property: arbitrary real vectors score identically on both backends."""
+        evaluators = self._evaluators()
+        rng = np.random.default_rng(23)
+        for scale in (0.5, 3.0, 10.0):
+            population = rng.normal(scale=scale, size=(25, evaluators["scalar"].codec.encoding_length))
+            results = {
+                name: ev.evaluate_population(population, count_samples=False)
+                for name, ev in evaluators.items()
+            }
+            assert np.array_equal(results["scalar"], results["batch"])
+
+    def test_best_encoding_fitness_is_the_measured_one(self):
+        """The recorded best encoding must reproduce the recorded fitness."""
+        for backend in ("scalar", "batch"):
+            platform, group = _problem("S2", 16.0, 10)
+            evaluator = MappingEvaluator(group, platform, sampling_budget=30, backend=backend)
+            rng = np.random.default_rng(3)
+            population = rng.normal(scale=4.0, size=(20, evaluator.codec.encoding_length))
+            evaluator.evaluate_population(population)
+            replay = evaluator.evaluate(evaluator.best_encoding, count_sample=False)
+            assert replay == evaluator.best_fitness
+
+
+class TestReportingRepairsEncodings:
+    """``detailed_evaluation``/``schedule_for`` must repair before decoding,
+    so a continuous optimizer's raw best vector yields the same final metrics
+    as the repaired encoding whose fitness the search recorded."""
+
+    def test_detailed_evaluation_matches_search_fitness(self):
+        platform, group = _problem("S2", 16.0, 10)
+        evaluator = MappingEvaluator(group, platform)
+        raw = np.random.default_rng(8).normal(
+            scale=4.0, size=evaluator.codec.encoding_length
+        )
+        fitness = evaluator.evaluate(raw, count_sample=False)
+        detail = evaluator.detailed_evaluation(raw)
+        assert detail.fitness == pytest.approx(fitness)
+        repaired_detail = evaluator.detailed_evaluation(evaluator.codec.repair(raw))
+        assert detail.fitness == repaired_detail.fitness
+        assert detail.mapping == repaired_detail.mapping
+
+    def test_schedule_for_matches_repaired_schedule(self):
+        platform, group = _problem("S1", 16.0, 8)
+        evaluator = MappingEvaluator(group, platform)
+        raw = np.random.default_rng(9).normal(
+            scale=4.0, size=evaluator.codec.encoding_length
+        )
+        raw_schedule = evaluator.schedule_for(raw)
+        repaired_schedule = evaluator.schedule_for(evaluator.codec.repair(raw))
+        assert raw_schedule.makespan_cycles == repaired_schedule.makespan_cycles
+        assert raw_schedule.jobs == repaired_schedule.jobs
+
+
+class TestRecordSamplesAcrossBackends:
+    def test_sampled_encodings_and_fitnesses_identical(self):
+        """``record_samples=True`` (the Fig. 10 exploration path) must record
+        the same repaired encodings and fitnesses on every backend."""
+        platform, group = _problem("S2", 16.0, 10)
+        evaluators = {}
+        for backend in EVAL_BACKENDS:
+            evaluator = MappingEvaluator(group, platform, sampling_budget=100, backend=backend)
+            evaluator.record_samples = True
+            evaluators[backend] = evaluator
+        rng = np.random.default_rng(17)
+        populations = [
+            rng.normal(scale=3.0, size=(20, evaluators["scalar"].codec.encoding_length))
+            for _ in range(2)
+        ]
+        for evaluator in evaluators.values():
+            for population in populations:
+                evaluator.evaluate_population(population)
+            evaluator.close()
+        reference = evaluators["scalar"]
+        for backend in ("batch", "parallel"):
+            other = evaluators[backend]
+            assert np.array_equal(reference.sampled_encodings, other.sampled_encodings)
+            assert np.array_equal(reference.sampled_fitnesses, other.sampled_fitnesses)
+        # Every recorded encoding is repaired (in the valid domain).
+        encodings = reference.sampled_encodings
+        genome = reference.codec.genome_length
+        assert np.array_equal(np.rint(encodings[:, :genome]), encodings[:, :genome])
+        assert np.all((encodings[:, genome:] >= 0.0) & (encodings[:, genome:] < 1.0))
