@@ -30,6 +30,26 @@ def normalized_throughputs(
     return {name: result.throughput_gflops / reference_value for name, result in results.items()}
 
 
+def normalized_with_reference(
+    results: Mapping[str, SearchResult],
+    preferred: str = "MAGMA",
+) -> tuple[Dict[str, float], str]:
+    """Normalised throughputs plus the reference method actually used.
+
+    Falls back to the best-throughput method when *preferred* is absent from
+    *results* (e.g. a figure re-run with ``methods=`` that excludes MAGMA),
+    instead of raising.  Returns ``(normalized, reference_used)`` so callers
+    can record which method the panel was normalised against.
+    """
+    if not results:
+        raise ExperimentError("cannot normalise an empty results mapping")
+    if preferred in results:
+        reference = preferred
+    else:
+        reference = max(results, key=lambda name: results[name].throughput_gflops)
+    return normalized_throughputs(results, reference), reference
+
+
 def speedup_summary(
     per_task_results: Mapping[str, Mapping[str, SearchResult]],
     reference: str = "MAGMA",

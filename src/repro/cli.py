@@ -10,18 +10,27 @@ Search a mapping for a Mix workload on the S2 accelerator with MAGMA::
 
     repro-magma search --setting S2 --bandwidth 16 --task mix --optimizer magma
 
-Run one of the paper's experiments (figure / table) at a chosen scale::
+Run one registered scenario (a paper figure/table or a custom sweep) at a
+chosen scale::
 
     repro-magma experiment fig8 --scale small
+    repro-magma experiment objective-sweep --scale smoke --seed 1
+
+Run a whole campaign of scenarios as one resumable, deduplicated stream of
+search cells, with per-cell results appended to a JSONL store::
+
+    repro-magma campaign fig8 fig12 --out campaign.jsonl
+    repro-magma campaign --grid grid.json --jobs 4 --out campaign.jsonl
+    repro-magma campaign fig8 fig12 --out campaign.jsonl --resume
 
 Fitness evaluation defaults to the vectorized ``batch`` backend; pass
-``--eval-backend scalar`` to ``search``/``compare`` to force the
-one-encoding-at-a-time reference oracle (bit-identical, much slower), or
-``--eval-backend parallel`` to shard the batch sweep across worker processes
-(``--eval-workers N`` sizes the pool, default one per CPU core)::
+``--eval-backend scalar`` to force the one-encoding-at-a-time reference
+oracle (bit-identical, much slower), or ``--eval-backend parallel`` to shard
+the batch sweep across worker processes (``--eval-workers N`` sizes the
+pool, default one per CPU core)::
 
     repro-magma search --setting S2 --task mix --eval-backend scalar
-    repro-magma search --setting S2 --task mix --eval-backend parallel --eval-workers 4
+    repro-magma experiment fig9 --eval-backend parallel --eval-workers 4
 """
 
 from __future__ import annotations
@@ -29,54 +38,36 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.accelerator import build_setting, list_settings
 from repro.analysis.gantt import render_ascii_gantt
 from repro.analysis.reporting import ComparisonReport
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS
 from repro.core.framework import M3E
+from repro.exceptions import ExperimentError
 from repro.experiments import (
+    CampaignRunner,
     get_scale,
-    run_fig7_job_analysis,
-    run_fig8_homogeneous,
-    run_fig9_heterogeneous,
-    run_fig10_exploration,
-    run_fig11_convergence,
-    run_fig12_bw_sweep,
-    run_fig13_subaccel_combinations,
-    run_fig14_flexible,
-    run_fig15_schedule_visualization,
-    run_fig16_operator_ablation,
-    run_fig17_group_size,
-    run_table5_warm_start,
+    get_scenario,
+    list_scenarios,
     run_method_comparison,
+    run_scenario,
+    spec_from_grid,
 )
+from repro.experiments.settings import list_scales
 from repro.optimizers import list_optimizers
-from repro.utils.tables import format_table
+from repro.utils.serialization import jsonable
 from repro.workloads import TaskType, build_task_workload, list_models
-
-_EXPERIMENTS: Dict[str, Callable[..., Dict[str, Any]]] = {
-    "fig7": run_fig7_job_analysis,
-    "fig8": run_fig8_homogeneous,
-    "fig9": run_fig9_heterogeneous,
-    "fig10": run_fig10_exploration,
-    "fig11": run_fig11_convergence,
-    "fig12": run_fig12_bw_sweep,
-    "fig13": run_fig13_subaccel_combinations,
-    "fig14": run_fig14_flexible,
-    "fig15": run_fig15_schedule_visualization,
-    "fig16": run_fig16_operator_ablation,
-    "fig17": run_fig17_group_size,
-    "table5": run_table5_warm_start,
-}
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
-    """Print the registered models, accelerator settings, and optimizers."""
+    """Print the registered models, accelerator settings, optimizers, and scenarios."""
     print("Accelerator settings:", ", ".join(list_settings()))
     print("Optimizers:", ", ".join(list_optimizers()))
-    print("Experiments:", ", ".join(sorted(_EXPERIMENTS)))
+    print("Scenarios:")
+    for name in list_scenarios():
+        print(f"  - {name}: {get_scenario(name).description}")
     print("Models:")
     for name in list_models():
         print(f"  - {name}")
@@ -133,35 +124,70 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
-    """Run one of the paper's experiments and print the result as JSON."""
-    runner = _EXPERIMENTS[args.name]
-    scale = get_scale(args.scale)
-    kwargs: Dict[str, Any] = {}
-    if args.name != "fig7":
-        kwargs["scale"] = scale
-    output = runner(**kwargs)
-    print(json.dumps(_jsonable(output), indent=2, sort_keys=True))
+    """Run one registered scenario and print the result as JSON.
+
+    Every scenario — paper figure/table or custom sweep — goes through the
+    registry, so ``--scale``, ``--seed``, ``--eval-backend``, and
+    ``--eval-workers`` apply uniformly.
+    """
+    output = run_scenario(
+        args.name,
+        scale=args.scale,
+        seed=args.seed,
+        eval_backend=args.eval_backend,
+        eval_workers=args.eval_workers,
+    )
+    print(json.dumps(jsonable(output), indent=2, sort_keys=True))
     return 0
 
 
-def _jsonable(value: Any) -> Any:
-    """Convert experiment outputs (numpy arrays, dataclasses) into JSON-safe values."""
-    import numpy as np
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Expand scenarios into search cells and stream results to a JSONL store."""
+    scenarios: list = list(args.scenarios)
+    if args.grid:
+        with open(args.grid, "r", encoding="utf-8") as handle:
+            scenarios.append(spec_from_grid(json.load(handle)))
+    if not scenarios:
+        raise ExperimentError("campaign needs scenario names and/or --grid")
 
-    if isinstance(value, dict):
-        return {str(k): _jsonable(v) for k, v in value.items()}
-    if isinstance(value, (list, tuple)):
-        return [_jsonable(v) for v in value]
-    if isinstance(value, np.ndarray):
-        return value.tolist()
-    if isinstance(value, (np.floating, np.integer)):
-        return value.item()
-    if hasattr(value, "__dict__") and not isinstance(value, (str, bytes)):
-        try:
-            return {k: _jsonable(v) for k, v in vars(value).items()}
-        except TypeError:
-            return str(value)
-    return value
+    eval_backend = args.eval_backend
+    eval_workers = args.eval_workers
+    if args.jobs is not None and args.jobs > 1 and eval_backend == DEFAULT_EVAL_BACKEND:
+        eval_backend = "parallel"
+        eval_workers = eval_workers or args.jobs
+
+    engine = CampaignRunner(
+        scale=args.scale,
+        eval_backend=eval_backend,
+        eval_workers=eval_workers,
+    )
+    report = engine.run(
+        scenarios,
+        store=args.out,
+        resume=args.resume,
+        base_seed=args.seed,
+        progress=print,
+    )
+    print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
+def _add_eval_backend_options(parser: argparse.ArgumentParser) -> None:
+    """The evaluation-backend flags shared by every search-running command."""
+    parser.add_argument(
+        "--eval-backend",
+        default=DEFAULT_EVAL_BACKEND,
+        choices=list(EVAL_BACKENDS),
+        help="fitness evaluation path: vectorized 'batch' (default), multi-process "
+        "'parallel', or the 'scalar' oracle",
+    )
+    parser.add_argument(
+        "--eval-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --eval-backend parallel (default: one per CPU core)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -169,7 +195,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro-magma", description=__doc__)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    list_parser = subparsers.add_parser("list", help="list models, settings, optimizers, experiments")
+    list_parser = subparsers.add_parser("list", help="list models, settings, optimizers, scenarios")
     list_parser.set_defaults(func=_cmd_list)
 
     search = subparsers.add_parser("search", help="run one mapping search")
@@ -180,20 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--group-size", type=int, default=100)
     search.add_argument("--budget", type=int, default=10_000)
     search.add_argument("--seed", type=int, default=0)
-    search.add_argument(
-        "--eval-backend",
-        default=DEFAULT_EVAL_BACKEND,
-        choices=list(EVAL_BACKENDS),
-        help="fitness evaluation path: vectorized 'batch' (default), multi-process "
-        "'parallel', or the 'scalar' oracle",
-    )
-    search.add_argument(
-        "--eval-workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for --eval-backend parallel (default: one per CPU core)",
-    )
+    _add_eval_backend_options(search)
     search.add_argument("--show-schedule", action="store_true")
     search.set_defaults(func=_cmd_search)
 
@@ -202,28 +215,46 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--bandwidth", type=float, default=16.0)
     compare.add_argument("--task", default="mix", choices=[t.value for t in TaskType])
     compare.add_argument("--optimizers", nargs="+", default=["herald-like", "ai-mt-like", "stdga", "magma"])
-    compare.add_argument("--scale", default=None)
+    compare.add_argument("--scale", default=None, choices=list_scales())
     compare.add_argument("--seed", type=int, default=0)
-    compare.add_argument(
-        "--eval-backend",
-        default=DEFAULT_EVAL_BACKEND,
-        choices=list(EVAL_BACKENDS),
-        help="fitness evaluation path: vectorized 'batch' (default), multi-process "
-        "'parallel', or the 'scalar' oracle",
-    )
-    compare.add_argument(
-        "--eval-workers",
-        type=int,
-        default=None,
-        metavar="N",
-        help="worker processes for --eval-backend parallel (default: one per CPU core)",
-    )
+    _add_eval_backend_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
-    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
-    experiment.add_argument("name", choices=sorted(_EXPERIMENTS))
-    experiment.add_argument("--scale", default=None)
+    experiment = subparsers.add_parser("experiment", help="run one registered scenario")
+    experiment.add_argument("name", choices=list_scenarios())
+    experiment.add_argument("--scale", default=None, choices=list_scales())
+    experiment.add_argument("--seed", type=int, default=0)
+    _add_eval_backend_options(experiment)
     experiment.set_defaults(func=_cmd_experiment)
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run scenarios as one resumable stream of search cells"
+    )
+    campaign.add_argument(
+        "scenarios", nargs="*", metavar="SCENARIO",
+        help=f"registered scenario names to include (available: {', '.join(list_scenarios())})",
+    )
+    campaign.add_argument(
+        "--grid", default=None, metavar="FILE",
+        help="JSON file describing an ad-hoc grid scenario "
+        "(settings/bandwidths/tasks/methods/objectives/seeds/group_size/budget)",
+    )
+    campaign.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="shorthand for '--eval-backend parallel --eval-workers N' (when N > 1)",
+    )
+    campaign.add_argument(
+        "--resume", action="store_true",
+        help="skip cells whose fingerprints are already in the --out store",
+    )
+    campaign.add_argument(
+        "--out", default="campaign_results.jsonl", metavar="PATH",
+        help="JSONL results store (default: campaign_results.jsonl)",
+    )
+    campaign.add_argument("--scale", default=None, choices=list_scales())
+    campaign.add_argument("--seed", type=int, default=0)
+    _add_eval_backend_options(campaign)
+    campaign.set_defaults(func=_cmd_campaign)
     return parser
 
 

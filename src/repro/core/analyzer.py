@@ -11,7 +11,7 @@ as a constant-time lookup inside the optimization loop, which is what makes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -20,6 +20,73 @@ from repro.exceptions import SchedulingError
 from repro.workloads.groups import JobGroup
 from repro.workloads.jobs import Job
 from repro.workloads.layers import LayerShape
+
+
+def group_fingerprint(group: JobGroup) -> Tuple:
+    """Hashable content key of a group: the analysis table depends only on the
+    layer of each job, in job order."""
+    return tuple(job.layer for job in group.jobs)
+
+
+def platform_fingerprint(platform: AcceleratorPlatform) -> Tuple:
+    """Hashable content key of a platform, for table caching.
+
+    The table profiles layers per sub-accelerator, so it depends only on the
+    sub-accelerator configurations — not on the platform's name or on the
+    shared system bandwidth (the bandwidth is divided later, by the BW
+    allocator).  Keying on the cores alone lets a bandwidth sweep over one
+    setting share a single table.
+    """
+    return platform.sub_accelerators
+
+
+class AnalysisTableCache:
+    """A ``(platform fingerprint, group fingerprint) -> JobAnalysisTable`` cache.
+
+    :class:`~repro.core.framework.M3E` keeps a private instance per explorer;
+    the campaign engine passes one shared instance to every explorer it
+    builds so a grid of search cells builds each table once per unique
+    (group, platform) pair instead of once per cell.  ``hits`` / ``builds``
+    counters make the reuse observable (and benchmarkable).
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[Tuple, JobAnalysisTable] = {}
+        self.hits = 0
+        self.builds = 0
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def get_or_build(
+        self, platform: AcceleratorPlatform, group: JobGroup, analyzer: Optional["JobAnalyzer"] = None
+    ) -> JobAnalysisTable:
+        """Return the cached table for (platform, group), building it on miss.
+
+        ``analyzer`` supplies an existing :class:`JobAnalyzer` for the
+        platform (so its per-layer memoisation is reused); when omitted a
+        fresh analyzer is constructed for the build.
+        """
+        key = (platform_fingerprint(platform), group_fingerprint(group))
+        table = self._tables.get(key)
+        if table is None:
+            self.builds += 1
+            table = (analyzer or JobAnalyzer(platform)).analyze(group)
+            self._tables[key] = table
+        else:
+            self.hits += 1
+        return table
+
+
+_SHARED_TABLE_CACHE: Optional[AnalysisTableCache] = None
+
+
+def shared_table_cache() -> AnalysisTableCache:
+    """The process-wide analysis-table cache used by the campaign engine."""
+    global _SHARED_TABLE_CACHE
+    if _SHARED_TABLE_CACHE is None:
+        _SHARED_TABLE_CACHE = AnalysisTableCache()
+    return _SHARED_TABLE_CACHE
 
 
 @dataclass(frozen=True)

@@ -11,12 +11,12 @@ convergence history.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
 from repro.accelerator import AcceleratorPlatform
-from repro.core.analyzer import JobAnalysisTable, JobAnalyzer
+from repro.core.analyzer import AnalysisTableCache, JobAnalysisTable, JobAnalyzer
 from repro.core.encoding import Mapping
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, MappingEvaluator
 from repro.core.objectives import Objective
@@ -91,6 +91,12 @@ class M3E:
         Worker-process count for the ``parallel`` backend (default: one per
         CPU core).  Rejected for the other backends, where it would be
         silently meaningless.
+    table_cache:
+        Job-analysis-table cache to consult before building a table.  By
+        default every explorer gets a private cache; the campaign engine
+        passes one shared :class:`~repro.core.analyzer.AnalysisTableCache`
+        to every explorer it builds so equal (group, platform) cells reuse
+        one table process-wide.
     """
 
     def __init__(
@@ -100,6 +106,7 @@ class M3E:
         sampling_budget: int = DEFAULT_SAMPLING_BUDGET,
         eval_backend: str = DEFAULT_EVAL_BACKEND,
         eval_workers: Optional[int] = None,
+        table_cache: Optional[AnalysisTableCache] = None,
     ):
         if sampling_budget <= 0:
             raise OptimizationError(f"sampling_budget must be positive, got {sampling_budget}")
@@ -118,27 +125,20 @@ class M3E:
         self.eval_backend = eval_backend
         self.eval_workers = eval_workers
         self._analyzer = JobAnalyzer(platform)
-        self._table_cache: Dict[Tuple, JobAnalysisTable] = {}
+        self._table_cache = table_cache if table_cache is not None else AnalysisTableCache()
 
     # ------------------------------------------------------------------
     def analyze(self, group: JobGroup) -> JobAnalysisTable:
         """Build (and cache) the Job Analysis Table for a group.
 
-        The cache is keyed by a content fingerprint of the group (its layer
-        shapes, in order) rather than ``id(group)``: an ``id`` can be reused
-        by a new group once the old one is garbage collected, which would
-        silently return the wrong table.  The fingerprint also lets two
-        equal-content groups share one table.
+        The cache is keyed by content fingerprints of the platform and the
+        group (its layer shapes, in order) rather than ``id(group)``: an
+        ``id`` can be reused by a new group once the old one is garbage
+        collected, which would silently return the wrong table.  Content
+        keying also lets two equal-content groups — possibly analysed by two
+        different explorers sharing one cache — reuse one table.
         """
-        key = self._group_fingerprint(group)
-        if key not in self._table_cache:
-            self._table_cache[key] = self._analyzer.analyze(group)
-        return self._table_cache[key]
-
-    @staticmethod
-    def _group_fingerprint(group: JobGroup) -> Tuple:
-        """Hashable content key of a group; the table depends only on the layers."""
-        return tuple(job.layer for job in group.jobs)
+        return self._table_cache.get_or_build(self.platform, group, self._analyzer)
 
     def build_evaluator(self, group: JobGroup, sampling_budget: Optional[int] = None) -> MappingEvaluator:
         """Construct the fitness evaluator for a group (pre-processing step)."""

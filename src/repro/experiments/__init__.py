@@ -1,6 +1,25 @@
-"""Declarative experiment definitions for every table and figure in the paper."""
+"""Declarative experiment definitions for every table and figure in the paper.
 
-from repro.experiments.settings import ExperimentScale, get_scale
+The scenario registry (:mod:`repro.experiments.scenarios`) describes each
+figure/table as a declarative grid spec plus a post-processing hook; the
+campaign engine (:mod:`repro.experiments.campaign`) executes one or more
+scenarios as a flat, deduplicated, resumable stream of search cells.  The
+``run_fig*`` functions are thin compatibility wrappers over the registry.
+"""
+
+from repro.experiments.settings import ExperimentScale, get_scale, list_scales
+from repro.experiments.scenarios import (
+    BudgetPolicy,
+    Panel,
+    ScenarioSpec,
+    SearchCell,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario,
+    spec_from_grid,
+)
+from repro.experiments.campaign import CampaignReport, CampaignResultsStore, CampaignRunner
 from repro.experiments.runner import (
     run_method_comparison,
     run_fig7_job_analysis,
@@ -20,6 +39,19 @@ from repro.experiments.runner import (
 __all__ = [
     "ExperimentScale",
     "get_scale",
+    "list_scales",
+    "BudgetPolicy",
+    "Panel",
+    "ScenarioSpec",
+    "SearchCell",
+    "get_scenario",
+    "list_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "spec_from_grid",
+    "CampaignReport",
+    "CampaignResultsStore",
+    "CampaignRunner",
     "run_method_comparison",
     "run_fig7_job_analysis",
     "run_fig8_homogeneous",

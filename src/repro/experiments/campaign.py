@@ -1,0 +1,343 @@
+"""Resumable campaign engine for the experiments layer.
+
+A *campaign* executes one or more declarative scenarios
+(:mod:`repro.experiments.scenarios`) as a flat stream of search cells:
+
+* **Shared-work dedup** — every explorer the engine builds shares one
+  process-wide ``(group fingerprint, platform fingerprint) ->
+  JobAnalysisTable`` cache (:class:`~repro.core.analyzer.AnalysisTableCache`),
+  so a grid that revisits a (group, platform) pair — different methods,
+  objectives, seeds, or bandwidth points of one setting — builds each
+  analysis table exactly once.  Identical cells appearing in several
+  scenarios run once per campaign.
+* **Uniform backend threading** — ``eval_backend``/``eval_workers`` apply to
+  every cell (and to the custom scenario runners via
+  :meth:`CampaignRunner.explorer`).
+* **Resumable results store** — each finished cell is appended to a JSONL
+  store keyed by the cell's deterministic fingerprint; re-running with
+  ``resume=True`` skips every fingerprint already on disk, so an
+  interrupted campaign continues where it stopped and converges to a store
+  byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.accelerator import AcceleratorPlatform, build_setting
+from repro.core.analyzer import AnalysisTableCache, JobAnalysisTable, shared_table_cache
+from repro.core.evaluator import DEFAULT_EVAL_BACKEND
+from repro.core.framework import M3E, SearchResult
+from repro.exceptions import ExperimentError
+from repro.experiments.scenarios import (
+    ScenarioSpec,
+    SearchCell,
+    _fingerprint,
+    get_scenario,
+    run_scenario,
+)
+from repro.experiments.settings import ExperimentScale, get_scale
+from repro.utils.rng import spawn_rngs
+from repro.utils.serialization import SearchResultSummary, dump_jsonl_line, jsonable, load_jsonl
+from repro.workloads.benchmark import TaskType, build_task_workload
+from repro.workloads.groups import JobGroup
+
+
+class CampaignResultsStore:
+    """Append-only JSONL store of per-cell campaign results.
+
+    One line per completed cell: ``{"fingerprint", "scenario", "cell",
+    "result"}``.  The fingerprint is the cell's deterministic identity
+    (:meth:`~repro.experiments.scenarios.SearchCell.fingerprint`), which is
+    what makes interrupted campaigns resumable.
+    """
+
+    def __init__(self, path: str):
+        self.path = str(path)
+
+    def fingerprints(self) -> Set[str]:
+        """Fingerprints of every cell already recorded."""
+        return {record["fingerprint"] for record in load_jsonl(self.path)}
+
+    def repair(self) -> int:
+        """Drop a torn trailing line left by a hard mid-write interruption.
+
+        Appends are single flushed writes, so the only corruption an
+        interrupted campaign can leave is an incomplete *last* line (or a
+        complete one missing its newline).  Both would poison later appends;
+        this rewrites the store to its valid prefix.  Returns the number of
+        intact records kept.
+        """
+        import json as _json
+
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return 0
+        records: List[Dict[str, Any]] = []
+        torn = False
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(_json.loads(line))
+            except _json.JSONDecodeError:
+                torn = True
+                break
+        if torn or (raw and not raw.endswith("\n")):
+            # Rewrite atomically: a crash during repair must not turn one
+            # torn line into the loss of every completed cell.
+            temp_path = self.path + ".repair"
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                for record in records:
+                    dump_jsonl_line(record, handle)
+            os.replace(temp_path, self.path)
+        return len(records)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All recorded cells, in completion order."""
+        return list(load_jsonl(self.path))
+
+    def _ensure_parent(self) -> None:
+        os.makedirs(os.path.dirname(os.path.abspath(self.path)), exist_ok=True)
+
+    def truncate(self) -> None:
+        """Start the store afresh."""
+        self._ensure_parent()
+        open(self.path, "w", encoding="utf-8").close()
+
+    def append(self, fingerprint: str, scenario: str, cell: Dict[str, Any], result: Dict[str, Any]) -> None:
+        """Append one completed cell (flushed immediately, crash-safe)."""
+        self._ensure_parent()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            dump_jsonl_line(
+                {"fingerprint": fingerprint, "scenario": scenario, "cell": cell, "result": result},
+                handle,
+            )
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign did: cell counts and shared-work statistics."""
+
+    store_path: Optional[str]
+    scale: str
+    scenarios: List[str]
+    cells_total: int = 0
+    cells_run: int = 0
+    cells_skipped: int = 0
+    cells_deduped: int = 0
+    table_builds: int = 0
+    table_hits: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (printed by the CLI)."""
+        return jsonable(self.__dict__)
+
+
+class CampaignRunner:
+    """Executes search cells (and whole campaigns) with shared caches.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale (name, instance, or ``None`` for the environment
+        default) every cell resolves budgets/group sizes against.
+    eval_backend / eval_workers:
+        Evaluation backend configuration threaded into every explorer the
+        engine builds — one knob for every cell of every scenario.
+    table_cache:
+        Analysis-table cache to share; defaults to the process-wide cache so
+        independent runners in one process still dedup table builds.
+    """
+
+    def __init__(
+        self,
+        scale: "ExperimentScale | str | None" = None,
+        eval_backend: str = DEFAULT_EVAL_BACKEND,
+        eval_workers: Optional[int] = None,
+        table_cache: Optional[AnalysisTableCache] = None,
+    ):
+        self.scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
+        self.eval_backend = eval_backend
+        self.eval_workers = eval_workers
+        self.table_cache = table_cache if table_cache is not None else shared_table_cache()
+        self._groups: Dict[Tuple[str, int, int, int], JobGroup] = {}
+
+    # ------------------------------------------------------------------
+    # Building blocks (also used by custom scenario runners)
+    # ------------------------------------------------------------------
+    def explorer(
+        self,
+        platform: AcceleratorPlatform,
+        sampling_budget: Optional[int] = None,
+        objective: str = "throughput",
+    ) -> M3E:
+        """An :class:`M3E` wired with the campaign's backend and caches."""
+        return M3E(
+            platform,
+            objective=objective,
+            sampling_budget=sampling_budget if sampling_budget is not None else self.scale.sampling_budget,
+            eval_backend=self.eval_backend,
+            eval_workers=self.eval_workers if self.eval_backend == "parallel" else None,
+            table_cache=self.table_cache,
+        )
+
+    def group_for(
+        self,
+        task: "TaskType | str",
+        num_sub_accelerators: int,
+        seed: int,
+        group_size: Optional[int] = None,
+    ) -> JobGroup:
+        """Build (and memoise) the first dependency-free group of a workload."""
+        task = TaskType(task)
+        size = group_size if group_size is not None else self.scale.group_size
+        key = (task.value, int(size), int(seed), int(num_sub_accelerators))
+        group = self._groups.get(key)
+        if group is None:
+            groups = build_task_workload(
+                task,
+                group_size=size,
+                num_groups=1,
+                seed=seed,
+                num_sub_accelerators=num_sub_accelerators,
+            )
+            if not groups:
+                raise ExperimentError(f"workload for task {task} produced no groups")
+            group = groups[0]
+            self._groups[key] = group
+        return group
+
+    def analysis_table(self, platform: AcceleratorPlatform, group: JobGroup) -> JobAnalysisTable:
+        """The (shared, cached) Job Analysis Table for one (platform, group)."""
+        return self.table_cache.get_or_build(platform, group)
+
+    # ------------------------------------------------------------------
+    # Cell execution
+    # ------------------------------------------------------------------
+    def run_cell(self, cell: SearchCell) -> SearchResult:
+        """Execute one search cell and return the full search result.
+
+        Reproduces the historical per-figure code paths bit-for-bit: the
+        cell's seed builds the group, and the optimizer's stream is either
+        spawned (multi-method comparisons) or the seed itself (single-method
+        figures), per ``cell.seed_strategy``.
+        """
+        from repro.optimizers import build_optimizer
+
+        platform = build_setting(cell.setting, cell.bandwidth_gbps)
+        group = self.group_for(
+            cell.task, platform.num_sub_accelerators, cell.seed, cell.group_size
+        )
+        explorer = self.explorer(platform, sampling_budget=cell.budget, objective=cell.objective)
+        if cell.seed_strategy == "spawn":
+            rng = spawn_rngs(cell.seed, cell.num_methods)[cell.method_index]
+        else:
+            rng = cell.seed
+        optimizer = build_optimizer(cell.method, seed=rng, **dict(cell.optimizer_options))
+        return explorer.search(group, optimizer=optimizer, sampling_budget=cell.budget)
+
+    # ------------------------------------------------------------------
+    # Campaign driver
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        scenarios: Sequence["str | ScenarioSpec"],
+        store: "CampaignResultsStore | str | None" = None,
+        resume: bool = False,
+        base_seed: int = 0,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> CampaignReport:
+        """Run scenarios as one flat, deduplicated, resumable cell stream.
+
+        Grid scenarios expand into cells; custom scenarios run as a single
+        unit keyed by a ``(scenario, scale, seed)`` fingerprint.  With
+        ``resume=True`` the store's existing fingerprints are skipped;
+        otherwise the store is truncated first.
+        """
+        specs = [get_scenario(s) if isinstance(s, str) else s for s in scenarios]
+        if isinstance(store, str):
+            store = CampaignResultsStore(store)
+
+        stored: Set[str] = set()
+        if store is not None:
+            # Repairing first keeps both branches safe against a torn trailing
+            # line from a hard mid-write interruption (it is a no-op on
+            # intact stores).
+            store.repair()
+            if resume:
+                stored = store.fingerprints()
+            else:
+                if store.records():
+                    raise ExperimentError(
+                        f"results store {store.path!r} already holds completed cells; "
+                        f"pass resume=True (--resume) to continue it, or point at a "
+                        f"fresh path / delete it to start over"
+                    )
+                store.truncate()
+        done: Set[str] = set(stored)
+
+        report = CampaignReport(
+            store_path=store.path if store is not None else None,
+            scale=self.scale.name,
+            scenarios=[spec.name for spec in specs],
+        )
+        builds_before, hits_before = self.table_cache.builds, self.table_cache.hits
+        say = progress or (lambda message: None)
+
+        for spec in specs:
+            if spec.is_custom:
+                payload = {
+                    "scenario": spec.name,
+                    "custom": True,
+                    "scale": self.scale.name,
+                    "seed": base_seed,
+                }
+                fingerprint = _fingerprint(payload)
+                report.cells_total += 1
+                if fingerprint in done:
+                    report.cells_skipped += 1
+                    say(f"[{spec.name}] complete in store, skipped")
+                    continue
+                say(f"[{spec.name}] running custom scenario")
+                output = run_scenario(spec, engine=self, seed=base_seed)
+                done.add(fingerprint)
+                report.cells_run += 1
+                if store is not None:
+                    store.append(fingerprint, spec.name, payload, {"output": jsonable(output)})
+                continue
+
+            cells = spec.expand(self.scale, base_seed=base_seed)
+            report.cells_total += len(cells)
+            for index, cell in enumerate(cells):
+                fingerprint = cell.fingerprint()
+                if fingerprint in done:
+                    # Completed in a previous (interrupted) run, or an
+                    # identical cell shared by another scenario of this
+                    # campaign — either way the work is not repeated.
+                    if fingerprint in stored:
+                        report.cells_skipped += 1
+                    else:
+                        report.cells_deduped += 1
+                    continue
+                say(f"[{spec.name}] cell {index + 1}/{len(cells)}: "
+                    f"{cell.panel} {cell.method} seed={cell.seed}")
+                result = self.run_cell(cell)
+                done.add(fingerprint)
+                report.cells_run += 1
+                if store is not None:
+                    store.append(
+                        fingerprint,
+                        spec.name,
+                        cell.to_dict(),
+                        SearchResultSummary.from_result(result).to_dict(),
+                    )
+
+        report.table_builds = self.table_cache.builds - builds_before
+        report.table_hits = self.table_cache.hits - hits_before
+        return report

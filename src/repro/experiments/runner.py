@@ -1,44 +1,64 @@
-"""Experiment runners: one function per table/figure of the paper's evaluation.
+"""Experiment runners: the paper's tables/figures as declarative scenarios.
 
-Every runner is deterministic given a seed, honours the chosen
-:class:`~repro.experiments.settings.ExperimentScale`, and returns plain data
-structures (dicts of floats / arrays) so the benchmark harness, the CLI, and
-EXPERIMENTS.md can all consume the same results.
+Every figure/table of the paper's evaluation is registered here as a
+:class:`~repro.experiments.scenarios.ScenarioSpec` — a declarative grid
+(setting x bandwidth x task x objective x method x seed) plus a small
+post-processing hook that shapes the raw per-cell search results into the
+figure's output dict.  Scenarios that are not grids of independent searches
+(Fig. 7's job analysis, Fig. 10's sample recording, Fig. 14's
+fixed-vs-flexible study, Fig. 15's schedule visualisation, Table V's
+warm-start transfer) register a ``custom_runner`` instead.
+
+The historical ``run_fig*``/``run_table5`` entry points are kept as thin
+wrappers with unchanged signatures and outputs; they delegate to
+:func:`~repro.experiments.scenarios.run_scenario`, so the same registry
+drives ``repro experiment <name>``, the benchmark harness, and the
+resumable ``repro campaign`` engine.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from dataclasses import replace
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 
-from repro.accelerator import AcceleratorPlatform, build_setting
+from repro.accelerator import build_setting
 from repro.analysis.convergence import ConvergenceCurve, convergence_from_history
 from repro.analysis.gantt import schedule_to_bandwidth_series, schedule_to_gantt
 from repro.analysis.pca import project_encodings
-from repro.analysis.reporting import normalized_throughputs
+from repro.analysis.reporting import normalized_with_reference
+from repro.core.analyzer import JobAnalyzer
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND
 from repro.core.framework import M3E, SearchResult
-from repro.core.analyzer import JobAnalyzer
 from repro.exceptions import ExperimentError
+from repro.experiments.scenarios import (
+    BudgetPolicy,
+    Panel,
+    ScenarioContext,
+    ScenarioRun,
+    ScenarioSpec,
+    default_optimizer_options,
+    register_scenario,
+    run_scenario,
+)
 from repro.experiments.settings import ExperimentScale, get_scale
 from repro.optimizers import build_optimizer
-from repro.optimizers.magma import MagmaConfig, MagmaOptimizer
 from repro.optimizers.registry import PAPER_COMPARISON_METHODS
 from repro.optimizers.warmstart import WarmStartEngine
 from repro.utils.rng import spawn_rngs
-from repro.utils.tables import geometric_mean, unique_key
-from repro.workloads.benchmark import TaskType, build_task_workload
-from repro.workloads.models import MODEL_REGISTRY, ModelFamily
-from repro.workloads.benchmark import DEFAULT_BATCH_SIZES
+from repro.utils.tables import unique_key
+from repro.workloads.benchmark import DEFAULT_BATCH_SIZES, TaskType, build_task_workload
 from repro.workloads.groups import JobGroup
-
-#: Methods considered "RL" — they receive the (possibly reduced) RL budget.
-_RL_METHODS = {"a2c", "ppo2", "rl-a2c", "rl-ppo2"}
+from repro.workloads.models import MODEL_REGISTRY
 
 #: Default bandwidths per accelerator class (Section VI-A3).
 SMALL_DEFAULT_BW = 16.0
 LARGE_DEFAULT_BW = 256.0
+
+#: The default budget policy: the scale's sampling budget, with the reduced
+#: RL budget applied to any method the optimizer registry marks as RL.
+DEFAULT_BUDGET_POLICY = BudgetPolicy()
 
 
 # ----------------------------------------------------------------------
@@ -46,7 +66,7 @@ LARGE_DEFAULT_BW = 256.0
 # ----------------------------------------------------------------------
 def _group_for(
     task: TaskType,
-    platform: AcceleratorPlatform,
+    platform,
     scale: ExperimentScale,
     seed: int,
     group_size: Optional[int] = None,
@@ -65,21 +85,6 @@ def _group_for(
     return groups[0]
 
 
-def _budget_for(method: str, scale: ExperimentScale) -> int:
-    """Sampling budget for a method (RL agents may get a reduced budget)."""
-    if method.lower() in _RL_METHODS:
-        return scale.rl_sampling_budget
-    return scale.sampling_budget
-
-
-def _optimizer_options(method: str, scale: ExperimentScale) -> Dict[str, Any]:
-    """Per-method construction options derived from the scale."""
-    population_methods = {"magma", "magma-mut", "magma-mut-gen", "stdga", "de", "cma", "pso"}
-    if method.lower() in population_methods:
-        return {"population_size": scale.population_size}
-    return {}
-
-
 def run_method_comparison(
     setting: str,
     bandwidth_gbps: float,
@@ -95,11 +100,14 @@ def run_method_comparison(
 
     This is the primitive behind Fig. 8, Fig. 9, and Fig. 12: every method
     receives the same group, platform, objective, and (scaled) sampling
-    budget, with independent random streams spawned from *seed*.
-    ``eval_backend`` selects the fitness-evaluation path (``"batch"`` — the
-    vectorized default — ``"parallel"`` — the same sweep sharded across
-    ``eval_workers`` processes — or the ``"scalar"`` reference oracle); all
-    produce bit-identical results.
+    budget, with independent random streams spawned from *seed*.  The
+    campaign engine's cell executor
+    (:meth:`~repro.experiments.campaign.CampaignRunner.run_cell`) mirrors
+    these semantics exactly, so a figure run cell-by-cell is bit-identical
+    to this direct loop.  ``eval_backend`` selects the fitness-evaluation
+    path (``"batch"`` — the vectorized default — ``"parallel"`` — the same
+    sweep sharded across ``eval_workers`` processes — or the ``"scalar"``
+    reference oracle); all produce bit-identical results.
     """
     scale = scale or get_scale()
     platform = build_setting(setting, bandwidth_gbps)
@@ -114,11 +122,13 @@ def run_method_comparison(
     rngs = spawn_rngs(seed, len(methods))
     results: Dict[str, SearchResult] = {}
     for method, rng in zip(methods, rngs):
-        optimizer = build_optimizer(method, seed=rng, **_optimizer_options(method, scale))
+        optimizer = build_optimizer(
+            method, seed=rng, **default_optimizer_options(method, scale, None)
+        )
         result = explorer.search(
             group,
             optimizer=optimizer,
-            sampling_budget=_budget_for(method, scale),
+            sampling_budget=DEFAULT_BUDGET_POLICY.budget_for(method, scale),
         )
         # Same-named methods (e.g. the same optimizer requested twice) must
         # not silently overwrite each other; suffix like M3E.compare does.
@@ -126,17 +136,20 @@ def run_method_comparison(
     return results
 
 
+def _throughputs(results: Dict[str, SearchResult]) -> Dict[str, float]:
+    return {name: result.throughput_gflops for name, result in results.items()}
+
+
 # ----------------------------------------------------------------------
-# Fig. 7 — Latency/BW characteristics of the DNN models
+# Fig. 7 — Latency/BW characteristics of the DNN models (custom)
 # ----------------------------------------------------------------------
-def run_fig7_job_analysis(
-    sample_models: Optional[Dict[str, Sequence[str]]] = None,
-) -> Dict[str, Any]:
+def _fig7_runner(ctx: ScenarioContext) -> Dict[str, Any]:
     """Per-model and per-task average no-stall latency / required BW on HB and LB.
 
     Mirrors Fig. 7: each model is profiled on a 64-row HB-style core and a
     64-row LB-style core.
     """
+    sample_models = ctx.options.get("sample_models")
     platform = build_setting("S5", LARGE_DEFAULT_BW)  # contains 64-row HB and LB cores
     analyzer = JobAnalyzer(platform)
     hb_index = next(i for i, sub in enumerate(platform) if sub.dataflow.value == "HB" and sub.pe_rows == 64)
@@ -152,7 +165,7 @@ def run_fig7_job_analysis(
     per_model: Dict[str, Dict[str, float]] = {}
     per_task: Dict[str, Dict[str, float]] = {}
     for task_name, model_names in sample_models.items():
-        task_rows: List[List[float]] = []
+        task_rows = []
         for model_name in model_names:
             spec = MODEL_REGISTRY[model_name]
             batch = DEFAULT_BATCH_SIZES[spec.family]
@@ -179,79 +192,98 @@ def run_fig7_job_analysis(
     return {"per_model": per_model, "per_task": per_task}
 
 
+def run_fig7_job_analysis(
+    sample_models: Optional[Dict[str, Sequence[str]]] = None,
+) -> Dict[str, Any]:
+    """Fig. 7 entry point (delegates to the ``fig7`` scenario)."""
+    return run_scenario("fig7", options={"sample_models": sample_models})
+
+
 # ----------------------------------------------------------------------
 # Fig. 8 — Homogeneous small accelerator (S1, BW=16), four tasks
 # ----------------------------------------------------------------------
+def _fig8_post(run: ScenarioRun) -> Dict[str, Any]:
+    panels = run.panel_map()
+    absolute: Dict[str, Dict[str, float]] = {}
+    normalized: Dict[str, Dict[str, float]] = {}
+    references: Dict[str, str] = {}
+    for label, results in run.by_panel().items():
+        task = panels[label].task
+        absolute[task] = _throughputs(results)
+        normalized[task], references[task] = normalized_with_reference(results, "MAGMA")
+    first = next(iter(panels.values()))
+    return {
+        "setting": first.setting,
+        "bandwidth_gbps": first.bandwidth_gbps,
+        "absolute": absolute,
+        "normalized": normalized,
+        "normalized_reference": references,
+    }
+
+
 def run_fig8_homogeneous(
     scale: Optional[ExperimentScale] = None,
     methods: Sequence[str] = tuple(PAPER_COMPARISON_METHODS),
     seed: int = 0,
 ) -> Dict[str, Any]:
     """All methods on the homogeneous small accelerator across the four tasks."""
-    scale = scale or get_scale()
-    tasks = [TaskType.VISION, TaskType.LANGUAGE, TaskType.RECOMMENDATION, TaskType.MIX]
-    per_task: Dict[str, Dict[str, SearchResult]] = {}
-    for task in tasks:
-        per_task[task.value] = run_method_comparison(
-            "S1", SMALL_DEFAULT_BW, task, methods=methods, scale=scale, seed=seed
-        )
-    normalized = {
-        task: normalized_throughputs(results, reference="MAGMA")
-        for task, results in per_task.items()
-    }
-    absolute = {
-        task: {name: r.throughput_gflops for name, r in results.items()}
-        for task, results in per_task.items()
-    }
-    return {"setting": "S1", "bandwidth_gbps": SMALL_DEFAULT_BW, "absolute": absolute, "normalized": normalized}
+    spec = _with_methods(FIG8, methods)
+    return run_scenario(spec, scale=scale, seed=seed)
 
 
 # ----------------------------------------------------------------------
 # Fig. 9 — Heterogeneous small (S2) and large (S4) accelerators
 # ----------------------------------------------------------------------
+def _fig9_post(run: ScenarioRun) -> Dict[str, Any]:
+    panels = run.panel_map()
+    absolute: Dict[str, Dict[str, float]] = {}
+    normalized: Dict[str, Dict[str, float]] = {}
+    references: Dict[str, str] = {}
+    for label, results in run.by_panel().items():
+        absolute[label] = _throughputs(results)
+        normalized[label], references[label] = normalized_with_reference(results, "MAGMA")
+    return {
+        "panels": {
+            label: (panel.setting, panel.bandwidth_gbps, TaskType(panel.task))
+            for label, panel in panels.items()
+        },
+        "absolute": absolute,
+        "normalized": normalized,
+        "normalized_reference": references,
+    }
+
+
 def run_fig9_heterogeneous(
     scale: Optional[ExperimentScale] = None,
     methods: Sequence[str] = tuple(PAPER_COMPARISON_METHODS),
     seed: int = 0,
 ) -> Dict[str, Any]:
     """All methods on S2 (BW=16) and S4 (BW=256) for the Vision and Mix tasks."""
-    scale = scale or get_scale()
-    panels = {
-        "vision_small": ("S2", SMALL_DEFAULT_BW, TaskType.VISION),
-        "mix_small": ("S2", SMALL_DEFAULT_BW, TaskType.MIX),
-        "vision_large": ("S4", LARGE_DEFAULT_BW, TaskType.VISION),
-        "mix_large": ("S4", LARGE_DEFAULT_BW, TaskType.MIX),
-    }
-    absolute: Dict[str, Dict[str, float]] = {}
-    normalized: Dict[str, Dict[str, float]] = {}
-    for panel, (setting, bw, task) in panels.items():
-        results = run_method_comparison(setting, bw, task, methods=methods, scale=scale, seed=seed)
-        absolute[panel] = {name: r.throughput_gflops for name, r in results.items()}
-        normalized[panel] = normalized_throughputs(results, reference="MAGMA")
-    return {"panels": panels, "absolute": absolute, "normalized": normalized}
+    spec = _with_methods(FIG9, methods)
+    return run_scenario(spec, scale=scale, seed=seed)
 
 
 # ----------------------------------------------------------------------
-# Fig. 10 — Exploration behaviour (PCA of sampled mappings)
+# Fig. 10 — Exploration behaviour (PCA of sampled mappings) (custom)
 # ----------------------------------------------------------------------
-def run_fig10_exploration(
-    scale: Optional[ExperimentScale] = None,
-    methods: Sequence[str] = ("magma", "ppo2", "stdga", "pso", "cma"),
-    seed: int = 0,
-) -> Dict[str, Any]:
+def _fig10_runner(ctx: ScenarioContext) -> Dict[str, Any]:
     """Record every sampled mapping per method and project them with PCA."""
-    scale = scale or get_scale()
+    scale = ctx.scale
+    seed = ctx.base_seed
+    methods = tuple(ctx.options.get("methods") or ("magma", "ppo2", "stdga", "pso", "cma"))
     platform = build_setting("S2", SMALL_DEFAULT_BW)
-    group = _group_for(TaskType.MIX, platform, scale, seed)
-    explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+    group = ctx.engine.group_for(TaskType.MIX, platform.num_sub_accelerators, seed)
+    explorer = ctx.engine.explorer(platform)
 
     encodings_by_method: Dict[str, np.ndarray] = {}
     reached: Dict[str, float] = {}
     rngs = spawn_rngs(seed, len(methods) + 1)
     for method, rng in zip(methods, rngs):
-        evaluator = explorer.build_evaluator(group, sampling_budget=_budget_for(method, scale))
+        evaluator = explorer.build_evaluator(
+            group, sampling_budget=DEFAULT_BUDGET_POLICY.budget_for(method, scale)
+        )
         evaluator.record_samples = True
-        optimizer = build_optimizer(method, seed=rng, **_optimizer_options(method, scale))
+        optimizer = build_optimizer(method, seed=rng, **default_optimizer_options(method, scale, None))
         best = optimizer.optimize(evaluator)
         if best is None:
             best = evaluator.best_encoding
@@ -270,40 +302,67 @@ def run_fig10_exploration(
     return {"reached_gflops": reached, "projections": projections}
 
 
+def run_fig10_exploration(
+    scale: Optional[ExperimentScale] = None,
+    methods: Sequence[str] = ("magma", "ppo2", "stdga", "pso", "cma"),
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fig. 10 entry point (delegates to the ``fig10`` scenario)."""
+    return run_scenario("fig10", scale=scale, seed=seed, options={"methods": tuple(methods)})
+
+
 # ----------------------------------------------------------------------
 # Fig. 11 — Convergence over an extended sampling budget
 # ----------------------------------------------------------------------
+def _fig11_post(run: ScenarioRun) -> Dict[str, Any]:
+    curves: Dict[str, Dict[str, ConvergenceCurve]] = {}
+    for label, results in run.by_panel().items():
+        curves[label] = {
+            name: convergence_from_history(name, result.history)
+            for name, result in results.items()
+        }
+    return {"curves": curves}
+
+
 def run_fig11_convergence(
     scale: Optional[ExperimentScale] = None,
     methods: Sequence[str] = ("magma", "stdga", "de", "pso", "cma", "tbpsa"),
     seed: int = 0,
 ) -> Dict[str, Any]:
     """Convergence curves on (Vision, S2, BW=16) and (Mix, S3, BW=16)."""
-    scale = scale or get_scale()
-    panels = {
-        "vision_s2": ("S2", SMALL_DEFAULT_BW, TaskType.VISION),
-        "mix_s3": ("S3", SMALL_DEFAULT_BW, TaskType.MIX),
-    }
-    curves: Dict[str, Dict[str, ConvergenceCurve]] = {}
-    for panel, (setting, bw, task) in panels.items():
-        platform = build_setting(setting, bw)
-        group = _group_for(task, platform, scale, seed)
-        explorer = M3E(platform, sampling_budget=scale.convergence_budget)
-        panel_curves: Dict[str, ConvergenceCurve] = {}
-        rngs = spawn_rngs(seed, len(methods))
-        for method, rng in zip(methods, rngs):
-            optimizer = build_optimizer(method, seed=rng, **_optimizer_options(method, scale))
-            result = explorer.search(group, optimizer=optimizer, sampling_budget=scale.convergence_budget)
-            panel_curves[result.optimizer_name] = convergence_from_history(
-                result.optimizer_name, result.history
-            )
-        curves[panel] = panel_curves
-    return {"curves": curves}
+    spec = _with_methods(FIG11, methods)
+    return run_scenario(spec, scale=scale, seed=seed)
 
 
 # ----------------------------------------------------------------------
 # Fig. 12 — Bandwidth sweep on the heterogeneous accelerators
 # ----------------------------------------------------------------------
+def _fig12_panels(
+    small_bandwidths: Sequence[float], large_bandwidths: Sequence[float]
+) -> tuple:
+    sweeps = {"small_s2": ("S2", small_bandwidths), "large_s4": ("S4", large_bandwidths)}
+    return tuple(
+        Panel(label=f"{tag}@{bw:g}", setting=setting, bandwidth_gbps=float(bw),
+              task="mix", tag=tag)
+        for tag, (setting, bandwidths) in sweeps.items()
+        for bw in bandwidths
+    )
+
+
+def _fig12_post(run: ScenarioRun) -> Dict[str, Any]:
+    panels = run.panel_map()
+    absolute: Dict[str, Dict[float, Dict[str, float]]] = {}
+    normalized: Dict[str, Dict[float, Dict[str, float]]] = {}
+    references: Dict[str, Dict[float, str]] = {}
+    for label, results in run.by_panel().items():
+        panel = panels[label]
+        absolute.setdefault(panel.tag, {})[panel.bandwidth_gbps] = _throughputs(results)
+        norm, ref = normalized_with_reference(results, "MAGMA")
+        normalized.setdefault(panel.tag, {})[panel.bandwidth_gbps] = norm
+        references.setdefault(panel.tag, {})[panel.bandwidth_gbps] = ref
+    return {"absolute": absolute, "normalized": normalized, "normalized_reference": references}
+
+
 def run_fig12_bw_sweep(
     scale: Optional[ExperimentScale] = None,
     methods: Sequence[str] = ("herald-like", "a2c", "ppo2", "magma"),
@@ -312,58 +371,50 @@ def run_fig12_bw_sweep(
     seed: int = 0,
 ) -> Dict[str, Any]:
     """Mix task on S2 and S4 swept over system bandwidths (Fig. 12)."""
-    scale = scale or get_scale()
-    sweeps = {
-        "small_s2": ("S2", small_bandwidths),
-        "large_s4": ("S4", large_bandwidths),
-    }
-    absolute: Dict[str, Dict[float, Dict[str, float]]] = {}
-    normalized: Dict[str, Dict[float, Dict[str, float]]] = {}
-    for label, (setting, bandwidths) in sweeps.items():
-        absolute[label] = {}
-        normalized[label] = {}
-        for bw in bandwidths:
-            results = run_method_comparison(setting, bw, TaskType.MIX, methods=methods, scale=scale, seed=seed)
-            absolute[label][bw] = {name: r.throughput_gflops for name, r in results.items()}
-            normalized[label][bw] = normalized_throughputs(results, reference="MAGMA")
-    return {"absolute": absolute, "normalized": normalized}
+    spec = replace(
+        _with_methods(FIG12, methods),
+        panels=_fig12_panels(small_bandwidths, large_bandwidths),
+    )
+    return run_scenario(spec, scale=scale, seed=seed)
 
 
 # ----------------------------------------------------------------------
 # Fig. 13 — Sub-accelerator combinations (S3 vs S4 vs S5)
 # ----------------------------------------------------------------------
-def run_fig13_subaccel_combinations(
-    scale: Optional[ExperimentScale] = None,
-    bandwidths: Sequence[float] = (1.0, 64.0),
-    settings: Sequence[str] = ("S3", "S4", "S5"),
-    seed: int = 0,
-) -> Dict[str, Any]:
-    """Job analysis and MAGMA throughput for the Large setting variants."""
-    scale = scale or get_scale()
-    job_analysis: Dict[str, Dict[str, Dict[str, float]]] = {}
-    throughput: Dict[float, Dict[str, float]] = {bw: {} for bw in bandwidths}
+def _fig13_panels(settings: Sequence[str], bandwidths: Sequence[float]) -> tuple:
+    return tuple(
+        Panel(label=f"{setting}@{bw:g}", setting=setting, bandwidth_gbps=float(bw),
+              task="mix", tag=setting)
+        for setting in settings
+        for bw in bandwidths
+    )
+
+
+def _fig13_post(run: ScenarioRun) -> Dict[str, Any]:
+    """Job analysis per setting plus normalised MAGMA throughput per bandwidth."""
+    engine = run.context.engine
+    scale = run.scale
+    seed = run.base_seed
+    panels = run.panel_map()
+    settings = list(dict.fromkeys(panel.tag for panel in panels.values()))
 
     tasks = [TaskType.VISION, TaskType.LANGUAGE, TaskType.RECOMMENDATION, TaskType.MIX]
+    job_analysis: Dict[str, Dict[str, Dict[str, float]]] = {}
     for setting in settings:
         platform = build_setting(setting, LARGE_DEFAULT_BW)
-        analyzer = JobAnalyzer(platform)
         per_task: Dict[str, Dict[str, float]] = {}
         for task in tasks:
-            group = _group_for(task, platform, scale, seed)
-            table = analyzer.analyze(group)
+            group = engine.group_for(task, platform.num_sub_accelerators, seed)
+            table = engine.analysis_table(platform, group)
             per_task[task.value] = {
                 "avg_no_stall_latency_cycles": float(table.latency_cycles.mean()),
                 "avg_required_bw_gbps": float(table.required_bw_gbps.mean()),
             }
         job_analysis[setting] = per_task
 
-        for bw in bandwidths:
-            bw_platform = build_setting(setting, bw)
-            group = _group_for(TaskType.MIX, bw_platform, scale, seed)
-            explorer = M3E(bw_platform, sampling_budget=scale.sampling_budget)
-            optimizer = build_optimizer("magma", seed=seed, **_optimizer_options("magma", scale))
-            result = explorer.search(group, optimizer=optimizer)
-            throughput[bw][setting] = result.throughput_gflops
+    throughput: Dict[float, Dict[str, float]] = {}
+    for cell, result in zip(run.cells, run.results):
+        throughput.setdefault(cell.bandwidth_gbps, {})[cell.tag] = result.throughput_gflops
 
     normalized: Dict[float, Dict[str, float]] = {}
     for bw, per_setting in throughput.items():
@@ -372,15 +423,24 @@ def run_fig13_subaccel_combinations(
     return {"job_analysis": job_analysis, "throughput": throughput, "normalized": normalized}
 
 
-# ----------------------------------------------------------------------
-# Fig. 14 — Fixed versus flexible PE arrays
-# ----------------------------------------------------------------------
-def run_fig14_flexible(
+def run_fig13_subaccel_combinations(
     scale: Optional[ExperimentScale] = None,
+    bandwidths: Sequence[float] = (1.0, 64.0),
+    settings: Sequence[str] = ("S3", "S4", "S5"),
     seed: int = 0,
 ) -> Dict[str, Any]:
+    """Job analysis and MAGMA throughput for the Large setting variants."""
+    spec = replace(FIG13, panels=_fig13_panels(settings, bandwidths))
+    return run_scenario(spec, scale=scale, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Fig. 14 — Fixed versus flexible PE arrays (custom)
+# ----------------------------------------------------------------------
+def _fig14_runner(ctx: ScenarioContext) -> Dict[str, Any]:
     """Fixed vs flexible PE arrays on the Small (S1) and Large (S3) accelerators."""
-    scale = scale or get_scale()
+    scale = ctx.scale
+    seed = ctx.base_seed
     panels = {
         "small_vision": ("S1", TaskType.VISION, (1.0, SMALL_DEFAULT_BW)),
         "small_mix": ("S1", TaskType.MIX, (1.0, SMALL_DEFAULT_BW)),
@@ -392,10 +452,10 @@ def run_fig14_flexible(
     for panel, (setting, task, bandwidths) in panels.items():
         fixed_platform = build_setting(setting, bandwidths[-1])
         flexible_platform = fixed_platform.with_flexible_arrays(True)
-        group = _group_for(task, fixed_platform, scale, seed)
+        group = ctx.engine.group_for(task, fixed_platform.num_sub_accelerators, seed)
 
-        fixed_table = JobAnalyzer(fixed_platform).analyze(group)
-        flexible_table = JobAnalyzer(flexible_platform).analyze(group)
+        fixed_table = ctx.engine.analysis_table(fixed_platform, group)
+        flexible_table = ctx.engine.analysis_table(flexible_platform, group)
         job_analysis[panel] = {
             "fixed_avg_latency": float(fixed_table.latency_cycles.mean()),
             "flexible_avg_latency": float(flexible_table.latency_cycles.mean()),
@@ -408,30 +468,36 @@ def run_fig14_flexible(
             row: Dict[str, float] = {}
             for label, platform in (("fixed", build_setting(setting, bw)),
                                     ("flexible", build_setting(setting, bw).with_flexible_arrays(True))):
-                explorer = M3E(platform, sampling_budget=scale.sampling_budget)
-                optimizer = build_optimizer("magma", seed=seed, **_optimizer_options("magma", scale))
+                explorer = ctx.engine.explorer(platform, sampling_budget=scale.sampling_budget)
+                optimizer = build_optimizer("magma", seed=seed, **default_optimizer_options("magma", scale, None))
                 result = explorer.search(group, optimizer=optimizer)
                 row[label] = result.throughput_gflops
             throughput[panel][f"bw_{bw:g}"] = row
     return {"job_analysis": job_analysis, "throughput": throughput}
 
 
-# ----------------------------------------------------------------------
-# Fig. 15 — Visualisation of found schedules (Herald-like vs MAGMA)
-# ----------------------------------------------------------------------
-def run_fig15_schedule_visualization(
+def run_fig14_flexible(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
 ) -> Dict[str, Any]:
+    """Fig. 14 entry point (delegates to the ``fig14`` scenario)."""
+    return run_scenario("fig14", scale=scale, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Fig. 15 — Visualisation of found schedules (Herald-like vs MAGMA) (custom)
+# ----------------------------------------------------------------------
+def _fig15_runner(ctx: ScenarioContext) -> Dict[str, Any]:
     """Schedules and bandwidth allocations of Herald-like vs MAGMA (Mix, S5, BW=1)."""
-    scale = scale or get_scale()
+    scale = ctx.scale
+    seed = ctx.base_seed
     platform = build_setting("S5", 1.0)
-    group = _group_for(TaskType.MIX, platform, scale, seed)
-    explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+    group = ctx.engine.group_for(TaskType.MIX, platform.num_sub_accelerators, seed)
+    explorer = ctx.engine.explorer(platform, sampling_budget=scale.sampling_budget)
 
     output: Dict[str, Any] = {"finish_time_cycles": {}, "gantt": {}, "bandwidth_series": {}}
     for method in ("herald-like", "magma"):
-        optimizer = build_optimizer(method, seed=seed, **_optimizer_options(method, scale))
+        optimizer = build_optimizer(method, seed=seed, **default_optimizer_options(method, scale, None))
         result = explorer.search(group, optimizer=optimizer)
         output["finish_time_cycles"][result.optimizer_name] = result.schedule.makespan_cycles
         output["gantt"][result.optimizer_name] = schedule_to_gantt(result.schedule, group)
@@ -439,84 +505,88 @@ def run_fig15_schedule_visualization(
     return output
 
 
+def run_fig15_schedule_visualization(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Fig. 15 entry point (delegates to the ``fig15`` scenario)."""
+    return run_scenario("fig15", scale=scale, seed=seed)
+
+
 # ----------------------------------------------------------------------
 # Fig. 16 — Ablation of MAGMA's genetic operators
 # ----------------------------------------------------------------------
+def _fig16_post(run: ScenarioRun) -> Dict[str, Any]:
+    curves: Dict[str, Dict[str, ConvergenceCurve]] = {}
+    final_values: Dict[str, Dict[str, float]] = {}
+    for label, results in run.by_panel().items():
+        curves[label] = {
+            name: convergence_from_history(name, result.history)
+            for name, result in results.items()
+        }
+        final_values[label] = _throughputs(results)
+    return {"curves": curves, "final_values": final_values}
+
+
 def run_fig16_operator_ablation(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
 ) -> Dict[str, Any]:
     """Convergence of MAGMA with mutation only, +crossover-gen, and all operators."""
-    scale = scale or get_scale()
-    variants = ["magma-mut", "magma-mut-gen", "magma"]
-    panels = {
-        "vision_s2": ("S2", SMALL_DEFAULT_BW, TaskType.VISION),
-        "mix_s3": ("S3", SMALL_DEFAULT_BW, TaskType.MIX),
-    }
-    curves: Dict[str, Dict[str, ConvergenceCurve]] = {}
-    final_values: Dict[str, Dict[str, float]] = {}
-    for panel, (setting, bw, task) in panels.items():
-        platform = build_setting(setting, bw)
-        group = _group_for(task, platform, scale, seed)
-        explorer = M3E(platform, sampling_budget=scale.sampling_budget)
-        panel_curves: Dict[str, ConvergenceCurve] = {}
-        panel_finals: Dict[str, float] = {}
-        rngs = spawn_rngs(seed, len(variants))
-        for variant, rng in zip(variants, rngs):
-            optimizer = build_optimizer(variant, seed=rng, **_optimizer_options(variant, scale))
-            result = explorer.search(group, optimizer=optimizer)
-            panel_curves[result.optimizer_name] = convergence_from_history(
-                result.optimizer_name, result.history
-            )
-            panel_finals[result.optimizer_name] = result.throughput_gflops
-        curves[panel] = panel_curves
-        final_values[panel] = panel_finals
-    return {"curves": curves, "final_values": final_values}
+    return run_scenario("fig16", scale=scale, seed=seed)
 
 
 # ----------------------------------------------------------------------
 # Fig. 17 — Group-size sweep
 # ----------------------------------------------------------------------
+def _fig17_panels_for_sizes(group_sizes: Sequence[int]) -> tuple:
+    return tuple(
+        Panel(label=str(size), setting="S2", bandwidth_gbps=SMALL_DEFAULT_BW,
+              task="mix", group_size=int(size))
+        for size in group_sizes
+    )
+
+
+def _fig17_default_panels(scale: ExperimentScale) -> tuple:
+    if scale.name == "paper":
+        sizes: Sequence[int] = (4, 10, 20, 40, 50, 100, 200, 500, 1000)
+    else:
+        sizes = (4, 10, 20, scale.group_size, 2 * scale.group_size)
+    return _fig17_panels_for_sizes(list(dict.fromkeys(sizes)))
+
+
+def _fig17_options(method: str, scale: ExperimentScale, panel: Optional[Panel]) -> Dict[str, Any]:
+    size = panel.group_size if panel is not None and panel.group_size else scale.group_size
+    return {"population_size": min(scale.population_size, max(4, size))}
+
+
+def _fig17_post(run: ScenarioRun) -> Dict[str, Any]:
+    throughput: Dict[int, float] = {}
+    for cell, result in zip(run.cells, run.results):
+        # Normalise by the group's own total work so different group sizes are
+        # comparable (larger groups carry more FLOPs by construction).
+        throughput[cell.group_size] = result.throughput_gflops
+    reference = throughput[max(throughput)]
+    normalized = {size: value / reference for size, value in throughput.items()}
+    return {"throughput": throughput, "normalized": normalized}
+
+
 def run_fig17_group_size(
     scale: Optional[ExperimentScale] = None,
     group_sizes: Optional[Sequence[int]] = None,
     seed: int = 0,
 ) -> Dict[str, Any]:
     """MAGMA throughput on (Mix, S2, BW=16) across group sizes."""
-    scale = scale or get_scale()
-    if group_sizes is None:
-        if scale.name == "paper":
-            group_sizes = (4, 10, 20, 40, 50, 100, 200, 500, 1000)
-        else:
-            group_sizes = (4, 10, 20, scale.group_size, 2 * scale.group_size)
-    platform = build_setting("S2", SMALL_DEFAULT_BW)
-    throughput: Dict[int, float] = {}
-    for size in group_sizes:
-        group = _group_for(TaskType.MIX, platform, scale, seed, group_size=size)
-        explorer = M3E(platform, sampling_budget=scale.sampling_budget)
-        optimizer = build_optimizer(
-            "magma", seed=seed, population_size=min(scale.population_size, max(4, size))
-        )
-        result = explorer.search(group, optimizer=optimizer)
-        # Normalise by the group's own total work so different group sizes are
-        # comparable (larger groups carry more FLOPs by construction).
-        throughput[size] = result.throughput_gflops
-    reference = throughput[max(group_sizes)]
-    normalized = {size: value / reference for size, value in throughput.items()}
-    return {"throughput": throughput, "normalized": normalized}
+    spec = FIG17
+    if group_sizes is not None:
+        spec = replace(spec, panels=_fig17_panels_for_sizes(group_sizes), panels_fn=None)
+    return run_scenario(spec, scale=scale, seed=seed)
 
 
 # ----------------------------------------------------------------------
-# Table V — Warm-start transfer
+# Table V — Warm-start transfer (custom)
 # ----------------------------------------------------------------------
-def run_table5_warm_start(
-    scale: Optional[ExperimentScale] = None,
-    setting: str = "S4",
-    bandwidth_gbps: float = 1.0,
-    task: TaskType = TaskType.MIX,
-    num_instances: int = 3,
-    seed: int = 0,
-) -> Dict[str, Any]:
+def _table5_runner(ctx: ScenarioContext) -> Dict[str, Any]:
     """Warm-start study: optimize one instance, transfer to new instances.
 
     Reproduces the structure of Table V: ``raw`` is the best of a random
@@ -525,16 +595,22 @@ def run_table5_warm_start(
     ``trf_full`` after the full budget; all values are normalised by
     ``trf_full``.
     """
-    scale = scale or get_scale()
+    scale = ctx.scale
+    seed = ctx.base_seed
+    setting = ctx.options.get("setting", "S4")
+    bandwidth_gbps = ctx.options.get("bandwidth_gbps", 1.0)
+    task = TaskType(ctx.options.get("task", TaskType.MIX))
+    num_instances = int(ctx.options.get("num_instances", 3))
+
     platform = build_setting(setting, bandwidth_gbps)
-    explorer = M3E(platform, sampling_budget=scale.sampling_budget)
+    explorer = ctx.engine.explorer(platform, sampling_budget=scale.sampling_budget)
     engine = WarmStartEngine()
 
     # Optimize the source instance and remember its solution.
-    source_group = _group_for(task, platform, scale, seed)
+    source_group = ctx.engine.group_for(task, platform.num_sub_accelerators, seed)
     source_result = explorer.search(
         source_group,
-        optimizer=build_optimizer("magma", seed=seed, **_optimizer_options("magma", scale)),
+        optimizer=build_optimizer("magma", seed=seed, **default_optimizer_options("magma", scale, None)),
     )
     source_evaluator = explorer.build_evaluator(source_group)
     engine.record(task.value, source_result.best_encoding, source_evaluator.codec, source_result.best_fitness)
@@ -543,7 +619,9 @@ def run_table5_warm_start(
     thirty_epochs = min(scale.sampling_budget, 30 * scale.population_size)
     rows: Dict[str, Dict[str, float]] = {}
     for instance in range(1, num_instances + 1):
-        group = _group_for(task, platform, scale, seed=seed + 1000 * instance)
+        group = ctx.engine.group_for(
+            task, platform.num_sub_accelerators, seed + 1000 * instance
+        )
         evaluator = explorer.build_evaluator(group)
         codec = evaluator.codec
         warm = engine.suggest(task.value, codec, count=scale.population_size, rng=seed + instance)
@@ -556,8 +634,10 @@ def run_table5_warm_start(
         trf_0 = float(evaluator.evaluate(warm[0], count_sample=False))
 
         def _optimize_with_budget(budget: int) -> float:
-            local_explorer = M3E(platform, sampling_budget=budget)
-            optimizer = build_optimizer("magma", seed=seed + instance, **_optimizer_options("magma", scale))
+            local_explorer = ctx.engine.explorer(platform, sampling_budget=budget)
+            optimizer = build_optimizer(
+                "magma", seed=seed + instance, **default_optimizer_options("magma", scale, None)
+            )
             result = local_explorer.search(
                 group, optimizer=optimizer, sampling_budget=budget, initial_encodings=warm
             )
@@ -579,3 +659,165 @@ def run_table5_warm_start(
         for key in ("raw", "trf_0_ep", "trf_1_ep", "trf_30_ep", "trf_full")
     }
     return {"instances": rows, "average": average, "source_throughput": source_result.throughput_gflops}
+
+
+def run_table5_warm_start(
+    scale: Optional[ExperimentScale] = None,
+    setting: str = "S4",
+    bandwidth_gbps: float = 1.0,
+    task: TaskType = TaskType.MIX,
+    num_instances: int = 3,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Table V entry point (delegates to the ``table5`` scenario)."""
+    return run_scenario(
+        "table5",
+        scale=scale,
+        seed=seed,
+        options={
+            "setting": setting,
+            "bandwidth_gbps": bandwidth_gbps,
+            "task": task,
+            "num_instances": num_instances,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry: the paper's figures/tables ...
+# ----------------------------------------------------------------------
+def _with_methods(spec: ScenarioSpec, methods: Sequence[str]) -> ScenarioSpec:
+    """The spec, with its method list overridden when the caller asks."""
+    methods = tuple(methods)
+    return spec if methods == spec.methods else replace(spec, methods=methods)
+
+
+FIG7 = register_scenario(ScenarioSpec(
+    name="fig7",
+    description="Fig. 7: per-model/per-task latency and bandwidth characteristics",
+    custom_runner=_fig7_runner,
+), overwrite=True)
+
+FIG8 = register_scenario(ScenarioSpec(
+    name="fig8",
+    description="Fig. 8: all methods on the homogeneous small accelerator (S1), four tasks",
+    settings=("S1",),
+    bandwidths=(SMALL_DEFAULT_BW,),
+    tasks=("vision", "language", "recommendation", "mix"),
+    methods=tuple(PAPER_COMPARISON_METHODS),
+    post_process=_fig8_post,
+), overwrite=True)
+
+FIG9 = register_scenario(ScenarioSpec(
+    name="fig9",
+    description="Fig. 9: all methods on the heterogeneous S2/S4 accelerators",
+    panels=(
+        Panel(label="vision_small", setting="S2", bandwidth_gbps=SMALL_DEFAULT_BW, task="vision"),
+        Panel(label="mix_small", setting="S2", bandwidth_gbps=SMALL_DEFAULT_BW, task="mix"),
+        Panel(label="vision_large", setting="S4", bandwidth_gbps=LARGE_DEFAULT_BW, task="vision"),
+        Panel(label="mix_large", setting="S4", bandwidth_gbps=LARGE_DEFAULT_BW, task="mix"),
+    ),
+    methods=tuple(PAPER_COMPARISON_METHODS),
+    post_process=_fig9_post,
+), overwrite=True)
+
+FIG10 = register_scenario(ScenarioSpec(
+    name="fig10",
+    description="Fig. 10: PCA projection of each method's sampled mappings",
+    custom_runner=_fig10_runner,
+), overwrite=True)
+
+FIG11 = register_scenario(ScenarioSpec(
+    name="fig11",
+    description="Fig. 11: convergence over the extended sampling budget",
+    panels=(
+        Panel(label="vision_s2", setting="S2", bandwidth_gbps=SMALL_DEFAULT_BW, task="vision"),
+        Panel(label="mix_s3", setting="S3", bandwidth_gbps=SMALL_DEFAULT_BW, task="mix"),
+    ),
+    methods=("magma", "stdga", "de", "pso", "cma", "tbpsa"),
+    budget_policy=BudgetPolicy(base="convergence"),
+    post_process=_fig11_post,
+), overwrite=True)
+
+FIG12 = register_scenario(ScenarioSpec(
+    name="fig12",
+    description="Fig. 12: bandwidth sweep on the heterogeneous accelerators",
+    panels=_fig12_panels((1.0, 4.0, 8.0, 16.0), (1.0, 16.0, 64.0, 256.0)),
+    methods=("herald-like", "a2c", "ppo2", "magma"),
+    post_process=_fig12_post,
+), overwrite=True)
+
+FIG13 = register_scenario(ScenarioSpec(
+    name="fig13",
+    description="Fig. 13: sub-accelerator combinations of the Large settings",
+    panels=_fig13_panels(("S3", "S4", "S5"), (1.0, 64.0)),
+    methods=("magma",),
+    seed_strategy="direct",
+    post_process=_fig13_post,
+), overwrite=True)
+
+FIG14 = register_scenario(ScenarioSpec(
+    name="fig14",
+    description="Fig. 14: fixed versus flexible PE arrays",
+    custom_runner=_fig14_runner,
+), overwrite=True)
+
+FIG15 = register_scenario(ScenarioSpec(
+    name="fig15",
+    description="Fig. 15: schedule visualisation, Herald-like vs MAGMA",
+    custom_runner=_fig15_runner,
+), overwrite=True)
+
+FIG16 = register_scenario(ScenarioSpec(
+    name="fig16",
+    description="Fig. 16: ablation of MAGMA's genetic operators",
+    panels=(
+        Panel(label="vision_s2", setting="S2", bandwidth_gbps=SMALL_DEFAULT_BW, task="vision"),
+        Panel(label="mix_s3", setting="S3", bandwidth_gbps=SMALL_DEFAULT_BW, task="mix"),
+    ),
+    methods=("magma-mut", "magma-mut-gen", "magma"),
+    post_process=_fig16_post,
+), overwrite=True)
+
+FIG17 = register_scenario(ScenarioSpec(
+    name="fig17",
+    description="Fig. 17: group-size sweep on (Mix, S2, BW=16)",
+    panels_fn=_fig17_default_panels,
+    methods=("magma",),
+    seed_strategy="direct",
+    optimizer_options=_fig17_options,
+    post_process=_fig17_post,
+), overwrite=True)
+
+TABLE5 = register_scenario(ScenarioSpec(
+    name="table5",
+    description="Table V: warm-start transfer across workload instances",
+    custom_runner=_table5_runner,
+), overwrite=True)
+
+
+# ----------------------------------------------------------------------
+# ... and cross-product scenarios the paper never ran.
+# ----------------------------------------------------------------------
+OBJECTIVE_SWEEP = register_scenario(ScenarioSpec(
+    name="objective-sweep",
+    description="MAGMA across objectives (throughput/EDP/energy/perf-per-watt) on S1-S4",
+    panels=(
+        Panel(label="S1", setting="S1", bandwidth_gbps=SMALL_DEFAULT_BW, task="mix"),
+        Panel(label="S2", setting="S2", bandwidth_gbps=SMALL_DEFAULT_BW, task="mix"),
+        Panel(label="S3", setting="S3", bandwidth_gbps=LARGE_DEFAULT_BW, task="mix"),
+        Panel(label="S4", setting="S4", bandwidth_gbps=LARGE_DEFAULT_BW, task="mix"),
+    ),
+    methods=("magma",),
+    objectives=("throughput", "latency", "energy", "edp", "performance_per_watt"),
+), overwrite=True)
+
+SEED_REPLICATES = register_scenario(ScenarioSpec(
+    name="seed-replicates",
+    description="Seed-replicated method comparison on (Mix, S2, BW=16)",
+    settings=("S2",),
+    bandwidths=(SMALL_DEFAULT_BW,),
+    tasks=("mix",),
+    methods=("herald-like", "stdga", "magma"),
+    seeds=(0, 1, 2),
+), overwrite=True)

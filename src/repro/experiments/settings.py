@@ -6,6 +6,8 @@ experiment runners accept a *scale* that shrinks the group size and sampling
 budget while keeping every other aspect of the experiment identical.  The
 scale is chosen via the ``REPRO_SCALE`` environment variable:
 
+* ``tiny`` — fractions of a second per figure; used by the CLI smoke tests
+  that run every registered scenario.
 * ``smoke`` — a few seconds per figure; used by the unit tests.
 * ``small`` — the default for the benchmark harness; minutes for the full set.
 * ``paper`` — the paper's settings (group size 100, 10K samples).
@@ -49,6 +51,17 @@ class ExperimentScale:
 
 
 _SCALES: Dict[str, ExperimentScale] = {
+    # The group size must cover the largest platform used by the registered
+    # scenarios (S3/S4/S5 have 8 sub-accelerators each).
+    "tiny": ExperimentScale(
+        name="tiny",
+        group_size=8,
+        sampling_budget=48,
+        rl_sampling_budget=24,
+        convergence_budget=96,
+        exhaustive_samples=120,
+        population_size=12,
+    ),
     "smoke": ExperimentScale(
         name="smoke",
         group_size=16,

@@ -23,6 +23,7 @@ from repro.optimizers.registry import (
     OPTIMIZER_REGISTRY,
     PAPER_COMPARISON_METHODS,
     build_optimizer,
+    is_rl_method,
     list_optimizers,
 )
 from repro.optimizers import operators
@@ -49,6 +50,7 @@ __all__ = [
     "OPTIMIZER_REGISTRY",
     "PAPER_COMPARISON_METHODS",
     "build_optimizer",
+    "is_rl_method",
     "list_optimizers",
     "operators",
 ]

@@ -51,6 +51,14 @@ class BaseOptimizer(abc.ABC):
     #: Registry / display name, overridden by subclasses.
     default_name: str = "base"
 
+    #: Whether the algorithm is a reinforcement-learning agent.  RL episodes
+    #: are much slower in wall-clock terms, so the reduced experiment scales
+    #: give RL agents a trimmed sampling budget (Section VI-B).  Budget
+    #: policies key off this flag — resolved through the optimizer registry —
+    #: rather than off a hard-coded set of method names, so new aliases of an
+    #: RL optimizer automatically inherit the reduced budget.
+    is_rl: bool = False
+
     def __init__(self, seed: SeedLike = None, name: Optional[str] = None):
         self.rng = ensure_rng(seed)
         self.name = name or self.default_name

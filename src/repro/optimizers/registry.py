@@ -62,6 +62,20 @@ def build_optimizer(name: str, seed: SeedLike = None, **options: object) -> Base
     return OPTIMIZER_REGISTRY[key](seed=seed, **options)
 
 
+def is_rl_method(name: str) -> bool:
+    """Whether *name* resolves to a reinforcement-learning optimizer.
+
+    Budget policies use this to apply the reduced RL sampling budget.  The
+    check resolves the (case-insensitive) name or alias through the registry
+    and inspects the factory's ``is_rl`` flag, so a newly registered RL
+    optimizer — or a new alias of an existing one — is picked up without
+    updating any hard-coded name list.  Unknown names are simply "not RL";
+    they fail later, at construction time, with a proper error.
+    """
+    factory = OPTIMIZER_REGISTRY.get(str(name).lower())
+    return bool(getattr(factory, "is_rl", False))
+
+
 def list_optimizers() -> List[str]:
     """Canonical optimizer names (without aliases)."""
     canonical = {

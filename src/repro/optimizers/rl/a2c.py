@@ -49,6 +49,7 @@ class A2COptimizer(BaseOptimizer):
     """Synchronous advantage actor-critic over the sequential mapping environment."""
 
     default_name = "RL A2C"
+    is_rl = True
 
     def __init__(
         self,

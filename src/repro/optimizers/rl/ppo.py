@@ -25,6 +25,7 @@ class PPOOptimizer(BaseOptimizer):
     """Clipped-surrogate PPO over the sequential mapping environment."""
 
     default_name = "RL PPO2"
+    is_rl = True
 
     def __init__(
         self,

@@ -10,8 +10,11 @@ from repro.utils.units import (
     macs_to_flops,
 )
 from repro.utils.tables import format_table, geometric_mean, unique_key
+from repro.utils.serialization import SearchResultSummary, jsonable
 
 __all__ = [
+    "SearchResultSummary",
+    "jsonable",
     "ensure_rng",
     "spawn_rngs",
     "BYTES_PER_GB",

@@ -1,0 +1,135 @@
+"""JSON serialization helpers shared by the CLI and the campaign engine.
+
+Experiment runners return plain-ish data structures that still contain NumPy
+arrays, enums, dataclasses (convergence curves, Gantt entries), and full
+:class:`~repro.core.framework.SearchResult` objects.  :func:`jsonable`
+converts any of those into JSON-safe values with explicit, type-directed
+rules (the previous CLI-private helper fell back to ``vars(obj)``, which
+broke on ``__slots__`` classes and serialized enums as their internal
+member ``__dict__``).
+
+:class:`SearchResultSummary` is the durable subset of a search result — the
+record the campaign results store writes one JSONL line per cell from — with
+a proper dump/load round trip.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, Iterable, Iterator, List, Optional
+
+import numpy as np
+
+
+def jsonable(value: Any) -> Any:
+    """Convert *value* into JSON-safe data (dicts/lists/strings/numbers).
+
+    Handles nested containers, NumPy arrays and scalars, enums (by value),
+    dataclasses (by field), :class:`SearchResult` (via
+    :class:`SearchResultSummary`), and objects exposing ``to_dict()``.
+    Anything unrecognised is rendered with ``str`` rather than guessed at.
+    """
+    # Imported here: core.framework imports utils transitively.
+    from repro.core.framework import SearchResult
+
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, enum.Enum):
+        return jsonable(value.value)
+    if isinstance(value, dict):
+        return {_key(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, SearchResult):
+        return SearchResultSummary.from_result(value).to_dict()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    to_dict = getattr(value, "to_dict", None)
+    if callable(to_dict):
+        return jsonable(to_dict())
+    return str(value)
+
+
+def _key(key: Any) -> str:
+    """Render a dict key for JSON (enum keys by value, everything else via str)."""
+    if isinstance(key, enum.Enum):
+        return str(key.value)
+    if isinstance(key, (np.floating, np.integer)):
+        key = key.item()
+    return str(key)
+
+
+@dataclass
+class SearchResultSummary:
+    """The JSON-durable subset of a :class:`~repro.core.framework.SearchResult`.
+
+    Carries everything downstream analysis needs — the winning encoding, its
+    fitness/objective value, the throughput and makespan of its schedule, the
+    convergence history, and the samples spent — without the decoded mapping
+    and schedule objects (both are reconstructable from the encoding via
+    ``MappingEvaluator.schedule_for``).
+    """
+
+    optimizer_name: str
+    best_fitness: float
+    objective_value: float
+    throughput_gflops: float
+    makespan_cycles: float
+    samples_used: int
+    best_encoding: List[float]
+    history: List[float]
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_result(cls, result: "SearchResult") -> "SearchResultSummary":  # noqa: F821
+        """Summarise a full search result."""
+        return cls(
+            optimizer_name=result.optimizer_name,
+            best_fitness=float(result.best_fitness),
+            objective_value=float(result.objective_value),
+            throughput_gflops=float(result.throughput_gflops),
+            makespan_cycles=float(result.schedule.makespan_cycles),
+            samples_used=int(result.samples_used),
+            best_encoding=[float(v) for v in np.asarray(result.best_encoding, dtype=float)],
+            history=[float(v) for v in result.history],
+            metadata=jsonable(result.metadata),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form, safe for ``json.dumps``."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SearchResultSummary":
+        """Inverse of :meth:`to_dict` (unknown keys are rejected loudly)."""
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown SearchResultSummary fields: {sorted(unknown)}")
+        return cls(**data)
+
+
+def dump_jsonl_line(record: Dict[str, Any], stream: IO[str]) -> None:
+    """Append one record to a JSONL stream (sorted keys, flushed)."""
+    stream.write(json.dumps(jsonable(record), sort_keys=True) + "\n")
+    stream.flush()
+
+
+def load_jsonl(path: str) -> Iterator[Dict[str, Any]]:
+    """Yield the records of a JSONL file (missing file yields nothing)."""
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)

@@ -1,0 +1,193 @@
+"""Tests for the resumable campaign engine and its JSONL results store."""
+
+import json
+
+import pytest
+
+from repro.core.analyzer import AnalysisTableCache
+from repro.experiments import get_scale
+from repro.experiments.campaign import CampaignResultsStore, CampaignRunner
+from repro.experiments.scenarios import ScenarioSpec
+from repro.utils.serialization import SearchResultSummary
+
+TINY = get_scale("tiny")
+
+
+@pytest.fixture()
+def grid_spec():
+    """A 2-setting x 2-task x 2-method grid (8 cells, 4 unique problems)."""
+    return ScenarioSpec(
+        name="grid",
+        description="campaign test grid",
+        settings=("S1", "S2"),
+        bandwidths=(16.0,),
+        tasks=("vision", "mix"),
+        methods=("herald-like", "magma"),
+    )
+
+
+def fresh_engine():
+    return CampaignRunner(scale=TINY, table_cache=AnalysisTableCache())
+
+
+class TestSharedAnalysisTables:
+    def test_table_built_once_per_unique_group_platform(self, grid_spec, tmp_path):
+        engine = fresh_engine()
+        report = engine.run([grid_spec], store=str(tmp_path / "out.jsonl"))
+        assert report.cells_run == 8
+        # 2 settings x 2 tasks = 4 unique (group, platform) pairs; the other
+        # 4 cells (second method) hit the shared cache.
+        assert report.table_builds == 4
+        assert report.table_hits == 4
+
+    def test_bandwidth_sweep_shares_one_table(self):
+        """The analysis table is bandwidth-independent, so sweeping the system
+        bandwidth of one setting must not rebuild it."""
+        spec = ScenarioSpec(
+            name="bw-sweep",
+            description="one setting, several bandwidths",
+            settings=("S2",),
+            bandwidths=(1.0, 4.0, 16.0),
+            tasks=("mix",),
+            methods=("magma",),
+        )
+        engine = fresh_engine()
+        report = engine.run([spec])
+        assert report.cells_run == 3
+        assert report.table_builds == 1
+        assert report.table_hits == 2
+
+    def test_identical_cells_run_once_per_campaign(self, grid_spec):
+        engine = fresh_engine()
+        report = engine.run([grid_spec, grid_spec])
+        assert report.cells_run == 8
+        assert report.cells_deduped == 8
+
+    def test_identical_work_dedups_across_scenarios(self, grid_spec):
+        """Cell fingerprints describe the work, not the scenario it belongs
+        to: an overlapping grid registered under another name must not
+        re-run the shared cells."""
+        import dataclasses
+
+        overlapping = dataclasses.replace(grid_spec, name="other", settings=("S1",))
+        report = fresh_engine().run([grid_spec, overlapping])
+        # 'other' expands to 4 cells (1 setting x 2 tasks x 2 methods), all
+        # already covered by the first scenario.
+        assert report.cells_total == 12
+        assert report.cells_run == 8
+        assert report.cells_deduped == 4
+
+
+class TestResultsStore:
+    def test_records_are_loadable_summaries(self, grid_spec, tmp_path):
+        store = CampaignResultsStore(str(tmp_path / "out.jsonl"))
+        fresh_engine().run([grid_spec], store=store)
+        records = store.records()
+        assert len(records) == 8
+        for record in records:
+            assert set(record) == {"fingerprint", "scenario", "cell", "result"}
+            summary = SearchResultSummary.from_dict(record["result"])
+            assert summary.throughput_gflops > 0
+            assert summary.samples_used <= record["cell"]["budget"]
+
+    def test_resume_skips_completed_cells_and_matches_uninterrupted_store(
+        self, grid_spec, tmp_path
+    ):
+        full_path = tmp_path / "full.jsonl"
+        fresh_engine().run([grid_spec], store=str(full_path))
+        full_lines = full_path.read_text().splitlines()
+
+        # Simulate an interruption after 3 completed cells.
+        partial_path = tmp_path / "partial.jsonl"
+        partial_path.write_text("\n".join(full_lines[:3]) + "\n")
+        report = fresh_engine().run([grid_spec], store=str(partial_path), resume=True)
+        assert report.cells_skipped == 3
+        assert report.cells_run == 5
+        assert partial_path.read_text() == full_path.read_text()
+
+        # A second resume has nothing left to do.
+        rerun = fresh_engine().run([grid_spec], store=str(partial_path), resume=True)
+        assert rerun.cells_run == 0
+        assert rerun.cells_skipped == 8
+
+    def test_resume_repairs_a_torn_trailing_line(self, grid_spec, tmp_path):
+        """A SIGKILL mid-append can leave a half-written last line; resume
+        must drop it (re-running that cell) instead of crashing or
+        corrupting later appends."""
+        full_path = tmp_path / "full.jsonl"
+        fresh_engine().run([grid_spec], store=str(full_path))
+        full_text = full_path.read_text()
+        full_lines = full_text.splitlines()
+
+        torn_path = tmp_path / "torn.jsonl"
+        torn_path.write_text("\n".join(full_lines[:3]) + "\n" + full_lines[3][: len(full_lines[3]) // 2])
+        report = fresh_engine().run([grid_spec], store=str(torn_path), resume=True)
+        assert report.cells_skipped == 3
+        assert report.cells_run == 5
+        assert torn_path.read_text() == full_text
+
+    def test_non_resume_on_a_torn_store_still_refuses_cleanly(self, grid_spec, tmp_path):
+        """Regression: the populated-store guard used to crash with a raw
+        JSONDecodeError when the store ended in a torn line."""
+        from repro.exceptions import ExperimentError
+
+        path = tmp_path / "out.jsonl"
+        fresh_engine().run([grid_spec], store=str(path))
+        torn = path.read_text()[:-20]
+        path.write_text(torn)
+        with pytest.raises(ExperimentError):
+            fresh_engine().run([grid_spec], store=str(path), resume=False)
+
+    def test_non_resume_refuses_to_wipe_a_populated_store(self, grid_spec, tmp_path):
+        """Hours of campaign results must not be silently truncated because
+        --resume was omitted; starting over requires a fresh path."""
+        from repro.exceptions import ExperimentError
+
+        path = tmp_path / "out.jsonl"
+        fresh_engine().run([grid_spec], store=str(path))
+        before = path.read_text()
+        with pytest.raises(ExperimentError):
+            fresh_engine().run([grid_spec], store=str(path), resume=False)
+        assert path.read_text() == before
+
+    def test_non_resume_overwrites_an_empty_store_file(self, grid_spec, tmp_path):
+        path = tmp_path / "out.jsonl"
+        path.write_text("")
+        report = fresh_engine().run([grid_spec], store=str(path))
+        assert report.cells_run == 8
+
+    def test_resume_into_a_fresh_nested_path(self, grid_spec, tmp_path):
+        """--resume against a store that does not exist yet (including its
+        directory) behaves like a fresh run instead of crashing mid-append."""
+        path = tmp_path / "sub" / "dir" / "out.jsonl"
+        report = fresh_engine().run([grid_spec], store=str(path), resume=True)
+        assert report.cells_run == 8
+        assert len(path.read_text().splitlines()) == 8
+
+    def test_custom_scenarios_store_their_output(self, tmp_path):
+        store = CampaignResultsStore(str(tmp_path / "out.jsonl"))
+        report = fresh_engine().run(["fig15"], store=store)
+        assert report.cells_total == report.cells_run == 1
+        (record,) = store.records()
+        assert record["cell"]["custom"] is True
+        assert "finish_time_cycles" in record["result"]["output"]
+        # Resuming skips the completed custom scenario too.
+        rerun = fresh_engine().run(["fig15"], store=store, resume=True)
+        assert rerun.cells_run == 0 and rerun.cells_skipped == 1
+
+    def test_store_lines_are_plain_json(self, grid_spec, tmp_path):
+        path = tmp_path / "out.jsonl"
+        fresh_engine().run([grid_spec], store=str(path))
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            assert isinstance(record["fingerprint"], str)
+
+
+class TestEngineByName:
+    def test_registered_scenarios_run_by_name(self, tmp_path):
+        report = fresh_engine().run(
+            ["seed-replicates"], store=str(tmp_path / "out.jsonl"), base_seed=0
+        )
+        # 3 methods x 3 seeds on one panel.
+        assert report.cells_total == 9
+        assert report.cells_run == 9

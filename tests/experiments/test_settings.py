@@ -7,8 +7,8 @@ from repro.experiments.settings import SCALE_ENV_VAR, ExperimentScale, get_scale
 
 
 class TestScales:
-    def test_three_scales_available(self):
-        assert list_scales() == ["paper", "small", "smoke"]
+    def test_four_scales_available(self):
+        assert list_scales() == ["paper", "small", "smoke", "tiny"]
 
     def test_paper_scale_matches_the_paper(self):
         paper = get_scale("paper")
@@ -45,6 +45,8 @@ class TestScales:
             )
 
     def test_scales_are_ordered_by_effort(self):
-        smoke, small, paper = get_scale("smoke"), get_scale("small"), get_scale("paper")
-        assert smoke.sampling_budget < small.sampling_budget < paper.sampling_budget
-        assert smoke.group_size < small.group_size < paper.group_size
+        tiny, smoke, small, paper = (
+            get_scale("tiny"), get_scale("smoke"), get_scale("small"), get_scale("paper")
+        )
+        assert tiny.sampling_budget < smoke.sampling_budget < small.sampling_budget < paper.sampling_budget
+        assert tiny.group_size < smoke.group_size < small.group_size < paper.group_size

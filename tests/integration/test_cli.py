@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments import list_scenarios
 
 
 class TestParser:
@@ -54,3 +55,60 @@ class TestCommands:
         assert exit_code == 0
         payload = json.loads(capsys.readouterr().out)
         assert "per_task" in payload and "per_model" in payload
+
+
+class TestScenarioSmoke:
+    @pytest.mark.parametrize("name", list_scenarios())
+    def test_every_registered_scenario_runs_and_serializes(self, name, capsys):
+        """Every scenario in the registry — paper figure/table or custom
+        sweep — must run end to end at the tiny scale and print valid JSON."""
+        exit_code = main(["experiment", name, "--scale", "tiny", "--seed", "0"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, dict) and payload
+
+
+class TestCampaignCommand:
+    def test_campaign_runs_and_resumes(self, capsys, tmp_path):
+        out = str(tmp_path / "campaign.jsonl")
+        exit_code = main([
+            "campaign", "seed-replicates", "--scale", "tiny", "--out", out,
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert '"cells_run": 9' in output
+        with open(out, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 9
+        record = json.loads(lines[0])
+        assert record["scenario"] == "seed-replicates"
+        assert record["result"]["throughput_gflops"] > 0
+
+        # Resuming a completed campaign re-runs zero cells.
+        exit_code = main([
+            "campaign", "seed-replicates", "--scale", "tiny", "--out", out, "--resume",
+        ])
+        assert exit_code == 0
+        resumed = capsys.readouterr().out
+        assert '"cells_run": 0' in resumed and '"cells_skipped": 9' in resumed
+
+    def test_campaign_with_grid_file(self, capsys, tmp_path):
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "name": "cli-grid",
+            "settings": ["S1"],
+            "tasks": ["vision"],
+            "methods": ["magma", "stdga"],
+        }))
+        out = str(tmp_path / "campaign.jsonl")
+        exit_code = main([
+            "campaign", "--grid", str(grid), "--scale", "tiny", "--out", out,
+        ])
+        assert exit_code == 0
+        assert '"cells_run": 2' in capsys.readouterr().out
+
+    def test_campaign_without_scenarios_rejected(self, tmp_path):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError):
+            main(["campaign", "--out", str(tmp_path / "x.jsonl")])
