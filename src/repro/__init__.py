@@ -28,6 +28,7 @@ from repro.exceptions import (
     SchedulingError,
     OptimizationError,
     ExperimentError,
+    ServiceError,
 )
 from repro.workloads import (
     TaskType,
@@ -72,6 +73,7 @@ __all__ = [
     "SchedulingError",
     "OptimizationError",
     "ExperimentError",
+    "ServiceError",
     # workloads
     "TaskType",
     "WorkloadSpec",

@@ -31,6 +31,18 @@ pool, default one per CPU core)::
 
     repro-magma search --setting S2 --task mix --eval-backend scalar
     repro-magma experiment fig9 --eval-backend parallel --eval-workers 4
+
+Run the mapping service — repeated requests are answered from the persistent
+solution store in milliseconds, and new same-task requests warm-start from
+remembered solutions (Table V) — then submit queries to it::
+
+    repro-magma serve --store solutions.jsonl --warm-store warm.jsonl
+    repro-magma submit --task vision --setting S2 --wait
+
+Any search-running command accepts ``--warm-store PATH`` to read/extend the
+same cross-run warm-start library::
+
+    repro-magma search --task vision --warm-store warm.jsonl
 """
 
 from __future__ import annotations
@@ -45,7 +57,8 @@ from repro.analysis.gantt import render_ascii_gantt
 from repro.analysis.reporting import ComparisonReport
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS
 from repro.core.framework import M3E
-from repro.exceptions import ExperimentError
+from repro.core.objectives import list_objectives
+from repro.exceptions import ExperimentError, ServiceError
 from repro.experiments import (
     CampaignRunner,
     get_scale,
@@ -62,9 +75,16 @@ from repro.workloads import TaskType, build_task_workload, list_models
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
-    """Print the registered models, accelerator settings, optimizers, and scenarios."""
+    """Print every registered building block a search or service can be configured from."""
     print("Accelerator settings:", ", ".join(list_settings()))
     print("Optimizers:", ", ".join(list_optimizers()))
+    print("Objectives:", ", ".join(list_objectives()))
+    print(
+        "Evaluation backends:",
+        ", ".join(EVAL_BACKENDS),
+        f"(default: {DEFAULT_EVAL_BACKEND})",
+    )
+    print("Scales:", ", ".join(list_scales()), f"(default: {get_scale().name})")
     print("Scenarios:")
     for name in list_scenarios():
         print(f"  - {name}: {get_scenario(name).description}")
@@ -89,6 +109,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         sampling_budget=args.budget,
         eval_backend=args.eval_backend,
         eval_workers=args.eval_workers,
+        warm_store=_warm_library(args),
     )
     result = explorer.search(group, optimizer=args.optimizer, seed=args.seed)
     print(platform.describe())
@@ -136,6 +157,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         seed=args.seed,
         eval_backend=args.eval_backend,
         eval_workers=args.eval_workers,
+        warm_store=_warm_library(args),
     )
     print(json.dumps(jsonable(output), indent=2, sort_keys=True))
     return 0
@@ -160,6 +182,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         scale=args.scale,
         eval_backend=eval_backend,
         eval_workers=eval_workers,
+        warm_store=_warm_library(args),
     )
     report = engine.run(
         scenarios,
@@ -170,6 +193,115 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     )
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
     return 0
+
+
+def _warm_library(args: argparse.Namespace):
+    """The persistent warm-start library named by ``--warm-store``, if any."""
+    path = getattr(args, "warm_store", None)
+    if not path:
+        return None
+    from repro.service.warmlib import WarmStartLibrary
+
+    return WarmStartLibrary(path)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the mapping service behind the localhost HTTP JSON API."""
+    import signal
+
+    from repro.service import MappingService, create_server
+
+    service = MappingService(
+        store=args.store,
+        warm_store=args.warm_store,
+        scale=args.scale,
+        eval_backend=args.eval_backend,
+        eval_workers=args.eval_workers,
+        workers=args.workers,
+    )
+    server = create_server(service, host=args.host, port=args.port, quiet=False)
+    host, port = server.server_address[:2]
+    print(f"mapping service listening on http://{host}:{port}")
+    print(f"  solution store: {service.store.path}")
+    if service.warm_store is not None:
+        print(f"  warm-start library: {service.warm_store.path}")
+
+    def _graceful(signum: int, frame: Any) -> None:
+        # SIGTERM (docker stop, kill) drains like Ctrl-C instead of dying
+        # mid-job; appends are atomic either way, so even SIGKILL cannot
+        # corrupt the store — this just avoids abandoning queued work.
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down (draining running jobs)...")
+    finally:
+        server.server_close()
+        service.close(wait=True)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one mapping request to a running service and print the reply."""
+    import time
+    import urllib.error
+    import urllib.request
+
+    request = {
+        "setting": args.setting,
+        "bandwidth_gbps": args.bandwidth,
+        "task": args.task,
+        "objective": args.objective,
+        "method": args.optimizer,
+        "seed": args.seed,
+    }
+    if args.group_size is not None:
+        request["group_size"] = args.group_size
+    if args.budget is not None:
+        request["budget"] = args.budget
+
+    base = args.url.rstrip("/")
+
+    def call(path: str, body: Optional[dict] = None) -> dict:
+        data = json.dumps(body).encode("utf-8") if body is not None else None
+        http_request = urllib.request.Request(
+            base + path, data=data, headers={"Content-Type": "application/json"}
+        )
+        try:
+            with urllib.request.urlopen(http_request, timeout=args.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            payload = json.loads(error.read().decode("utf-8") or "{}")
+            raise ServiceError(
+                f"{path} -> HTTP {error.code}: {payload.get('error', error.reason)}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                f"cannot reach mapping service at {base}: {error.reason}"
+            ) from error
+
+    reply = call("/submit", request)
+    if args.wait and "result" not in reply:
+        job_id = reply["id"]
+        while True:
+            status = call(f"/status/{job_id}")
+            if status["state"] in ("done", "failed"):
+                break
+            time.sleep(args.poll)
+        reply = call(f"/result/{job_id}")
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def _add_warm_store_option(parser: argparse.ArgumentParser) -> None:
+    """The persistent warm-start flag shared by search-running commands."""
+    parser.add_argument(
+        "--warm-store", default=None, metavar="PATH",
+        help="persistent warm-start library (JSONL): searches seed from the best "
+        "prior same-task solution and record their winners back",
+    )
 
 
 def _add_eval_backend_options(parser: argparse.ArgumentParser) -> None:
@@ -207,6 +339,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--budget", type=int, default=10_000)
     search.add_argument("--seed", type=int, default=0)
     _add_eval_backend_options(search)
+    _add_warm_store_option(search)
     search.add_argument("--show-schedule", action="store_true")
     search.set_defaults(func=_cmd_search)
 
@@ -225,6 +358,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", default=None, choices=list_scales())
     experiment.add_argument("--seed", type=int, default=0)
     _add_eval_backend_options(experiment)
+    _add_warm_store_option(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     campaign = subparsers.add_parser(
@@ -254,7 +388,46 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--scale", default=None, choices=list_scales())
     campaign.add_argument("--seed", type=int, default=0)
     _add_eval_backend_options(campaign)
+    _add_warm_store_option(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the mapping service behind a localhost HTTP JSON API"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument(
+        "--store", default="solutions.jsonl", metavar="PATH",
+        help="persistent solution store (default: solutions.jsonl)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="worker threads executing queued searches (default: 2)",
+    )
+    serve.add_argument("--scale", default=None, choices=list_scales())
+    _add_eval_backend_options(serve)
+    _add_warm_store_option(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit", help="submit one mapping request to a running service"
+    )
+    submit.add_argument("--url", default="http://127.0.0.1:8787")
+    submit.add_argument("--setting", default="S2", choices=list_settings())
+    submit.add_argument("--bandwidth", type=float, default=16.0)
+    submit.add_argument("--task", default="mix", choices=[t.value for t in TaskType])
+    submit.add_argument("--objective", default="throughput", choices=list_objectives())
+    submit.add_argument("--optimizer", default="magma")
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--group-size", type=int, default=None)
+    submit.add_argument("--budget", type=int, default=None)
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job finishes and print the result",
+    )
+    submit.add_argument("--poll", type=float, default=0.5, metavar="SECONDS")
+    submit.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS")
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

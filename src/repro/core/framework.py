@@ -29,6 +29,19 @@ from repro.workloads.groups import JobGroup
 DEFAULT_SAMPLING_BUDGET = 10_000
 
 
+def _population_size_of(algorithm: Any) -> int:
+    """How many warm-start seeds an algorithm can absorb.
+
+    GA-family optimizers keep the size either on the instance (stdGA, DE,
+    PSO) or on their config dataclass (MAGMA, CMA-ES, TBPSA); point methods
+    take a single seed encoding.
+    """
+    size = getattr(algorithm, "population_size", None)
+    if size is None:
+        size = getattr(getattr(algorithm, "config", None), "population_size", None)
+    return int(size) if size else 1
+
+
 @dataclass
 class SearchResult:
     """Outcome of one mapping search.
@@ -97,6 +110,16 @@ class M3E:
         passes one shared :class:`~repro.core.analyzer.AnalysisTableCache`
         to every explorer it builds so equal (group, platform) cells reuse
         one table process-wide.
+    warm_store:
+        Optional warm-start provider (Section V-C made persistent).  Any
+        object with ``warm_population(group, codec, objective, count, rng)``
+        returning seed encodings (or ``None``) and ``observe(group, encoding,
+        codec, fitness, objective)`` fits; the reference implementation is
+        :class:`~repro.service.warmlib.WarmStartLibrary`.  When set, every
+        search without explicit ``initial_encodings`` is seeded from the best
+        remembered same-task solution, and every finished search reports its
+        winner back.  ``None`` (the default) keeps searches bit-identical to
+        the historical cold-start behaviour.
     """
 
     def __init__(
@@ -107,6 +130,7 @@ class M3E:
         eval_backend: str = DEFAULT_EVAL_BACKEND,
         eval_workers: Optional[int] = None,
         table_cache: Optional[AnalysisTableCache] = None,
+        warm_store: Optional[Any] = None,
     ):
         if sampling_budget <= 0:
             raise OptimizationError(f"sampling_budget must be positive, got {sampling_budget}")
@@ -124,6 +148,7 @@ class M3E:
         self.sampling_budget = sampling_budget
         self.eval_backend = eval_backend
         self.eval_workers = eval_workers
+        self.warm_store = warm_store
         self._analyzer = JobAnalyzer(platform)
         self._table_cache = table_cache if table_cache is not None else AnalysisTableCache()
 
@@ -183,6 +208,20 @@ class M3E:
         else:
             algorithm = build_optimizer(optimizer, seed=seed, **(optimizer_options or {}))
 
+        if initial_encodings is None and self.warm_store is not None:
+            # Perturbations of the extra warm seeds must be reproducible: with
+            # no explicit seed (e.g. campaign cells hand over a pre-seeded
+            # optimizer instance), draw from the algorithm's own deterministic
+            # stream instead of fresh OS entropy.
+            warm_rng = seed if seed is not None else getattr(algorithm, "rng", None)
+            initial_encodings = self.warm_store.warm_population(
+                group,
+                evaluator.codec,
+                objective=evaluator.objective.name,
+                count=_population_size_of(algorithm),
+                rng=warm_rng,
+            )
+
         try:
             best_encoding = algorithm.optimize(evaluator, initial_encodings=initial_encodings)
             if best_encoding is None:
@@ -198,6 +237,14 @@ class M3E:
             # The parallel backend's worker pool persists across generations;
             # release it once the search is over (no-op for other backends).
             evaluator.close()
+        if self.warm_store is not None:
+            self.warm_store.observe(
+                group,
+                best_encoding,
+                evaluator.codec,
+                detail.fitness,
+                objective=evaluator.objective.name,
+            )
         return SearchResult(
             best_encoding=np.asarray(best_encoding, dtype=float),
             best_mapping=detail.mapping,

@@ -38,3 +38,7 @@ class OptimizationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration references unknown components."""
+
+
+class ServiceError(ReproError):
+    """Raised when the mapping service receives an invalid request or job id."""

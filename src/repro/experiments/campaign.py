@@ -22,8 +22,8 @@ A *campaign* executes one or more declarative scenarios
 
 from __future__ import annotations
 
-import os
-from dataclasses import dataclass, field
+import threading
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.accelerator import AcceleratorPlatform, build_setting
@@ -39,85 +39,32 @@ from repro.experiments.scenarios import (
     run_scenario,
 )
 from repro.experiments.settings import ExperimentScale, get_scale
+from repro.utils.jsonl_store import AppendOnlyJsonlStore
 from repro.utils.rng import spawn_rngs
-from repro.utils.serialization import SearchResultSummary, dump_jsonl_line, jsonable, load_jsonl
+from repro.utils.serialization import SearchResultSummary, jsonable
 from repro.workloads.benchmark import TaskType, build_task_workload
 from repro.workloads.groups import JobGroup
 
 
-class CampaignResultsStore:
+class CampaignResultsStore(AppendOnlyJsonlStore):
     """Append-only JSONL store of per-cell campaign results.
 
     One line per completed cell: ``{"fingerprint", "scenario", "cell",
     "result"}``.  The fingerprint is the cell's deterministic identity
     (:meth:`~repro.experiments.scenarios.SearchCell.fingerprint`), which is
-    what makes interrupted campaigns resumable.
+    what makes interrupted campaigns resumable.  Append/repair/fingerprint
+    mechanics live in :class:`~repro.utils.jsonl_store.AppendOnlyJsonlStore`
+    (shared with the mapping service's solution store); in particular
+    ``fingerprints()`` scans the fingerprint key without parsing whole
+    records, so resuming a large campaign does not pay for re-reading every
+    stored convergence history.
     """
-
-    def __init__(self, path: str):
-        self.path = str(path)
-
-    def fingerprints(self) -> Set[str]:
-        """Fingerprints of every cell already recorded."""
-        return {record["fingerprint"] for record in load_jsonl(self.path)}
-
-    def repair(self) -> int:
-        """Drop a torn trailing line left by a hard mid-write interruption.
-
-        Appends are single flushed writes, so the only corruption an
-        interrupted campaign can leave is an incomplete *last* line (or a
-        complete one missing its newline).  Both would poison later appends;
-        this rewrites the store to its valid prefix.  Returns the number of
-        intact records kept.
-        """
-        import json as _json
-
-        try:
-            with open(self.path, "r", encoding="utf-8") as handle:
-                raw = handle.read()
-        except FileNotFoundError:
-            return 0
-        records: List[Dict[str, Any]] = []
-        torn = False
-        for line in raw.splitlines():
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                records.append(_json.loads(line))
-            except _json.JSONDecodeError:
-                torn = True
-                break
-        if torn or (raw and not raw.endswith("\n")):
-            # Rewrite atomically: a crash during repair must not turn one
-            # torn line into the loss of every completed cell.
-            temp_path = self.path + ".repair"
-            with open(temp_path, "w", encoding="utf-8") as handle:
-                for record in records:
-                    dump_jsonl_line(record, handle)
-            os.replace(temp_path, self.path)
-        return len(records)
-
-    def records(self) -> List[Dict[str, Any]]:
-        """All recorded cells, in completion order."""
-        return list(load_jsonl(self.path))
-
-    def _ensure_parent(self) -> None:
-        os.makedirs(os.path.dirname(os.path.abspath(self.path)), exist_ok=True)
-
-    def truncate(self) -> None:
-        """Start the store afresh."""
-        self._ensure_parent()
-        open(self.path, "w", encoding="utf-8").close()
 
     def append(self, fingerprint: str, scenario: str, cell: Dict[str, Any], result: Dict[str, Any]) -> None:
         """Append one completed cell (flushed immediately, crash-safe)."""
-        self._ensure_parent()
-        with open(self.path, "a", encoding="utf-8") as handle:
-            dump_jsonl_line(
-                {"fingerprint": fingerprint, "scenario": scenario, "cell": cell, "result": result},
-                handle,
-            )
+        self.append_record(
+            {"fingerprint": fingerprint, "scenario": scenario, "cell": cell, "result": result}
+        )
 
 
 @dataclass
@@ -153,6 +100,11 @@ class CampaignRunner:
     table_cache:
         Analysis-table cache to share; defaults to the process-wide cache so
         independent runners in one process still dedup table builds.
+    warm_store:
+        Optional warm-start hook (e.g.
+        :class:`~repro.service.warmlib.WarmStartLibrary`) handed to every
+        explorer the engine builds: searches seed their initial populations
+        from remembered same-task solutions and report their winners back.
     """
 
     def __init__(
@@ -161,12 +113,17 @@ class CampaignRunner:
         eval_backend: str = DEFAULT_EVAL_BACKEND,
         eval_workers: Optional[int] = None,
         table_cache: Optional[AnalysisTableCache] = None,
+        warm_store: Optional[Any] = None,
     ):
         self.scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
         self.eval_backend = eval_backend
         self.eval_workers = eval_workers
         self.table_cache = table_cache if table_cache is not None else shared_table_cache()
+        self.warm_store = warm_store
         self._groups: Dict[Tuple[str, int, int, int], JobGroup] = {}
+        # The mapping service drives one runner from several worker threads;
+        # the group memo is the only mutable state they all write.
+        self._groups_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Building blocks (also used by custom scenario runners)
@@ -185,6 +142,7 @@ class CampaignRunner:
             eval_backend=self.eval_backend,
             eval_workers=self.eval_workers if self.eval_backend == "parallel" else None,
             table_cache=self.table_cache,
+            warm_store=self.warm_store,
         )
 
     def group_for(
@@ -198,7 +156,8 @@ class CampaignRunner:
         task = TaskType(task)
         size = group_size if group_size is not None else self.scale.group_size
         key = (task.value, int(size), int(seed), int(num_sub_accelerators))
-        group = self._groups.get(key)
+        with self._groups_lock:
+            group = self._groups.get(key)
         if group is None:
             groups = build_task_workload(
                 task,
@@ -210,7 +169,8 @@ class CampaignRunner:
             if not groups:
                 raise ExperimentError(f"workload for task {task} produced no groups")
             group = groups[0]
-            self._groups[key] = group
+            with self._groups_lock:
+                group = self._groups.setdefault(key, group)
         return group
 
     def analysis_table(self, platform: AcceleratorPlatform, group: JobGroup) -> JobAnalysisTable:

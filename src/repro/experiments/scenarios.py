@@ -18,8 +18,6 @@ dedup, a JSONL results store, and ``--resume``.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
@@ -27,6 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CH
 from repro.exceptions import ExperimentError
 from repro.experiments.settings import ExperimentScale, get_scale
 from repro.optimizers.registry import is_rl_method
+from repro.utils.serialization import payload_fingerprint
 from repro.utils.tables import unique_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -163,9 +162,9 @@ class SearchCell:
         return _fingerprint(payload)
 
 
-def _fingerprint(payload: Dict[str, Any]) -> str:
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
+#: Cell identity = canonical-JSON SHA-256 (shared with the mapping service's
+#: request fingerprints via :func:`repro.utils.serialization.payload_fingerprint`).
+_fingerprint = payload_fingerprint
 
 
 #: GA-family methods that accept a population size (mirrors the historical
@@ -407,13 +406,17 @@ def run_scenario(
     eval_workers: Optional[int] = None,
     engine: Optional["CampaignRunner"] = None,
     options: Optional[Dict[str, Any]] = None,
+    warm_store: Optional[Any] = None,
 ) -> Dict[str, Any]:
     """Run one scenario end to end and return its post-processed output.
 
     This is the single entry point behind ``repro experiment <name>`` and
     the historical ``run_fig*`` wrappers.  ``engine`` reuses an existing
     campaign runner (sharing its caches and backend settings); otherwise one
-    is built from ``scale``/``eval_backend``/``eval_workers``.
+    is built from ``scale``/``eval_backend``/``eval_workers``/``warm_store``
+    (the latter a persistent warm-start provider such as
+    :class:`~repro.service.warmlib.WarmStartLibrary`, threaded into every
+    explorer the scenario builds).
     """
     from repro.core.evaluator import DEFAULT_EVAL_BACKEND
     from repro.experiments.campaign import CampaignRunner
@@ -425,6 +428,7 @@ def run_scenario(
             scale=resolved,
             eval_backend=eval_backend or DEFAULT_EVAL_BACKEND,
             eval_workers=eval_workers,
+            warm_store=warm_store,
         )
     context = ScenarioContext(spec=spec, engine=engine, base_seed=seed, options=dict(options or {}))
     if spec.is_custom:

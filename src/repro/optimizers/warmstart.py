@@ -50,11 +50,13 @@ class WarmStartEngine:
         encoding: np.ndarray,
         codec: MappingCodec,
         fitness: float,
-    ) -> None:
+    ) -> bool:
         """Store (or replace) the remembered solution for *task_key*.
 
         Only a better-fitness solution replaces an existing entry for the same
-        task type.
+        task type.  Returns whether the memory changed — the persistent
+        library uses this to decide whether a solution is worth writing to
+        disk.
         """
         if not task_key:
             raise OptimizationError("task_key must be a non-empty string")
@@ -67,6 +69,8 @@ class WarmStartEngine:
                 num_sub_accelerators=codec.num_sub_accelerators,
                 fitness=fitness,
             )
+            return True
+        return False
 
     def knows(self, task_key: str) -> bool:
         """Whether a solution for this task type has been recorded."""
@@ -79,6 +83,56 @@ class WarmStartEngine:
     def clear(self) -> None:
         """Forget all remembered solutions."""
         self._memory.clear()
+
+    def fitness_of(self, task_key: str) -> Optional[float]:
+        """Fitness of the remembered solution for *task_key*, if any."""
+        stored = self._memory.get(task_key)
+        return None if stored is None else stored.fitness
+
+    # ------------------------------------------------------------------
+    # State round-trip (used by the persistent warm-start library)
+    # ------------------------------------------------------------------
+    def to_state(self) -> Dict[str, Dict]:
+        """JSON-safe dict snapshot of the remembered solutions.
+
+        The inverse of :meth:`from_state`: a round-tripped engine produces
+        bit-identical suggestions for every known task.
+        """
+        return {
+            task_key: {
+                "encoding": [float(v) for v in stored.encoding],
+                "num_jobs": int(stored.num_jobs),
+                "num_sub_accelerators": int(stored.num_sub_accelerators),
+                "fitness": float(stored.fitness),
+            }
+            for task_key, stored in sorted(self._memory.items())
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict[str, Dict]) -> "WarmStartEngine":
+        """Rebuild an engine from a :meth:`to_state` snapshot."""
+        engine = cls()
+        for task_key, entry in state.items():
+            if not task_key:
+                raise OptimizationError("task_key must be a non-empty string")
+            try:
+                stored = _StoredSolution(
+                    encoding=np.asarray(entry["encoding"], dtype=float),
+                    num_jobs=int(entry["num_jobs"]),
+                    num_sub_accelerators=int(entry["num_sub_accelerators"]),
+                    fitness=float(entry["fitness"]),
+                )
+            except (KeyError, TypeError, ValueError) as error:
+                raise OptimizationError(
+                    f"malformed warm-start state for task {task_key!r}: {error}"
+                ) from error
+            if stored.encoding.shape != (2 * stored.num_jobs,):
+                raise OptimizationError(
+                    f"warm-start state for task {task_key!r} has encoding length "
+                    f"{stored.encoding.shape[0]}, expected {2 * stored.num_jobs}"
+                )
+            engine._memory[task_key] = stored
+        return engine
 
     # ------------------------------------------------------------------
     def suggest(

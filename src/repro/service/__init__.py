@@ -1,0 +1,32 @@
+"""Mapping-as-a-service: the search engine behind a long-running service.
+
+The subsystem has four pieces (see the module docstrings for detail):
+
+* :mod:`repro.service.store` — :class:`SolutionStore`, a persistent
+  content-addressed store of solved mapping requests.
+* :mod:`repro.service.warmlib` — :class:`WarmStartLibrary`, the paper's
+  warm-start memory (Table V) persisted across processes and wired into
+  every search via the ``warm_store=`` hook.
+* :mod:`repro.service.service` — :class:`MappingService`, the async request
+  queue: validate -> fingerprint -> cache hit or search job.
+* :mod:`repro.service.httpd` — the stdlib HTTP JSON frontend behind
+  ``repro-magma serve`` / ``repro-magma submit``.
+"""
+
+from repro.service.service import JOB_STATES, MappingJob, MappingRequest, MappingService
+from repro.service.store import SolutionStore
+from repro.service.warmlib import WarmStartLibrary, group_task_key
+from repro.service.httpd import MappingServiceHTTPServer, create_server, serve_in_background
+
+__all__ = [
+    "JOB_STATES",
+    "MappingJob",
+    "MappingRequest",
+    "MappingService",
+    "SolutionStore",
+    "WarmStartLibrary",
+    "group_task_key",
+    "MappingServiceHTTPServer",
+    "create_server",
+    "serve_in_background",
+]

@@ -1,0 +1,135 @@
+"""Stdlib-only localhost HTTP JSON frontend for the mapping service.
+
+Routes (all JSON):
+
+* ``POST /submit`` — body is a :class:`~repro.service.service.MappingRequest`
+  object; responds with the job status (plus the result inline when the
+  request was answered from the solution store).
+* ``GET /status/<job-id>`` — job state (``queued/running/done/failed``).
+* ``GET /result/<job-id>`` — ``200`` with the search summary once done,
+  ``202`` while queued/running, ``500`` with the error when failed.
+* ``GET /healthz`` — service liveness, queue depth, cache statistics.
+
+The server is a :class:`http.server.ThreadingHTTPServer`, so slow searches
+never block status polls; all actual work still runs on the service's own
+worker pool.  Nothing here imports beyond the standard library and the repro
+package itself.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Tuple
+
+from repro.exceptions import ServiceError
+from repro.service.service import MappingService
+
+
+class MappingServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer that carries the :class:`MappingService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: MappingService, quiet: bool = True):
+        self.service = service
+        self.quiet = quiet
+        super().__init__(address, _Handler)
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: MappingServiceHTTPServer
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 — http.server API
+        try:
+            self._get()
+        except Exception as error:  # noqa: BLE001 — never drop the connection
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server API
+        try:
+            self._post()
+        except Exception as error:  # noqa: BLE001 — never drop the connection
+            self._reply(500, {"error": f"{type(error).__name__}: {error}"})
+
+    def _get(self) -> None:
+        service = self.server.service
+        path = self.path.rstrip("/")
+        try:
+            if path == "/healthz":
+                self._reply(200, service.healthz())
+            elif path.startswith("/status/"):
+                self._reply(200, service.status(path[len("/status/"):]))
+            elif path.startswith("/result/"):
+                job = service.job(path[len("/result/"):])
+                if job.state == "failed":
+                    self._reply(500, {"id": job.job_id, "state": job.state, "error": job.error})
+                elif job.state != "done":
+                    self._reply(202, job.status())
+                else:
+                    payload = job.status()
+                    payload["result"] = job.result.to_dict()
+                    self._reply(200, payload)
+            else:
+                self._reply(404, {"error": f"unknown path {self.path!r}"})
+        except ServiceError as error:
+            self._reply(404, {"error": str(error)})
+
+    def _post(self) -> None:
+        if self.path.rstrip("/") != "/submit":
+            self._reply(404, {"error": f"unknown path {self.path!r}"})
+            return
+        service = self.server.service
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            body = self.rfile.read(length) if length else b"{}"
+            data = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._reply(400, {"error": f"invalid JSON body: {error}"})
+            return
+        try:
+            job = service.submit(data)
+        except ServiceError as error:
+            self._reply(400, {"error": str(error)})
+            return
+        payload = job.status()
+        if job.state == "done" and job.result is not None:
+            payload["result"] = job.result.to_dict()
+        self._reply(200, payload)
+
+    # ------------------------------------------------------------------
+    def _reply(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.server.quiet:
+            super().log_message(format, *args)
+
+
+def create_server(
+    service: MappingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> MappingServiceHTTPServer:
+    """Bind (but do not start) the HTTP frontend; ``port=0`` picks a free port."""
+    return MappingServiceHTTPServer((host, port), service, quiet=quiet)
+
+
+def serve_in_background(
+    service: MappingService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple[MappingServiceHTTPServer, threading.Thread]:
+    """Start the frontend on a daemon thread (tests and embedded use)."""
+    server = create_server(service, host=host, port=port)
+    thread = threading.Thread(target=server.serve_forever, name="mapping-httpd", daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,460 @@
+"""Mapping-as-a-service: typed requests, async workers, content-addressed cache.
+
+:class:`MappingService` turns the search engine into a long-running service:
+
+* A :class:`MappingRequest` is validated, resolved against the service's
+  experiment scale (concrete group size / budget / optimizer options), and
+  fingerprinted with the same canonical-JSON identity campaign cells use.
+* A fingerprint already solved in the :class:`~repro.service.store.SolutionStore`
+  is answered instantly from an in-memory index — no optimizer runs, and the
+  returned :class:`~repro.utils.serialization.SearchResultSummary` is
+  bit-identical to the one the original search produced.
+* A miss enqueues a search job on a pool of worker threads driving the
+  existing evaluation backends; identical in-flight requests are deduplicated
+  onto one job.  Jobs move ``queued -> running -> done | failed``.
+* Every solved request is appended to the store (crash-safe single-line
+  writes) and, via the ``warm_store=`` hook, reported to the persistent
+  warm-start library so similar future tasks start from it.
+* :meth:`MappingService.close` drains or cancels the queue and joins the
+  workers; because store appends are atomic whole-line writes, shutdown at
+  any point never corrupts the store.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Dict, Optional
+
+from repro.accelerator import build_setting, list_settings
+from repro.core.analyzer import AnalysisTableCache
+from repro.core.evaluator import DEFAULT_EVAL_BACKEND
+from repro.core.objectives import list_objectives
+from repro.exceptions import ReproError, ServiceError
+from repro.experiments.campaign import CampaignRunner
+from repro.experiments.scenarios import default_optimizer_options
+from repro.experiments.settings import ExperimentScale
+from repro.service.store import SolutionStore
+from repro.service.warmlib import WarmStartLibrary
+from repro.utils.serialization import SearchResultSummary, payload_fingerprint
+from repro.workloads.benchmark import TaskType
+
+#: Lifecycle of a service job.
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+def _expect_str(name: str, value: Any) -> str:
+    if not isinstance(value, str):
+        raise ServiceError(f"{name} must be a string, got {value!r}")
+    return value
+
+
+def _coerce(name: str, value: Any, converter: Any) -> Any:
+    try:
+        return converter(value)
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"invalid {name}: {value!r} ({error})") from error
+
+
+@dataclass(frozen=True)
+class MappingRequest:
+    """One mapping query: "map this task onto this platform, optimally".
+
+    ``group_size`` and ``budget`` default to the service's experiment scale,
+    so clients can stay scale-agnostic; everything else mirrors the knobs of
+    ``repro-magma search``.
+    """
+
+    setting: str = "S2"
+    bandwidth_gbps: float = 16.0
+    task: str = "mix"
+    objective: str = "throughput"
+    method: str = "magma"
+    seed: int = 0
+    group_size: Optional[int] = None
+    budget: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MappingRequest":
+        """Build a request from client JSON; unknown keys fail loudly."""
+        if not isinstance(data, dict):
+            raise ServiceError(f"a mapping request must be a JSON object, got {type(data).__name__}")
+        names = {f.name for f in dataclass_fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ServiceError(
+                f"unknown request fields: {sorted(unknown)}; known: {sorted(names)}"
+            )
+        return cls(**data)
+
+    def resolve(self, scale: ExperimentScale) -> Dict[str, Any]:
+        """Validate and pin every free knob against *scale*.
+
+        Returns the fully concrete request payload — the dict that gets
+        fingerprinted, stored alongside the solution, and executed.  All
+        validation — including wrong-typed client JSON — lives here so bad
+        requests fail as :class:`ServiceError` at submit time (an HTTP 400),
+        not inside a worker thread.
+        """
+        from repro.optimizers import list_optimizers
+
+        setting = _expect_str("setting", self.setting)
+        task = _expect_str("task", self.task)
+        objective = _expect_str("objective", self.objective)
+        method = _expect_str("method", self.method).lower()
+        bandwidth_gbps = _coerce("bandwidth_gbps", self.bandwidth_gbps, float)
+        seed = _coerce("seed", self.seed, int)
+        if setting not in list_settings():
+            raise ServiceError(
+                f"unknown setting {setting!r}; available: {list_settings()}"
+            )
+        task_values = [t.value for t in TaskType]
+        if task not in task_values:
+            raise ServiceError(f"unknown task {task!r}; available: {task_values}")
+        if objective not in list_objectives():
+            raise ServiceError(
+                f"unknown objective {objective!r}; available: {list_objectives()}"
+            )
+        if method not in list_optimizers():
+            raise ServiceError(
+                f"unknown method {self.method!r}; available: {list_optimizers()}"
+            )
+        if not bandwidth_gbps > 0:
+            raise ServiceError(f"bandwidth_gbps must be positive, got {self.bandwidth_gbps}")
+        group_size = (
+            _coerce("group_size", self.group_size, int)
+            if self.group_size is not None else scale.group_size
+        )
+        budget = (
+            _coerce("budget", self.budget, int)
+            if self.budget is not None else scale.sampling_budget
+        )
+        if budget <= 0:
+            raise ServiceError(f"budget must be positive, got {budget}")
+        num_cores = build_setting(setting, bandwidth_gbps).num_sub_accelerators
+        if group_size < num_cores:
+            raise ServiceError(
+                f"group_size {group_size} is smaller than the {num_cores} "
+                f"sub-accelerators of setting {setting}"
+            )
+        options = default_optimizer_options(method, scale, None)
+        return {
+            "setting": setting,
+            "bandwidth_gbps": bandwidth_gbps,
+            "task": task,
+            "objective": objective,
+            "method": method,
+            "seed": seed,
+            "group_size": group_size,
+            "budget": budget,
+            "optimizer_options": options,
+        }
+
+
+@dataclass
+class MappingJob:
+    """One tracked unit of service work (a request on its way to a result)."""
+
+    job_id: str
+    fingerprint: str
+    request: Dict[str, Any]
+    state: str = "queued"
+    cached: bool = False
+    error: Optional[str] = None
+    result: Optional[SearchResultSummary] = None
+    done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-ready job status (without the result payload)."""
+        return {
+            "id": self.job_id,
+            "state": self.state,
+            "fingerprint": self.fingerprint,
+            "cached": self.cached,
+            "error": self.error,
+            "request": dict(self.request),
+        }
+
+
+class MappingService:
+    """Long-running mapping service over the search engine.
+
+    Parameters
+    ----------
+    store:
+        :class:`SolutionStore` (or its path) of solved requests.
+    warm_store:
+        Optional :class:`~repro.service.warmlib.WarmStartLibrary` (or its
+        path).  When present, cache *misses* still benefit from history:
+        searches warm-start from the best prior same-task solution.
+    scale:
+        Experiment scale unresolved request knobs default to.
+    eval_backend / eval_workers:
+        Evaluation backend configuration for every search the service runs.
+    workers:
+        Worker threads executing queued jobs concurrently.
+    max_finished_jobs:
+        Finished (done/failed) jobs retained for status polling.  A
+        long-running service answers mostly cache hits, and each submit
+        creates a tracked job — without a bound the job table would grow
+        with total requests served.  The oldest finished jobs are evicted
+        FIFO past this limit; in-flight jobs are never evicted.
+    """
+
+    def __init__(
+        self,
+        store: "SolutionStore | str",
+        warm_store: "WarmStartLibrary | str | None" = None,
+        scale: "ExperimentScale | str | None" = None,
+        eval_backend: str = DEFAULT_EVAL_BACKEND,
+        eval_workers: Optional[int] = None,
+        workers: int = 2,
+        table_cache: Optional[AnalysisTableCache] = None,
+        max_finished_jobs: int = 10_000,
+    ):
+        if workers <= 0:
+            raise ServiceError(f"workers must be positive, got {workers}")
+        if max_finished_jobs <= 0:
+            raise ServiceError(f"max_finished_jobs must be positive, got {max_finished_jobs}")
+        self.store = store if isinstance(store, SolutionStore) else SolutionStore(store)
+        if isinstance(warm_store, str):
+            warm_store = WarmStartLibrary(warm_store)
+        self.warm_store = warm_store
+        self._runner = CampaignRunner(
+            scale=scale,
+            eval_backend=eval_backend,
+            eval_workers=eval_workers,
+            table_cache=table_cache if table_cache is not None else AnalysisTableCache(),
+            warm_store=warm_store,
+        )
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[Optional[MappingJob]]" = queue.Queue()
+        self._jobs: Dict[str, MappingJob] = {}
+        self._inflight: Dict[str, MappingJob] = {}
+        self._finished: "deque[str]" = deque()
+        self._max_finished_jobs = max_finished_jobs
+        self._counter = 0
+        self._closed = False
+        self.stats: Dict[str, int] = {
+            "submitted": 0,
+            "cache_hits": 0,
+            "deduped": 0,
+            "searches_run": 0,
+            "failed": 0,
+        }
+        # Never-corrupt startup: drop a torn trailing line a previous crash
+        # may have left, then index best-per-fingerprint for instant hits.
+        self.store.repair()
+        self._index: Dict[str, SearchResultSummary] = {}
+        for fingerprint, record in self.store.best_by_fingerprint().items():
+            self._index[fingerprint] = SearchResultSummary.from_dict(record["result"])
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"mapping-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    @property
+    def scale(self) -> ExperimentScale:
+        """The experiment scale unresolved request knobs default to."""
+        return self._runner.scale
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, request: "MappingRequest | Dict[str, Any]") -> MappingJob:
+        """Validate, fingerprint, and answer-or-enqueue one request.
+
+        Returns the job tracking the request: already-solved fingerprints
+        come back ``done`` immediately (``cached=True``, result bit-identical
+        to the originally stored summary); identical in-flight requests share
+        one job; anything else is queued for a worker.
+        """
+        if isinstance(request, dict):
+            request = MappingRequest.from_dict(request)
+        payload = request.resolve(self.scale)
+        fingerprint = payload_fingerprint(payload)
+        with self._lock:
+            if self._closed:
+                raise ServiceError("service is shut down")
+            self.stats["submitted"] += 1
+            inflight = self._inflight.get(fingerprint)
+            if inflight is not None:
+                self.stats["deduped"] += 1
+                return inflight
+            job = MappingJob(job_id=self._next_id(), fingerprint=fingerprint, request=payload)
+            self._jobs[job.job_id] = job
+            cached = self._index.get(fingerprint)
+            if cached is not None:
+                self.stats["cache_hits"] += 1
+                job.cached = True
+                job.result = cached
+                job.state = "done"
+                job.done_event.set()
+                self._retire(job)
+                return job
+            self._inflight[fingerprint] = job
+            self._queue.put(job)
+            return job
+
+    def _next_id(self) -> str:
+        self._counter += 1
+        return f"job-{self._counter:06d}"
+
+    def _retire(self, job: MappingJob) -> None:
+        """Bound the job table: evict the oldest finished jobs (lock held)."""
+        self._finished.append(job.job_id)
+        while len(self._finished) > self._max_finished_jobs:
+            self._jobs.pop(self._finished.popleft(), None)
+
+    # ------------------------------------------------------------------
+    # Job access
+    # ------------------------------------------------------------------
+    def job(self, job_id: str) -> MappingJob:
+        """The job for *job_id* (unknown ids fail loudly)."""
+        job = self._jobs.get(str(job_id))
+        if job is None:
+            raise ServiceError(f"unknown job id {job_id!r}")
+        return job
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """JSON-ready status of one job."""
+        return self.job(job_id).status()
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> bool:
+        """Block until a job finishes (done or failed); ``False`` on timeout."""
+        return self.job(job_id).done_event.wait(timeout)
+
+    def result(self, job_id: str, timeout: Optional[float] = None) -> SearchResultSummary:
+        """The finished job's search summary (waits; raises on failure/timeout)."""
+        job = self.job(job_id)
+        if not job.done_event.wait(timeout):
+            raise ServiceError(f"job {job_id} still {job.state} after {timeout}s")
+        if job.state == "failed":
+            raise ServiceError(f"job {job_id} failed: {job.error}")
+        assert job.result is not None
+        return job.result
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness/readiness payload for the HTTP frontend."""
+        with self._lock:
+            queue_depth = sum(
+                1 for job in self._inflight.values() if job.state == "queued"
+            )
+            return {
+                "status": "closed" if self._closed else "ok",
+                "scale": self.scale.name,
+                "eval_backend": self._runner.eval_backend,
+                "workers": len(self._threads),
+                "queue_depth": queue_depth,
+                "jobs": len(self._jobs),
+                "solutions": len(self._index),
+                "warm_tasks": len(self.warm_store) if self.warm_store is not None else 0,
+                "store": self.store.path,
+                **{key: int(value) for key, value in self.stats.items()},
+            }
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            with self._lock:
+                if job.state != "queued":
+                    # Cancelled by a non-draining shutdown.
+                    continue
+                job.state = "running"
+            try:
+                summary = self._execute(job)
+            except ReproError as error:
+                self._finish(job, error=str(error))
+            except Exception as error:  # noqa: BLE001 — a worker must survive anything
+                self._finish(job, error=f"{type(error).__name__}: {error}")
+            else:
+                self._finish(job, summary=summary)
+
+    def _execute(self, job: MappingJob) -> SearchResultSummary:
+        payload = job.request
+        platform = build_setting(payload["setting"], payload["bandwidth_gbps"])
+        group = self._runner.group_for(
+            payload["task"], platform.num_sub_accelerators, payload["seed"], payload["group_size"]
+        )
+        explorer = self._runner.explorer(
+            platform, sampling_budget=payload["budget"], objective=payload["objective"]
+        )
+        result = explorer.search(
+            group,
+            optimizer=payload["method"],
+            seed=payload["seed"],
+            sampling_budget=payload["budget"],
+            optimizer_options=dict(payload["optimizer_options"]),
+        )
+        return SearchResultSummary.from_result(result)
+
+    def _finish(
+        self,
+        job: MappingJob,
+        summary: Optional[SearchResultSummary] = None,
+        error: Optional[str] = None,
+    ) -> None:
+        if summary is not None:
+            task_key = WarmStartLibrary.key_for(job.request["task"], job.request["objective"])
+            self.store.append(job.fingerprint, job.request, task_key, summary)
+        with self._lock:
+            self._inflight.pop(job.fingerprint, None)
+            if summary is not None:
+                self._index.setdefault(job.fingerprint, summary)
+                self.stats["searches_run"] += 1
+                job.result = summary
+                job.state = "done"
+            else:
+                self.stats["failed"] += 1
+                job.error = error
+                job.state = "failed"
+            self._retire(job)
+        job.done_event.set()
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def close(self, wait: bool = True) -> None:
+        """Stop the service.
+
+        ``wait=True`` drains the queue (every accepted job completes);
+        ``wait=False`` cancels still-queued jobs (marked ``failed``) and only
+        finishes the jobs already running.  Either way the workers are
+        joined, and — because store appends are atomic whole-line writes —
+        the solution store is left intact.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            if not wait:
+                for job in list(self._inflight.values()):
+                    if job.state == "queued":
+                        self._inflight.pop(job.fingerprint, None)
+                        self.stats["failed"] += 1
+                        job.error = "cancelled: service shut down before execution"
+                        job.state = "failed"
+                        job.done_event.set()
+                        self._retire(job)
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join()
+
+    def __enter__(self) -> "MappingService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

@@ -1,0 +1,105 @@
+"""Persistent, content-addressed store of solved mapping problems.
+
+Every record pairs a fully resolved :class:`~repro.service.service.MappingRequest`
+payload with the :class:`~repro.utils.serialization.SearchResultSummary` of
+the search that solved it, keyed by the request's deterministic fingerprint
+(canonical-JSON SHA-256, the same identity scheme campaign cells use).  The
+store is append-only JSONL like the campaign results store — appends are
+single flushed writes behind a lock, torn trailing lines are repairable —
+so a service crash can never corrupt previously solved work.
+
+Append-only means a fingerprint may appear on several lines (two service
+workers racing on near-identical requests, or a re-run with a fresh library
+finding a different-quality solution).  Readers resolve duplicates by
+*fitness*: :meth:`SolutionStore.lookup` returns the best-fitness record, so
+the store only ever improves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.utils.jsonl_store import AppendOnlyJsonlStore
+from repro.utils.serialization import SearchResultSummary
+
+
+class SolutionStore(AppendOnlyJsonlStore):
+    """Append-only JSONL store of ``{"fingerprint", "request", "task_key", "result"}``."""
+
+    def append(
+        self,
+        fingerprint: str,
+        request: Dict[str, Any],
+        task_key: str,
+        result: SearchResultSummary,
+    ) -> None:
+        """Record one solved request (flushed immediately, crash-safe)."""
+        self.append_record(
+            {
+                "fingerprint": fingerprint,
+                "request": dict(request),
+                "task_key": str(task_key),
+                "result": result.to_dict(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def lookup(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        """The best-fitness record for *fingerprint*, or ``None``.
+
+        Ties keep the earliest record, so a store with duplicate equal
+        solutions answers deterministically.
+        """
+        best: Optional[Dict[str, Any]] = None
+        for record in self.iter_records():
+            if record.get("fingerprint") != fingerprint:
+                continue
+            if best is None or _fitness(record) > _fitness(best):
+                best = record
+        return best
+
+    def lookup_result(self, fingerprint: str) -> Optional[SearchResultSummary]:
+        """The stored search summary for *fingerprint*, or ``None``."""
+        record = self.lookup(fingerprint)
+        if record is None:
+            return None
+        return SearchResultSummary.from_dict(record["result"])
+
+    def best_by_fingerprint(self) -> Dict[str, Dict[str, Any]]:
+        """The best-fitness record per fingerprint (one pass over the store).
+
+        This is the service's startup index: answering a repeated request
+        from it is a dict lookup, not a file scan.
+        """
+        best: Dict[str, Dict[str, Any]] = {}
+        for record in self.iter_records():
+            fingerprint = record.get("fingerprint")
+            if not fingerprint:
+                continue
+            current = best.get(fingerprint)
+            if current is None or _fitness(record) > _fitness(current):
+                best[fingerprint] = record
+        return best
+
+    def best_by_task(self) -> Dict[str, Dict[str, Any]]:
+        """The best-fitness record per task key (warm-start library seed).
+
+        Task keys are namespaced by objective (``"<task>/<objective>"``), so
+        a throughput-optimal solution never warm-starts an energy search.
+        """
+        best: Dict[str, Dict[str, Any]] = {}
+        for record in self.iter_records():
+            task_key = record.get("task_key")
+            if not task_key:
+                continue
+            current = best.get(task_key)
+            if current is None or _fitness(record) > _fitness(current):
+                best[task_key] = record
+        return best
+
+
+def _fitness(record: Dict[str, Any]) -> float:
+    try:
+        return float(record["result"]["best_fitness"])
+    except (KeyError, TypeError, ValueError):
+        return float("-inf")

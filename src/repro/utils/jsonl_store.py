@@ -1,0 +1,150 @@
+"""Append-only JSONL stores with crash repair and a fast fingerprint scan.
+
+Two subsystems persist results as one-JSON-object-per-line files keyed by a
+deterministic content fingerprint: the campaign results store
+(:class:`~repro.experiments.campaign.CampaignResultsStore`, one line per
+completed search cell) and the mapping service's solution store
+(:class:`~repro.service.store.SolutionStore`, one line per solved request).
+This module owns the mechanics they share:
+
+* **Crash-safe appends** — every record is rendered to a single string and
+  written in one flushed ``write`` on a file opened in append mode, behind a
+  process-local lock, so concurrent writers in one process never interleave
+  partial lines and a hard kill can tear at most the final line.
+* **Torn-line repair** — :meth:`AppendOnlyJsonlStore.repair` drops an
+  incomplete trailing line (the only corruption a crashed append can leave)
+  by atomically rewriting the store to its valid prefix.
+* **Fast fingerprint scan** — :meth:`AppendOnlyJsonlStore.fingerprints`
+  extracts the top-level ``"fingerprint"`` key with a compiled regex instead
+  of parsing every full record; on stores whose records carry whole search
+  summaries (encodings + convergence histories) this is an order of
+  magnitude cheaper than ``json.loads`` per line, which is what resuming a
+  large campaign or warming a service pays at startup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+from typing import Any, Dict, Iterator, List, Set
+
+from repro.utils.serialization import dump_jsonl_line, load_jsonl
+
+#: Matches the *top-level* fingerprint key of a record rendered by
+#: :func:`~repro.utils.serialization.dump_jsonl_line` (sorted keys).  The
+#: stores built on this module never nest a ``"fingerprint"`` key inside a
+#: sub-object that sorts before the top-level one, so the first match on a
+#: line is the record's identity.  ``fingerprints`` still falls back to a
+#: full parse for any line the regex does not match.
+_FINGERPRINT_RE = re.compile(r'"fingerprint":\s*"([^"]*)"')
+
+
+class AppendOnlyJsonlStore:
+    """Base class for append-only, fingerprint-keyed JSONL result stores."""
+
+    def __init__(self, path: str):
+        self.path = str(path)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_records())
+
+    def iter_records(self) -> Iterator[Dict[str, Any]]:
+        """Yield every record in append order (missing file yields nothing)."""
+        return load_jsonl(self.path)
+
+    def records(self) -> List[Dict[str, Any]]:
+        """All records, in append order."""
+        return list(self.iter_records())
+
+    def fingerprints(self) -> Set[str]:
+        """Fingerprints of every record, without parsing full records.
+
+        A torn trailing line (no final newline) is ignored rather than
+        trusted: its fingerprint may belong to a record that was never
+        durably written, and :meth:`repair` would drop it.
+        """
+        fingerprints: Set[str] = set()
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
+            return fingerprints
+        complete = raw if raw.endswith("\n") else raw[: raw.rfind("\n") + 1]
+        for line in complete.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            match = _FINGERPRINT_RE.search(line)
+            if match is not None:
+                fingerprints.add(match.group(1))
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            fingerprint = record.get("fingerprint")
+            if fingerprint is not None:
+                fingerprints.add(str(fingerprint))
+        return fingerprints
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def _ensure_parent(self) -> None:
+        parent = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(parent, exist_ok=True)
+
+    def truncate(self) -> None:
+        """Start the store afresh."""
+        with self._lock:
+            self._ensure_parent()
+            open(self.path, "w", encoding="utf-8").close()
+
+    def append_record(self, record: Dict[str, Any]) -> None:
+        """Append one record as a single flushed line (crash/thread-safe)."""
+        with self._lock:
+            self._ensure_parent()
+            with open(self.path, "a", encoding="utf-8") as handle:
+                dump_jsonl_line(record, handle)
+
+    def repair(self) -> int:
+        """Drop a torn trailing line left by a hard mid-write interruption.
+
+        Appends are single flushed writes, so the only corruption an
+        interrupted writer can leave is an incomplete *last* line (or a
+        complete one missing its newline).  Both would poison later appends;
+        this rewrites the store to its valid prefix.  Returns the number of
+        intact records kept.
+        """
+        with self._lock:
+            try:
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    raw = handle.read()
+            except FileNotFoundError:
+                return 0
+            records: List[Dict[str, Any]] = []
+            torn = False
+            for line in raw.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError:
+                    torn = True
+                    break
+            if torn or (raw and not raw.endswith("\n")):
+                # Rewrite atomically: a crash during repair must not turn one
+                # torn line into the loss of every completed record.
+                temp_path = self.path + ".repair"
+                with open(temp_path, "w", encoding="utf-8") as handle:
+                    for record in records:
+                        dump_jsonl_line(record, handle)
+                os.replace(temp_path, self.path)
+            return len(records)

@@ -17,11 +17,24 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, Iterable, Iterator, List, Optional
+from typing import Any, Dict, IO, Iterator, List
 
 import numpy as np
+
+
+def payload_fingerprint(payload: Dict[str, Any]) -> str:
+    """Deterministic content fingerprint of a JSON-safe payload.
+
+    Canonical JSON (sorted keys, no whitespace) hashed with SHA-256 and
+    truncated to 32 hex characters — the identity scheme shared by campaign
+    search cells and mapping-service requests, so equal work is recognised
+    across processes and store files.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:32]
 
 
 def jsonable(value: Any) -> Any:

@@ -126,6 +126,25 @@ class TestResultsStore:
         assert report.cells_run == 5
         assert torn_path.read_text() == full_text
 
+    def test_fingerprint_scan_matches_full_parse_on_large_store(self, tmp_path):
+        """``fingerprints()`` no longer parses whole records — on a large
+        store the fast scan must agree exactly with the full JSON parse."""
+        store = CampaignResultsStore(str(tmp_path / "large.jsonl"))
+        expected = set()
+        for i in range(3000):
+            fingerprint = f"{i:032x}"
+            store.append(
+                fingerprint,
+                "large-scenario",
+                {"seed": i, "method": "magma", "budget": 10_000},
+                {"best_fitness": float(i), "history": [float(j) for j in range(40)]},
+            )
+            expected.add(fingerprint)
+        assert store.fingerprints() == expected
+        assert store.fingerprints() == {
+            record["fingerprint"] for record in store.records()
+        }
+
     def test_non_resume_on_a_torn_store_still_refuses_cleanly(self, grid_spec, tmp_path):
         """Regression: the populated-store guard used to crash with a raw
         JSONDecodeError when the store ended in a torn line."""

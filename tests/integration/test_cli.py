@@ -29,6 +29,16 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "S1" in output and "magma" in output and "resnet50" in output
 
+    def test_list_shows_backends_and_scales(self, capsys):
+        """Service configs are discoverable: backends, scales, objectives."""
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "Evaluation backends:" in output
+        assert "batch" in output and "parallel" in output and "scalar" in output
+        assert "Scales:" in output
+        assert "tiny" in output and "paper" in output
+        assert "Objectives:" in output and "throughput" in output
+
     def test_search_command_small_run(self, capsys):
         exit_code = main([
             "search", "--setting", "S1", "--task", "vision",
@@ -112,3 +122,55 @@ class TestCampaignCommand:
 
         with pytest.raises(ExperimentError):
             main(["campaign", "--out", str(tmp_path / "x.jsonl")])
+
+
+class TestServiceCommands:
+    def test_search_with_warm_store_persists_solution(self, capsys, tmp_path):
+        warm = str(tmp_path / "warm.jsonl")
+        argv = [
+            "search", "--setting", "S1", "--task", "vision",
+            "--group-size", "12", "--budget", "60", "--optimizer", "stdga",
+            "--warm-store", warm,
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        from repro.service import WarmStartLibrary
+
+        library = WarmStartLibrary(warm)
+        assert library.known_tasks() == ["vision/throughput"]
+
+    def test_submit_round_trip_against_served_service(self, capsys, tmp_path):
+        """`repro-magma submit` talks to a live service over HTTP."""
+        from repro.service import MappingService, serve_in_background
+
+        service = MappingService(
+            store=str(tmp_path / "solutions.jsonl"), scale="tiny", workers=1
+        )
+        server, _ = serve_in_background(service, host="127.0.0.1", port=0)
+        host, port = server.server_address[:2]
+        try:
+            argv = [
+                "submit", "--url", f"http://{host}:{port}",
+                "--task", "vision", "--setting", "S1", "--wait", "--poll", "0.05",
+            ]
+            assert main(argv) == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert payload["state"] == "done"
+            assert payload["result"]["best_fitness"] > 0
+
+            # Submitting again hits the store: the reply carries the result
+            # inline (no polling needed) and is marked cached.
+            assert main(argv) == 0
+            again = json.loads(capsys.readouterr().out)
+            assert again["cached"] is True
+            assert again["result"] == payload["result"]
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+
+    def test_submit_without_service_fails_loudly(self, tmp_path):
+        from repro.exceptions import ServiceError
+
+        with pytest.raises(ServiceError, match="cannot reach"):
+            main(["submit", "--url", "http://127.0.0.1:9", "--timeout", "1"])

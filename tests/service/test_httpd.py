@@ -1,0 +1,123 @@
+"""Tests for the stdlib HTTP JSON frontend."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import MappingService, serve_in_background
+
+
+@pytest.fixture()
+def frontend(tmp_path):
+    service = MappingService(
+        store=str(tmp_path / "solutions.jsonl"),
+        warm_store=str(tmp_path / "warm.jsonl"),
+        scale="tiny",
+        workers=1,
+    )
+    server, thread = serve_in_background(service, host="127.0.0.1", port=0)
+    host, port = server.server_address[:2]
+    yield service, f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+    service.close()
+
+
+def _call(base: str, path: str, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return response.status, json.loads(response.read().decode("utf-8"))
+
+
+class TestRoutes:
+    def test_healthz(self, frontend):
+        _, base = frontend
+        code, payload = _call(base, "/healthz")
+        assert code == 200
+        assert payload["status"] == "ok"
+        assert payload["workers"] == 1
+
+    def test_submit_status_result_round_trip(self, frontend):
+        service, base = frontend
+        code, submitted = _call(base, "/submit", {"task": "vision", "seed": 0})
+        assert code == 200
+        job_id = submitted["id"]
+        assert submitted["state"] in ("queued", "running", "done")
+
+        assert service.wait(job_id, timeout=120)
+        code, status = _call(base, f"/status/{job_id}")
+        assert code == 200 and status["state"] == "done"
+
+        code, result = _call(base, f"/result/{job_id}")
+        assert code == 200
+        assert result["result"]["best_fitness"] > 0
+        assert result["result"]["samples_used"] > 0
+
+        # Second identical submission returns the cached result inline.
+        code, again = _call(base, "/submit", {"task": "vision", "seed": 0})
+        assert code == 200 and again["cached"] is True
+        assert again["result"] == result["result"]
+
+    def test_pending_result_is_202(self, frontend, monkeypatch):
+        import threading
+
+        from repro.service.service import MappingService as ServiceClass
+        from repro.utils.serialization import SearchResultSummary
+
+        release = threading.Event()
+
+        def slow_execute(self, job):
+            release.wait(timeout=30)
+            return SearchResultSummary(
+                optimizer_name="stub", best_fitness=1.0, objective_value=1.0,
+                throughput_gflops=1.0, makespan_cycles=1.0, samples_used=1,
+                best_encoding=[0.0], history=[1.0],
+            )
+
+        monkeypatch.setattr(ServiceClass, "_execute", slow_execute)
+        service, base = frontend
+        _, submitted = _call(base, "/submit", {"task": "vision", "seed": 99})
+        try:
+            code, payload = _call(base, f"/result/{submitted['id']}")
+            assert code == 202
+            assert payload["state"] in ("queued", "running")
+        finally:
+            release.set()
+            service.wait(submitted["id"], timeout=10)
+
+    def test_bad_request_is_400(self, frontend):
+        _, base = frontend
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _call(base, "/submit", {"task": "audio"})
+        assert excinfo.value.code == 400
+        assert "unknown task" in json.loads(excinfo.value.read().decode())["error"]
+
+    def test_wrong_typed_fields_are_400_not_connection_reset(self, frontend):
+        """Regression: a non-numeric bandwidth used to escape the handler as
+        a ValueError, killing the connection instead of answering 400."""
+        _, base = frontend
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _call(base, "/submit", {"bandwidth_gbps": "fast"})
+        assert excinfo.value.code == 400
+        assert "bandwidth_gbps" in json.loads(excinfo.value.read().decode())["error"]
+
+    def test_invalid_json_is_400(self, frontend):
+        _, base = frontend
+        request = urllib.request.Request(
+            base + "/submit", data=b"not json", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_unknown_job_and_path_are_404(self, frontend):
+        _, base = frontend
+        for path in ("/status/job-404404", "/result/job-404404", "/nope"):
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _call(base, path)
+            assert excinfo.value.code == 404

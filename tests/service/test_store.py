@@ -1,0 +1,138 @@
+"""Tests for the solution store and the shared append-only JSONL base."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.store import SolutionStore
+from repro.utils.jsonl_store import AppendOnlyJsonlStore
+from repro.utils.serialization import SearchResultSummary
+
+
+def _summary(fitness: float, encoding=None) -> SearchResultSummary:
+    return SearchResultSummary(
+        optimizer_name="MAGMA",
+        best_fitness=fitness,
+        objective_value=fitness,
+        throughput_gflops=fitness,
+        makespan_cycles=100.0,
+        samples_used=48,
+        best_encoding=list(encoding or [0.0, 1.0, 0.5, 0.25]),
+        history=[fitness / 2, fitness],
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return SolutionStore(str(tmp_path / "solutions.jsonl"))
+
+
+class TestSolutionStore:
+    def test_append_and_lookup_round_trip(self, store):
+        summary = _summary(10.0)
+        store.append("fp-a", {"task": "vision"}, "vision/throughput", summary)
+        record = store.lookup("fp-a")
+        assert record["request"] == {"task": "vision"}
+        assert record["task_key"] == "vision/throughput"
+        assert store.lookup_result("fp-a").to_dict() == summary.to_dict()
+
+    def test_lookup_unknown_fingerprint(self, store):
+        assert store.lookup("missing") is None
+        assert store.lookup_result("missing") is None
+
+    def test_duplicate_fingerprints_resolve_to_best_fitness(self, store):
+        store.append("fp", {}, "k", _summary(5.0))
+        store.append("fp", {}, "k", _summary(9.0))
+        store.append("fp", {}, "k", _summary(7.0))
+        assert store.lookup_result("fp").best_fitness == 9.0
+        assert store.best_by_fingerprint()["fp"]["result"]["best_fitness"] == 9.0
+
+    def test_best_by_task_keeps_best_per_key(self, store):
+        store.append("fp1", {}, "vision/throughput", _summary(5.0))
+        store.append("fp2", {}, "vision/throughput", _summary(8.0))
+        store.append("fp3", {}, "mix/throughput", _summary(3.0))
+        best = store.best_by_task()
+        assert set(best) == {"vision/throughput", "mix/throughput"}
+        assert best["vision/throughput"]["fingerprint"] == "fp2"
+
+    def test_missing_file_is_empty(self, store):
+        assert store.records() == []
+        assert store.fingerprints() == set()
+        assert len(store) == 0
+
+
+class TestFastFingerprintScan:
+    def test_scan_matches_full_parse_on_large_store(self, tmp_path):
+        """The regex scan and a full JSON parse agree on a large store."""
+        store = SolutionStore(str(tmp_path / "large.jsonl"))
+        expected = set()
+        for i in range(2000):
+            fingerprint = f"{i:032x}"
+            # Realistic records: non-trivial encodings and histories, plus
+            # adversarial request values that *contain* the scanned key.
+            store.append(
+                fingerprint,
+                {"note": 'contains "fingerprint": "deadbeef" as data', "seed": i},
+                f"task{i % 7}/throughput",
+                _summary(float(i), encoding=[float(j) for j in range(32)]),
+            )
+            expected.add(fingerprint)
+        assert store.fingerprints() == expected
+        assert store.fingerprints() == {
+            record["fingerprint"] for record in store.records()
+        }
+
+    def test_scan_ignores_torn_trailing_line(self, tmp_path):
+        store = AppendOnlyJsonlStore(str(tmp_path / "torn.jsonl"))
+        store.append_record({"fingerprint": "aaa", "x": 1})
+        store.append_record({"fingerprint": "bbb", "x": 2})
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"fingerprint": "ccc", "x"')
+        # The torn record was never durably written; it must not be trusted.
+        assert store.fingerprints() == {"aaa", "bbb"}
+        assert store.repair() == 2
+        assert store.fingerprints() == {"aaa", "bbb"}
+
+    def test_scan_falls_back_to_json_for_odd_layouts(self, tmp_path):
+        store = AppendOnlyJsonlStore(str(tmp_path / "odd.jsonl"))
+        with open(store.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"fingerprint": 123}) + "\n")
+            handle.write(json.dumps({"other": "no fingerprint here"}) + "\n")
+        assert store.fingerprints() == {"123"}
+
+
+class TestConcurrentWrites:
+    def test_parallel_appends_never_tear_or_drop_records(self, tmp_path):
+        """Two workers appending simultaneously leave only intact records."""
+        store = SolutionStore(str(tmp_path / "concurrent.jsonl"))
+        per_worker, workers = 200, 4
+        errors = []
+
+        def writer(worker: int) -> None:
+            try:
+                for i in range(per_worker):
+                    store.append(
+                        f"w{worker}-{i:04d}",
+                        {"worker": worker, "i": i},
+                        f"task{worker}/throughput",
+                        _summary(float(i)),
+                    )
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert not errors
+        # The repair path (shared with the campaign store) finds nothing torn,
+        # every line parses, and no record was dropped or duplicated.
+        assert store.repair() == per_worker * workers
+        records = store.records()
+        assert len(records) == per_worker * workers
+        fingerprints = [record["fingerprint"] for record in records]
+        assert len(set(fingerprints)) == per_worker * workers
+        assert store.fingerprints() == set(fingerprints)
