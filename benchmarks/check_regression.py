@@ -1,0 +1,130 @@
+"""Benchmark regression gate for CI.
+
+The benchmark smoke suite writes one ``BENCH_*.json`` per perf claim (batch
+speedup, parallel speedup, rpc speedup, service hit ratios...).  This script
+compares the freshly measured ratios against the committed floors in
+``benchmarks/baselines.json`` and exits non-zero when any ratio has dropped
+below its floor — turning "the README says 3x" into a gate a PR cannot
+silently regress.
+
+Rules:
+
+* A benchmark whose payload says ``"status": "skipped"`` passes with a note
+  (constrained runners record *why* they could not measure — e.g. a
+  single-core machine cannot demonstrate a multi-worker speedup).
+* A missing benchmark file fails: the gate must notice when a benchmark is
+  deleted or silently stops running.
+* A metric missing from a measured payload fails for the same reason.
+
+Usage::
+
+    python benchmarks/check_regression.py            # after the smoke suite
+    python benchmarks/check_regression.py --dir . --baselines benchmarks/baselines.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Any, Dict, List
+
+#: Default committed floors, relative to the repo root.
+DEFAULT_BASELINES = os.path.join(os.path.dirname(__file__), "baselines.json")
+
+PASS, SKIP, FAIL = "ok", "skipped", "REGRESSION"
+
+
+def load_baselines(path: str) -> Dict[str, Dict[str, float]]:
+    """The committed ``{bench file -> {metric -> floor}}`` map."""
+    with open(path, "r", encoding="utf-8") as handle:
+        baselines = json.load(handle)
+    if not isinstance(baselines, dict) or not baselines:
+        raise ValueError(f"baselines file {path!r} must be a non-empty JSON object")
+    return baselines
+
+
+def check_bench(path: str, floors: Dict[str, float]) -> List[Dict[str, Any]]:
+    """Compare one benchmark payload against its floors.
+
+    Returns one finding per metric: ``{"file", "metric", "status", "value",
+    "floor", "note"}``; a whole-file problem (missing/skipped) yields a
+    single finding with ``metric=None``.
+    """
+    name = os.path.basename(path)
+    if not os.path.exists(path):
+        return [{
+            "file": name, "metric": None, "status": FAIL,
+            "value": None, "floor": None,
+            "note": "benchmark result file missing — did the smoke suite run it?",
+        }]
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("status") == "skipped":
+        return [{
+            "file": name, "metric": None, "status": SKIP,
+            "value": None, "floor": None,
+            "note": payload.get("skip_reason", "skipped without a recorded reason"),
+        }]
+    findings = []
+    for metric, floor in sorted(floors.items()):
+        value = payload.get(metric)
+        if value is None:
+            findings.append({
+                "file": name, "metric": metric, "status": FAIL,
+                "value": None, "floor": floor,
+                "note": "metric missing from measured payload",
+            })
+        elif float(value) < float(floor):
+            findings.append({
+                "file": name, "metric": metric, "status": FAIL,
+                "value": float(value), "floor": float(floor),
+                "note": f"measured {float(value):.3g} < required {float(floor):.3g}",
+            })
+        else:
+            findings.append({
+                "file": name, "metric": metric, "status": PASS,
+                "value": float(value), "floor": float(floor),
+                "note": f"measured {float(value):.3g} >= required {float(floor):.3g}",
+            })
+    return findings
+
+
+def run(baselines_path: str, directory: str) -> List[Dict[str, Any]]:
+    """Check every baselined benchmark under *directory*."""
+    findings: List[Dict[str, Any]] = []
+    for bench_file, floors in sorted(load_baselines(baselines_path).items()):
+        findings.extend(check_bench(os.path.join(directory, bench_file), floors))
+    return findings
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baselines", default=DEFAULT_BASELINES,
+        help="committed {bench file -> {metric -> floor}} JSON",
+    )
+    parser.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory holding the freshly produced BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+
+    findings = run(args.baselines, args.dir)
+    width = max(len(f["file"]) for f in findings)
+    failed = False
+    for finding in findings:
+        status = finding["status"]
+        failed = failed or status == FAIL
+        metric = finding["metric"] or "-"
+        print(f"{status:>10}  {finding['file']:<{width}}  {metric:<22} {finding['note']}")
+    if failed:
+        print("\nbenchmark regression gate: FAILED", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

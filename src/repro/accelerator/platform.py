@@ -8,8 +8,8 @@ framework optimizes mappings for.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Iterator, List, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Tuple
 
 from repro.accelerator.subaccel import SubAcceleratorConfig
 from repro.costmodel import DataflowStyle

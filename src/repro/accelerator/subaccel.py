@@ -9,7 +9,7 @@ into latency/bandwidth estimates.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.costmodel import AnalyticalCostModel, DataflowStyle, FlexibleArrayCostModel, get_dataflow
 from repro.exceptions import ConfigurationError

@@ -9,7 +9,7 @@ chart for terminal inspection (used by the CLI and examples).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.schedule import Schedule
 from repro.exceptions import ExperimentError

@@ -9,7 +9,7 @@ so no external ML dependency is needed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict
 
 import numpy as np
 

@@ -10,7 +10,7 @@ numbers the same way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.framework import SearchResult
 from repro.exceptions import ExperimentError

@@ -32,6 +32,19 @@ pool, default one per CPU core)::
     repro-magma search --setting S2 --task mix --eval-backend scalar
     repro-magma experiment fig9 --eval-backend parallel --eval-workers 4
 
+To scale past one machine, start evaluation workers on other hosts and point
+any search-running command at them with ``--eval-backend rpc`` (results stay
+bit-identical; dead workers are re-dispatched and, in the worst case, the
+coordinator evaluates locally)::
+
+    export REPRO_RPC_TOKEN=shared-secret                   # both sides
+    repro-magma eval-worker --listen 0.0.0.0:9123          # on each worker host
+    repro-magma search --task mix --eval-backend rpc \
+        --eval-hosts hostA:9123,hostB:9123
+
+(Workers refuse to listen on a non-loopback address without a token: the
+post-auth protocol is pickle, so the token is the only gate.)
+
 Run the mapping service — repeated requests are answered from the persistent
 solution store in milliseconds, and new same-task requests warm-start from
 remembered solutions (Table V) — then submit queries to it::
@@ -58,7 +71,7 @@ from repro.analysis.reporting import ComparisonReport
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS
 from repro.core.framework import M3E
 from repro.core.objectives import list_objectives
-from repro.exceptions import ExperimentError, ServiceError
+from repro.exceptions import ConfigurationError, ExperimentError, ServiceError
 from repro.experiments import (
     CampaignRunner,
     get_scale,
@@ -107,9 +120,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
     explorer = M3E(
         platform,
         sampling_budget=args.budget,
-        eval_backend=args.eval_backend,
-        eval_workers=args.eval_workers,
         warm_store=_warm_library(args),
+        **_eval_kwargs(args),
     )
     result = explorer.search(group, optimizer=args.optimizer, seed=args.seed)
     print(platform.describe())
@@ -132,8 +144,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         methods=args.optimizers,
         scale=scale,
         seed=args.seed,
-        eval_backend=args.eval_backend,
-        eval_workers=args.eval_workers,
+        **_eval_kwargs(args),
     )
     report = ComparisonReport(
         title=f"{args.task} on {args.setting} (BW={args.bandwidth} GB/s, scale={scale.name})"
@@ -155,9 +166,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         args.name,
         scale=args.scale,
         seed=args.seed,
-        eval_backend=args.eval_backend,
-        eval_workers=args.eval_workers,
         warm_store=_warm_library(args),
+        **_eval_kwargs(args),
     )
     print(json.dumps(jsonable(output), indent=2, sort_keys=True))
     return 0
@@ -172,17 +182,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if not scenarios:
         raise ExperimentError("campaign needs scenario names and/or --grid")
 
-    eval_backend = args.eval_backend
-    eval_workers = args.eval_workers
-    if args.jobs is not None and args.jobs > 1 and eval_backend == DEFAULT_EVAL_BACKEND:
-        eval_backend = "parallel"
-        eval_workers = eval_workers or args.jobs
+    eval_kwargs = _eval_kwargs(args)
+    if args.jobs is not None and args.jobs > 1 and eval_kwargs["eval_backend"] == DEFAULT_EVAL_BACKEND:
+        eval_kwargs["eval_backend"] = "parallel"
+        eval_kwargs["eval_workers"] = eval_kwargs["eval_workers"] or args.jobs
 
     engine = CampaignRunner(
         scale=args.scale,
-        eval_backend=eval_backend,
-        eval_workers=eval_workers,
         warm_store=_warm_library(args),
+        **eval_kwargs,
     )
     report = engine.run(
         scenarios,
@@ -205,6 +213,31 @@ def _warm_library(args: argparse.Namespace):
     return WarmStartLibrary(path)
 
 
+def _cmd_eval_worker(args: argparse.Namespace) -> int:
+    """Run one RPC evaluation worker until interrupted.
+
+    The worker is problem-agnostic: every coordinator connection bootstraps
+    its own evaluation state, so one long-lived worker serves any number of
+    searches, campaigns, or mapping services pointing ``--eval-hosts`` at it.
+    """
+    import signal
+
+    from repro.core.rpc import serve_worker
+
+    def _announce(server: Any) -> None:
+        print(f"eval worker listening on {server.address}", flush=True)
+
+    def _graceful(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        serve_worker(args.listen, token=args.token, ready=_announce)
+    except KeyboardInterrupt:
+        print("\neval worker shutting down")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the mapping service behind the localhost HTTP JSON API."""
     import signal
@@ -215,9 +248,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         store=args.store,
         warm_store=args.warm_store,
         scale=args.scale,
-        eval_backend=args.eval_backend,
-        eval_workers=args.eval_workers,
         workers=args.workers,
+        **_eval_kwargs(args),
     )
     server = create_server(service, host=args.host, port=args.port, quiet=False)
     host, port = server.server_address[:2]
@@ -311,7 +343,7 @@ def _add_eval_backend_options(parser: argparse.ArgumentParser) -> None:
         default=DEFAULT_EVAL_BACKEND,
         choices=list(EVAL_BACKENDS),
         help="fitness evaluation path: vectorized 'batch' (default), multi-process "
-        "'parallel', or the 'scalar' oracle",
+        "'parallel', multi-host 'rpc', or the 'scalar' oracle",
     )
     parser.add_argument(
         "--eval-workers",
@@ -320,6 +352,40 @@ def _add_eval_backend_options(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for --eval-backend parallel (default: one per CPU core)",
     )
+    parser.add_argument(
+        "--eval-hosts",
+        default=None,
+        metavar="HOST:PORT,HOST:PORT",
+        help="remote eval-worker addresses for --eval-backend rpc",
+    )
+    parser.add_argument(
+        "--eval-rpc-token",
+        default=None,
+        metavar="TOKEN",
+        help="shared auth token for --eval-backend rpc "
+        "(default: the REPRO_RPC_TOKEN environment variable)",
+    )
+
+
+def _eval_kwargs(args: argparse.Namespace) -> dict:
+    """Evaluation-backend keyword arguments for M3E/CampaignRunner/services.
+
+    The API tolerates ``rpc`` with no hosts (local-fallback mode), but a CLI
+    user typing ``--eval-backend rpc`` without ``--eval-hosts`` almost
+    certainly forgot the fleet — fail loudly instead of silently running
+    every evaluation locally.
+    """
+    if args.eval_backend == "rpc" and not args.eval_hosts:
+        raise ConfigurationError(
+            "--eval-backend rpc requires --eval-hosts HOST:PORT[,HOST:PORT...] "
+            "(start workers with: repro-magma eval-worker --listen HOST:PORT)"
+        )
+    return {
+        "eval_backend": args.eval_backend,
+        "eval_workers": args.eval_workers,
+        "eval_hosts": args.eval_hosts,
+        "rpc_token": args.eval_rpc_token,
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -390,6 +456,21 @@ def build_parser() -> argparse.ArgumentParser:
     _add_eval_backend_options(campaign)
     _add_warm_store_option(campaign)
     campaign.set_defaults(func=_cmd_campaign)
+
+    eval_worker = subparsers.add_parser(
+        "eval-worker",
+        help="run one RPC evaluation worker (the remote half of --eval-backend rpc)",
+    )
+    eval_worker.add_argument(
+        "--listen", default="127.0.0.1:9123", metavar="HOST:PORT",
+        help="address to listen on (default: 127.0.0.1:9123; port 0 picks a free port)",
+    )
+    eval_worker.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help="shared auth token coordinators must present "
+        "(default: the REPRO_RPC_TOKEN environment variable)",
+    )
+    eval_worker.set_defaults(func=_cmd_eval_worker)
 
     serve = subparsers.add_parser(
         "serve", help="run the mapping service behind a localhost HTTP JSON API"

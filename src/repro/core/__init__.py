@@ -10,7 +10,14 @@ from repro.core.encoding import Mapping, MappingBatch, MappingCodec
 from repro.core.analyzer import JobAnalyzer, JobAnalysisTable, JobProfile
 from repro.core.bw_allocator import BandwidthAllocator, BatchBandwidthAllocator, ScheduleEvent
 from repro.core.schedule import Schedule, ScheduledJob
-from repro.core.objectives import Objective, ThroughputObjective, LatencyObjective, EnergyObjective, EDPObjective, get_objective
+from repro.core.objectives import (
+    Objective,
+    ThroughputObjective,
+    LatencyObjective,
+    EnergyObjective,
+    EDPObjective,
+    get_objective,
+)
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, MappingEvaluator, EvaluationResult
 from repro.core.framework import M3E, SearchResult
 from repro.core.parallel import EvaluatorSpec, ParallelEvaluationPool, SimulationRig

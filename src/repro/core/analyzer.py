@@ -11,7 +11,7 @@ as a constant-time lookup inside the optimization loop, which is what makes
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 

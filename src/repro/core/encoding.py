@@ -24,7 +24,7 @@ is bit-identical to decoding each row with :meth:`MappingCodec.decode`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

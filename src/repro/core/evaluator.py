@@ -7,8 +7,8 @@ function extracts the objective.  The evaluator also keeps a sample counter
 and the best-so-far trace, which every experiment uses to enforce the shared
 sampling budget and to draw convergence curves (Fig. 11, Fig. 16).
 
-Three evaluation backends are available (``backend`` constructor argument,
-also exposed as ``--eval-backend {scalar,batch,parallel}`` on the CLI):
+Four evaluation backends are available (``backend`` constructor argument,
+also exposed as ``--eval-backend {scalar,batch,parallel,rpc}`` on the CLI):
 
 * ``"batch"`` (default) — :meth:`MappingEvaluator.evaluate_population` decodes
   and simulates the whole population in one vectorized sweep through
@@ -23,6 +23,13 @@ also exposed as ``--eval-backend {scalar,batch,parallel}`` on the CLI):
   uses in process, and the memo cache stays in the main process (only cache
   misses are dispatched, computed fitnesses are merged back), so the results
   are bit-identical to ``batch``.
+* ``"rpc"`` — the same sharded sweep dispatched to remote evaluation workers
+  (:mod:`repro.core.rpc`; ``eval_hosts`` lists their ``host:port`` addresses,
+  started with ``repro-magma eval-worker``).  Sharding, gather order, and the
+  coordinator-side memo cache are identical to ``parallel``; dead workers are
+  detected by heartbeat and their shards re-dispatched, falling back to local
+  evaluation when no worker is reachable — so results stay bit-identical to
+  ``batch`` whatever the fleet does.
 * ``"scalar"`` — the original one-encoding-at-a-time reference oracle.
 
 All backends produce bit-identical fitnesses, history, and best-encoding for
@@ -32,7 +39,7 @@ equivalence property tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,14 +48,18 @@ from repro.accelerator import AcceleratorPlatform
 from repro.core.analyzer import JobAnalysisTable, JobAnalyzer
 from repro.core.bw_allocator import BandwidthAllocator, BatchBandwidthAllocator
 from repro.core.encoding import Mapping, MappingCodec
-from repro.core.objectives import Objective, ThroughputObjective, get_objective
+from repro.core.objectives import Objective, get_objective
 from repro.core.parallel import EvaluatorSpec, ParallelEvaluationPool, SimulationRig
+from repro.core.rpc import RpcEvaluationPool
 from repro.core.schedule import Schedule
 from repro.exceptions import ConfigurationError, OptimizationError
 from repro.workloads.groups import JobGroup
 
 #: Valid values for the evaluator's ``backend`` argument.
-EVAL_BACKENDS: Tuple[str, ...] = ("scalar", "batch", "parallel")
+EVAL_BACKENDS: Tuple[str, ...] = ("scalar", "batch", "parallel", "rpc")
+
+#: Backends that dispatch population shards to a pool of workers.
+_POOLED_BACKENDS: Tuple[str, ...] = ("parallel", "rpc")
 
 #: Default evaluation backend (the vectorized fast path).
 DEFAULT_EVAL_BACKEND = "batch"
@@ -84,6 +95,8 @@ class MappingEvaluator:
         sampling_budget: Optional[int] = None,
         backend: str = DEFAULT_EVAL_BACKEND,
         num_workers: Optional[int] = None,
+        eval_hosts: "str | Sequence[str] | None" = None,
+        rpc_token: Optional[str] = None,
     ):
         if backend not in EVAL_BACKENDS:
             raise ConfigurationError(
@@ -113,7 +126,17 @@ class MappingEvaluator:
             table=self.table,
             objective=self.objective,
         )
-        self._pool: Optional[ParallelEvaluationPool] = None
+        self._pool: "Optional[ParallelEvaluationPool | RpcEvaluationPool]" = None
+        if num_workers is not None and backend != "parallel":
+            raise ConfigurationError(
+                f"num_workers is only meaningful for the 'parallel' backend, "
+                f"not {backend!r}"
+            )
+        if (eval_hosts is not None or rpc_token is not None) and backend != "rpc":
+            raise ConfigurationError(
+                f"eval_hosts/rpc_token are only meaningful for the 'rpc' backend, "
+                f"not {backend!r}"
+            )
         if backend == "parallel":
             self._pool = ParallelEvaluationPool(
                 spec=EvaluatorSpec.capture(
@@ -121,10 +144,16 @@ class MappingEvaluator:
                 ),
                 num_workers=num_workers,
             )
-        elif num_workers is not None:
-            raise ConfigurationError(
-                f"num_workers is only meaningful for the 'parallel' backend, "
-                f"not {backend!r}"
+        elif backend == "rpc":
+            # No hosts (or none alive) degrades to local evaluation — the
+            # pool's contract is "use the fleet when it is there", so results
+            # never depend on fleet health.
+            self._pool = RpcEvaluationPool(
+                spec=EvaluatorSpec.capture(
+                    self.codec, self.batch_allocator, self.table, self.objective
+                ),
+                hosts=eval_hosts,
+                token=rpc_token,
             )
         self.sampling_budget = sampling_budget
         #: Memoized repaired-encoding -> fitness map used by the batch
@@ -211,7 +240,7 @@ class MappingEvaluator:
                 f"sampling budget of {self.sampling_budget} evaluations exhausted"
             )
         repaired = self.codec.repair(np.asarray(encoding, dtype=float))
-        if self.backend in ("batch", "parallel"):
+        if self.backend in ("batch",) + _POOLED_BACKENDS:
             # One-at-a-time callers (RL environments, heuristics, DE trials in
             # scalar-era code paths) share the population memo cache: repeated
             # encodings skip re-simulation but still charge budget below.
@@ -255,7 +284,7 @@ class MappingEvaluator:
         if num_evaluated == 0:
             return fitnesses
 
-        if self.backend == "parallel":
+        if self.backend in _POOLED_BACKENDS:
             values, repaired = self._memoized_fitnesses(
                 population[:num_evaluated], self._pool.evaluate
             )
@@ -381,10 +410,12 @@ class MappingEvaluator:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release backend resources (the parallel backend's worker pool).
+        """Release backend resources (the parallel/rpc backends' worker pools).
 
-        Safe to call on any backend and more than once; a closed parallel
-        evaluator lazily restarts its pool if it is used again.
+        Safe to call on any backend and more than once; a closed pooled
+        evaluator lazily restarts its pool (or re-dials its workers) if it is
+        used again.  RPC workers themselves keep serving — only this
+        coordinator's connections are dropped.
         """
         if self._pool is not None:
             self._pool.close()

@@ -11,7 +11,7 @@ convergence history.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -19,6 +19,7 @@ from repro.accelerator import AcceleratorPlatform
 from repro.core.analyzer import AnalysisTableCache, JobAnalysisTable, JobAnalyzer
 from repro.core.encoding import Mapping
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, MappingEvaluator
+from repro.core.rpc import parse_hosts
 from repro.core.objectives import Objective
 from repro.core.schedule import Schedule
 from repro.exceptions import ConfigurationError, OptimizationError
@@ -98,12 +99,22 @@ class M3E:
     eval_backend:
         Evaluation backend handed to every evaluator this explorer builds:
         ``"batch"`` (vectorized population sweep, the default), ``"parallel"``
-        (the batch sweep sharded across worker processes), or ``"scalar"``
-        (the one-at-a-time reference oracle).
+        (the batch sweep sharded across worker processes), ``"rpc"`` (the
+        same sweep sharded across remote worker hosts), or ``"scalar"`` (the
+        one-at-a-time reference oracle).
     eval_workers:
         Worker-process count for the ``parallel`` backend (default: one per
         CPU core).  Rejected for the other backends, where it would be
         silently meaningless.
+    eval_hosts:
+        Remote worker addresses for the ``rpc`` backend — a
+        ``"host:port,host:port"`` string or a sequence of ``host:port``
+        entries, each running ``repro-magma eval-worker``.  Rejected for the
+        other backends.  ``None`` with ``eval_backend="rpc"`` is the
+        degenerate no-fleet mode: everything evaluates locally.
+    rpc_token:
+        Shared authentication token for the ``rpc`` backend (default: the
+        ``REPRO_RPC_TOKEN`` environment variable).
     table_cache:
         Job-analysis-table cache to consult before building a table.  By
         default every explorer gets a private cache; the campaign engine
@@ -129,6 +140,8 @@ class M3E:
         sampling_budget: int = DEFAULT_SAMPLING_BUDGET,
         eval_backend: str = DEFAULT_EVAL_BACKEND,
         eval_workers: Optional[int] = None,
+        eval_hosts: "str | Sequence[str] | None" = None,
+        rpc_token: Optional[str] = None,
         table_cache: Optional[AnalysisTableCache] = None,
         warm_store: Optional[Any] = None,
     ):
@@ -143,11 +156,22 @@ class M3E:
                 f"eval_workers is only meaningful for the 'parallel' backend, "
                 f"not {eval_backend!r}"
             )
+        if (eval_hosts is not None or rpc_token is not None) and eval_backend != "rpc":
+            raise ConfigurationError(
+                f"eval_hosts/rpc_token are only meaningful for the 'rpc' backend, "
+                f"not {eval_backend!r}"
+            )
+        if eval_backend == "rpc":
+            # Malformed host lists must fail at configuration time, not on
+            # the first evaluated population.
+            parse_hosts(eval_hosts)
         self.platform = platform
         self.objective = objective
         self.sampling_budget = sampling_budget
         self.eval_backend = eval_backend
         self.eval_workers = eval_workers
+        self.eval_hosts = eval_hosts
+        self.rpc_token = rpc_token
         self.warm_store = warm_store
         self._analyzer = JobAnalyzer(platform)
         self._table_cache = table_cache if table_cache is not None else AnalysisTableCache()
@@ -175,6 +199,8 @@ class M3E:
             sampling_budget=sampling_budget if sampling_budget is not None else self.sampling_budget,
             backend=self.eval_backend,
             num_workers=self.eval_workers,
+            eval_hosts=self.eval_hosts,
+            rpc_token=self.rpc_token,
         )
 
     # ------------------------------------------------------------------

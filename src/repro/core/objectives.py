@@ -12,7 +12,6 @@ from __future__ import annotations
 import abc
 from typing import Dict, Type
 
-import numpy as np
 
 from repro.core.analyzer import JobAnalysisTable
 from repro.core.encoding import Mapping

@@ -48,6 +48,42 @@ from repro.exceptions import ConfigurationError
 MIN_ROWS_PER_WORKER = 8
 
 
+def split_shards(
+    rows: np.ndarray,
+    num_workers: int,
+    min_rows_per_worker: int = MIN_ROWS_PER_WORKER,
+) -> List[np.ndarray]:
+    """Split *rows* into deterministic contiguous shards, one per worker.
+
+    This is the one sharding policy every distributed evaluation backend
+    uses (:class:`ParallelEvaluationPool` across processes,
+    :class:`~repro.core.rpc.RpcEvaluationPool` across hosts): contiguous
+    ``np.array_split`` chunks in row order, never more shards than workers,
+    and never shards so small that dispatch overhead exceeds the simulation
+    cost (populations below ``2 * min_rows_per_worker`` collapse to a single
+    shard).  An empty population yields no shards.
+    """
+    rows = np.asarray(rows)
+    if len(rows) == 0:
+        return []
+    num_shards = min(max(1, int(num_workers)), max(1, len(rows) // min_rows_per_worker))
+    return [shard for shard in np.array_split(rows, num_shards) if len(shard)]
+
+
+def gather_rows(results: Sequence[np.ndarray]) -> np.ndarray:
+    """Reassemble per-shard fitness arrays into one row-ordered array.
+
+    The inverse of :func:`split_shards`: because shards are contiguous and
+    *results* arrive in shard order, concatenation restores the original row
+    order exactly — this is what keeps the sharded backends bit-identical to
+    the in-process ``batch`` sweep.
+    """
+    arrays = [np.asarray(result, dtype=float) for result in results]
+    if not arrays:
+        return np.empty(0, dtype=float)
+    return np.concatenate(arrays)
+
+
 def resolve_num_workers(num_workers: Optional[int]) -> int:
     """Resolve a worker-count request against the machine's CPU count.
 
@@ -248,8 +284,7 @@ class ParallelEvaluationPool:
 
     def _shards(self, rows: np.ndarray) -> List[np.ndarray]:
         """Deterministic contiguous-chunk assignment, one shard per worker."""
-        num_shards = min(self.num_workers, max(1, len(rows) // MIN_ROWS_PER_WORKER))
-        return [shard for shard in np.array_split(rows, num_shards) if len(shard)]
+        return split_shards(rows, self.num_workers)
 
     def evaluate(self, rows: np.ndarray) -> np.ndarray:
         """Fitness of each (already repaired) encoding row, preserving row order."""
@@ -262,7 +297,7 @@ class ParallelEvaluationPool:
             # the work anyway); run it in process and leave the pool alone.
             return self._local_rig().fitnesses_for_rows(rows)
         results = self._ensure_pool().map(_evaluate_shard, shards)
-        return np.concatenate(results)
+        return gather_rows(results)
 
     def _local_rig(self) -> SimulationRig:
         if self._fallback_rig is None:

@@ -1,0 +1,730 @@
+"""Multi-host RPC evaluation backend (the ``rpc`` eval backend).
+
+The ``parallel`` backend shards a population across worker *processes* on one
+machine; this module shards the same work across worker *hosts*.  It is
+deliberately stdlib-only — TCP sockets carrying length-prefixed pickle
+frames — so a fleet of workers needs nothing beyond this package and NumPy:
+
+* :class:`EvalWorkerServer` is the worker side (``repro-magma eval-worker
+  --listen HOST:PORT``): it accepts coordinator connections, authenticates
+  them with a shared token *before* unpickling anything, rebuilds the
+  evaluation state once per connection from the
+  :class:`~repro.core.parallel.EvaluatorSpec` bootstrap frame, and then
+  answers ``eval`` requests with per-shard fitness arrays.  Workers are
+  long-lived: one worker serves any number of sequential or concurrent
+  coordinators (each connection gets its own rig and handler thread).
+* :class:`RpcWorkerClient` is one coordinator->worker connection: framing,
+  auth, bootstrap, heartbeat, and shard evaluation.
+* :class:`RpcEvaluationPool` is the coordinator: it mirrors
+  :class:`~repro.core.parallel.ParallelEvaluationPool` — the same
+  deterministic contiguous sharding (:func:`~repro.core.parallel.split_shards`)
+  and the same row-ordered gather (:func:`~repro.core.parallel.gather_rows`) —
+  so the ``rpc`` backend is bit-identical to ``batch``/``parallel`` by
+  construction.  Memoization stays in the coordinator: the evaluator
+  dispatches only cache misses and merges the computed fitnesses back,
+  exactly as with the process pool.  One deliberate policy difference:
+  populations below :data:`~repro.core.parallel.MIN_ROWS_PER_WORKER` rows
+  run inline (a round trip would cost more than the simulation), but a
+  single *shard* still goes remote — a fleet of one host was configured to
+  take work off the coordinator, and a fleet down to its last survivor
+  keeps using it.
+
+Fault tolerance: before every dispatch the pool heartbeats its workers
+(ping/pong with a short timeout) and drops the dead ones; a worker that dies
+*mid-shard* surfaces as a broken connection, its shard is re-dispatched to
+the survivors, and when every host is gone the pool falls back to evaluating
+locally — a search never fails because the fleet did.
+
+Security note: after authentication the protocol exchanges pickles, which are
+code-execution-equivalent.  The token (``--token`` / ``REPRO_RPC_TOKEN``)
+gates every connection before any unpickling, but the transport is neither
+encrypted nor replay-protected — run workers on trusted networks only.
+"""
+
+from __future__ import annotations
+
+import hmac
+import os
+import pickle
+import socket
+import struct
+import threading
+import warnings
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.parallel import (
+    MIN_ROWS_PER_WORKER,
+    EvaluatorSpec,
+    SimulationRig,
+    gather_rows,
+    split_shards,
+)
+from repro.exceptions import ConfigurationError, RpcError, WorkerDiedError
+
+#: Environment variable both sides read when no token is given explicitly.
+RPC_TOKEN_ENV = "REPRO_RPC_TOKEN"
+
+#: Upper bound on one frame (a pickled population shard or fitness array);
+#: anything larger indicates a corrupt or hostile length prefix.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Cap on the (raw-bytes) auth frame: tokens are short; an unauthenticated
+#: peer must not be able to make a worker buffer gigabytes.
+MAX_AUTH_FRAME_BYTES = 4096
+
+#: How long a worker waits for a fresh connection to authenticate before
+#: dropping it (unauthenticated peers must not pin handler threads).
+AUTH_TIMEOUT_SECONDS = 10.0
+
+#: Frame length prefix: 8-byte big-endian unsigned.
+_LENGTH_PREFIX = struct.Struct(">Q")
+
+#: Auth replies (sent as raw frames, before the pickle protocol starts).
+_AUTH_OK = b"OK"
+_AUTH_DENIED = b"DENIED"
+
+
+def _enable_keepalive(sock: socket.socket) -> None:
+    """Turn on TCP keepalive (with aggressive knobs where the OS has them).
+
+    A worker host that loses power or its network route dies *silently* — no
+    FIN/RST ever arrives — and a fully blocking ``recv`` would wait forever.
+    Keepalive converts that silence into a connection error after a bounded
+    interval, which feeds the normal mark-dead/re-dispatch path.
+    """
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for option, value in (
+        ("TCP_KEEPIDLE", 30),   # probe after 30s of silence...
+        ("TCP_KEEPINTVL", 10),  # ...then every 10s...
+        ("TCP_KEEPCNT", 3),     # ...declaring death after 3 misses.
+    ):
+        if hasattr(socket, option):
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, getattr(socket, option), value)
+            except OSError:  # pragma: no cover - platform-dependent
+                pass
+
+
+def _is_loopback(host: str) -> bool:
+    return host in ("localhost", "::1") or host.startswith("127.")
+
+
+def resolve_token(token: Optional[str]) -> str:
+    """The shared secret: an explicit token, else ``$REPRO_RPC_TOKEN``, else ''."""
+    if token is not None:
+        return str(token)
+    return os.environ.get(RPC_TOKEN_ENV, "")
+
+
+def parse_hosts(
+    hosts: "str | Sequence[Any] | None", allow_ephemeral: bool = False
+) -> List[Tuple[str, int]]:
+    """Normalise worker addresses into ``(host, port)`` pairs.
+
+    Accepts the CLI's comma-separated ``"host:port,host:port"`` string, any
+    sequence of ``"host:port"`` strings, or ready-made ``(host, port)`` pairs.
+    Malformed entries fail loudly as :class:`ConfigurationError`.  Port 0 is
+    only meaningful for a *listen* address ("pick a free port"), so dialable
+    host lists reject it unless *allow_ephemeral* is set.
+    """
+    if hosts is None:
+        return []
+    if isinstance(hosts, str):
+        items: Sequence[Any] = [part for part in hosts.split(",") if part.strip()]
+    else:
+        items = list(hosts)
+    parsed: List[Tuple[str, int]] = []
+    for item in items:
+        if isinstance(item, (tuple, list)) and len(item) == 2:
+            host, port = item[0], item[1]
+        else:
+            text = str(item).strip()
+            host, sep, port = text.rpartition(":")
+            if not sep or not host:
+                raise ConfigurationError(
+                    f"worker address {text!r} is not of the form host:port"
+                )
+        try:
+            port = int(port)
+        except (TypeError, ValueError) as error:
+            raise ConfigurationError(f"invalid worker port in {item!r}: {error}") from error
+        if not (0 if allow_ephemeral else 1) <= port < 65536:
+            raise ConfigurationError(f"worker port out of range in {item!r}: {port}")
+        parsed.append((str(host), port))
+    return parsed
+
+
+# ----------------------------------------------------------------------
+# Framing
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, payload: bytes) -> None:
+    """Write one length-prefixed frame."""
+    sock.sendall(_LENGTH_PREFIX.pack(len(payload)) + payload)
+
+
+def recv_frame(sock: socket.socket, limit: int = MAX_FRAME_BYTES) -> bytes:
+    """Read one length-prefixed frame; a closed peer raises :class:`WorkerDiedError`."""
+    header = _recv_exact(sock, _LENGTH_PREFIX.size)
+    (length,) = _LENGTH_PREFIX.unpack(header)
+    if length > limit:
+        raise RpcError(f"frame of {length} bytes exceeds the {limit}-byte limit")
+    return _recv_exact(sock, length)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as error:
+            raise WorkerDiedError(f"connection lost: {error}") from error
+        if not chunk:
+            raise WorkerDiedError("connection closed by peer mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    send_frame(sock, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _recv_message(sock: socket.socket) -> Dict[str, Any]:
+    return pickle.loads(recv_frame(sock))
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+class EvalWorkerServer:
+    """One evaluation worker: listens for coordinators and scores shards.
+
+    Workers are stateless between connections — each authenticated
+    coordinator bootstraps its own :class:`SimulationRig` from the spec it
+    sends, so one long-lived worker can serve many different problems (and
+    several coordinators at once, each on its own handler thread).
+
+    ``port=0`` binds an ephemeral port; the chosen one is in :attr:`address`.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        token: Optional[str] = None,
+    ):
+        self.token = resolve_token(token)
+        if not self.token and not _is_loopback(host):
+            # The post-auth protocol is pickle (code-execution-equivalent);
+            # an empty token on a routable interface would hand every peer
+            # that can reach the port an unauthenticated unpickle.
+            raise ConfigurationError(
+                f"refusing to listen on non-loopback address {host!r} without a "
+                f"token; pass --token or set ${RPC_TOKEN_ENV}"
+            )
+        self._listener = socket.create_server((host, port))
+        # A finite accept timeout keeps the serve loop responsive to
+        # shutdown(): closing a socket another thread is blocked in accept()
+        # on is deferred by CPython until the call returns, so a fully
+        # blocking accept could never be woken.
+        self._listener.settimeout(0.1)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._active: set = set()
+        #: Served-request counters (telemetry; the fault tests assert on them).
+        self.connections_served = 0
+        self.evals_served = 0
+        self.rows_served = 0
+
+    @property
+    def address(self) -> str:
+        """The ``host:port`` this worker listens on."""
+        return f"{self.host}:{self.port}"
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Accept coordinator connections until :meth:`shutdown`."""
+        try:
+            while not self._stopping.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except TimeoutError:
+                    continue
+                except OSError:
+                    # Listener closed by shutdown() — or never usable; either
+                    # way the serve loop is over.
+                    break
+                if self._stopping.is_set():
+                    conn.close()
+                    break
+                with self._lock:
+                    self.connections_served += 1
+                thread = threading.Thread(
+                    target=self._handle_connection, args=(conn,), daemon=True
+                )
+                thread.start()
+        finally:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def start(self) -> "EvalWorkerServer":
+        """Serve on a background daemon thread (how tests and benchmarks run)."""
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop the worker: close the listener and every live connection.
+
+        Dropping active connections (not just the listener) makes an
+        in-process shutdown observationally identical to a killed worker
+        process — coordinators see their conversation die mid-stream, which
+        is exactly what the fault-tolerance machinery must handle.
+        """
+        self._stopping.set()
+        # Wake a blocked accept() immediately instead of waiting out its
+        # poll interval; the serve loop discards this connection and exits.
+        try:
+            socket.create_connection((self.host, self.port), timeout=0.2).close()
+        except OSError:
+            pass
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5.0)
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+        with self._lock:
+            active = list(self._active)
+        for conn in active:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    # ------------------------------------------------------------------
+    def _handle_connection(self, conn: socket.socket) -> None:
+        with self._lock:
+            self._active.add(conn)
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            _enable_keepalive(conn)
+            if not self._authenticate(conn):
+                return
+            rig: Optional[SimulationRig] = None
+            while True:
+                message = _recv_message(conn)
+                op = message.get("op")
+                if op == "bootstrap":
+                    rig = self._build_rig(message["spec"])
+                    _send_message(conn, {"op": "ok"})
+                elif op == "eval":
+                    if rig is None:
+                        _send_message(
+                            conn, {"op": "error", "message": "eval before bootstrap"}
+                        )
+                        continue
+                    _send_message(
+                        conn,
+                        {"op": "result", "fitnesses": self._eval(rig, message["rows"])},
+                    )
+                elif op == "ping":
+                    _send_message(conn, {"op": "pong"})
+                elif op == "shutdown":
+                    _send_message(conn, {"op": "ok"})
+                    self.shutdown()
+                    return
+                else:
+                    _send_message(
+                        conn, {"op": "error", "message": f"unknown op {op!r}"}
+                    )
+        except (RpcError, OSError, EOFError, pickle.UnpicklingError):
+            # Coordinator went away or sent garbage (oversized frame, bad
+            # pickle, timeout); this connection is done, the worker itself
+            # lives on for the next coordinator.
+            pass
+        finally:
+            with self._lock:
+                self._active.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+
+    def _authenticate(self, conn: socket.socket) -> bool:
+        """Token check on raw bytes — nothing is unpickled before this passes.
+
+        Unauthenticated peers are kept on a short leash: the auth frame is
+        size-capped (tokens are short) and must arrive within a timeout, so
+        a port-scanner cannot pin handler threads or buffer memory.
+        """
+        conn.settimeout(AUTH_TIMEOUT_SECONDS)
+        try:
+            presented = recv_frame(conn, limit=MAX_AUTH_FRAME_BYTES)
+            if not hmac.compare_digest(presented, self.token.encode("utf-8")):
+                send_frame(conn, _AUTH_DENIED)
+                return False
+            send_frame(conn, _AUTH_OK)
+        finally:
+            conn.settimeout(None)
+        return True
+
+    def _build_rig(self, spec: EvaluatorSpec) -> SimulationRig:
+        return spec.build_rig()
+
+    def _eval(self, rig: SimulationRig, rows: np.ndarray) -> np.ndarray:
+        """Score one shard (overridable; the fault-injection tests use this seam)."""
+        fitnesses = rig.fitnesses_for_rows(rows)
+        with self._lock:
+            self.evals_served += 1
+            self.rows_served += len(np.atleast_2d(rows))
+        return fitnesses
+
+
+def serve_worker(
+    listen: str,
+    token: Optional[str] = None,
+    ready: Optional[Any] = None,
+) -> None:
+    """Blocking entry point behind ``repro-magma eval-worker``.
+
+    *listen* is ``host:port`` (port 0 binds an ephemeral port).  *ready*, if
+    given, is called with the started server — the CLI uses it to print the
+    resolved address before blocking.
+    """
+    parsed = parse_hosts(listen, allow_ephemeral=True)
+    if len(parsed) != 1:
+        raise ConfigurationError(f"--listen takes exactly one host:port, got {listen!r}")
+    host, port = parsed[0]
+    server = EvalWorkerServer(host=host, port=port, token=token)
+    if ready is not None:
+        ready(server)
+    try:
+        server.serve_forever()
+    finally:
+        server.shutdown()
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class RpcWorkerClient:
+    """One authenticated coordinator connection to an evaluation worker."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        token: Optional[str] = None,
+        connect_timeout: float = 5.0,
+    ):
+        self.host = host
+        self.port = port
+        self.token = resolve_token(token)
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+
+    @property
+    def is_connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> None:
+        """Dial, authenticate, and switch to blocking mode for evaluation."""
+        sock = socket.create_connection((self.host, self.port), timeout=self.connect_timeout)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            _enable_keepalive(sock)
+            send_frame(sock, self.token.encode("utf-8"))
+            reply = recv_frame(sock)
+            if reply != _AUTH_OK:
+                raise RpcError(
+                    f"worker {self.host}:{self.port} rejected the authentication token"
+                )
+            # Shard evaluation time is unbounded (it scales with the problem),
+            # so the steady-state socket is fully blocking; liveness is the
+            # heartbeat's job, and a killed worker still surfaces promptly as
+            # a reset/closed connection.
+            sock.settimeout(None)
+        except BaseException:
+            sock.close()
+            raise
+        self._sock = sock
+
+    # ------------------------------------------------------------------
+    def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self._sock is None:
+            raise RpcError(f"client for {self.host}:{self.port} is not connected")
+        _send_message(self._sock, message)
+        reply = _recv_message(self._sock)
+        if reply.get("op") == "error":
+            raise RpcError(
+                f"worker {self.host}:{self.port} error: {reply.get('message')}"
+            )
+        return reply
+
+    def bootstrap(self, spec: EvaluatorSpec) -> None:
+        """Ship the problem description; the worker rebuilds its rig from it."""
+        self._request({"op": "bootstrap", "spec": spec})
+
+    def evaluate(self, rows: np.ndarray) -> np.ndarray:
+        """Fitness of one shard of repaired encodings, in row order."""
+        reply = self._request({"op": "eval", "rows": rows})
+        return np.asarray(reply["fitnesses"], dtype=float)
+
+    def heartbeat(self, timeout: float = 2.0) -> bool:
+        """Ping/pong liveness probe; ``False`` means the worker is gone.
+
+        A liveness probe must never raise: any failure — transport, garbage
+        reply, protocol violation — just means "not alive".
+        """
+        if self._sock is None:
+            return False
+        try:
+            self._sock.settimeout(timeout)
+            try:
+                return self._request({"op": "ping"}).get("op") == "pong"
+            finally:
+                self._sock.settimeout(None)
+        except Exception:
+            return False
+
+    def request_shutdown(self) -> None:
+        """Ask the worker process to stop serving (benchmark teardown)."""
+        try:
+            self._request({"op": "shutdown"})
+        except (RpcError, OSError):
+            pass
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+            self._sock = None
+
+
+class RpcEvaluationPool:
+    """Coordinator over remote evaluation workers sharing one :class:`EvaluatorSpec`.
+
+    Duck-type compatible with
+    :class:`~repro.core.parallel.ParallelEvaluationPool` (``evaluate`` /
+    ``warm_up`` / ``close`` / ``is_running``), so
+    :class:`~repro.core.evaluator.MappingEvaluator` drives both identically.
+
+    Connections are lazy: the first evaluation dials every configured host,
+    authenticates, and bootstraps it with the spec.  Hosts that cannot be
+    reached — or die later — are marked dead and never block a search again;
+    with no hosts configured (or none left alive) the pool simply evaluates
+    locally, bit-identically.
+    """
+
+    def __init__(
+        self,
+        spec: EvaluatorSpec,
+        hosts: "str | Sequence[Any] | None" = None,
+        token: Optional[str] = None,
+        connect_timeout: float = 5.0,
+        heartbeat_timeout: float = 2.0,
+    ):
+        self.spec = spec
+        self.hosts = parse_hosts(hosts)
+        self.token = resolve_token(token)
+        self.connect_timeout = connect_timeout
+        self.heartbeat_timeout = heartbeat_timeout
+        self._clients: Dict[Tuple[str, int], RpcWorkerClient] = {}
+        self._dead: set = set()
+        self._fallback_rig: Optional[SimulationRig] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def is_running(self) -> bool:
+        """True while at least one worker connection is open."""
+        return bool(self._clients)
+
+    @property
+    def num_live_hosts(self) -> int:
+        """Configured hosts not (yet) marked dead."""
+        return len(self.hosts) - len(self._dead)
+
+    def _live_clients(self) -> List[RpcWorkerClient]:
+        """Connected, heartbeat-verified workers (connecting lazily as needed).
+
+        Hosts are probed *concurrently* — first-time dials (connect +
+        bootstrap) and steady-state heartbeats alike — so one slow or
+        unreachable host costs the fleet a single timeout, not a timeout per
+        host per generation.
+        """
+        candidates = [host for host in self.hosts if host not in self._dead]
+        outcomes: Dict[Tuple[str, int], Any] = {}
+
+        def probe(host: Tuple[str, int]) -> None:
+            client = self._clients.get(host)
+            if client is None:
+                client = RpcWorkerClient(
+                    host[0], host[1], token=self.token, connect_timeout=self.connect_timeout
+                )
+                try:
+                    client.connect()
+                    client.bootstrap(self.spec)
+                except Exception as error:
+                    client.close()
+                    outcomes[host] = error
+                    return
+            elif not client.heartbeat(self.heartbeat_timeout):
+                outcomes[host] = "heartbeat failed"
+                return
+            outcomes[host] = client
+
+        threads = [
+            threading.Thread(target=probe, args=(host,), daemon=True)
+            for host in candidates
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        clients: List[RpcWorkerClient] = []
+        for host in candidates:
+            outcome = outcomes.get(host, "probe thread died")
+            if isinstance(outcome, RpcWorkerClient):
+                self._clients[host] = outcome
+                clients.append(outcome)
+            else:
+                self._mark_dead(host, outcome)
+        return clients
+
+    def _mark_dead(self, host: Tuple[str, int], reason: Any) -> None:
+        """Strike a worker off and say so — the pool degrades gracefully by
+        design (a search must never fail because the fleet did), but a host
+        lost to a typo'd token or address should not vanish without a trace."""
+        self._dead.add(host)
+        client = self._clients.pop(host, None)
+        if client is not None:
+            client.close()
+        warnings.warn(
+            f"rpc evaluation worker {host[0]}:{host[1]} dropped ({reason}); "
+            f"{self.num_live_hosts} of {len(self.hosts)} hosts remain"
+            + ("" if self.num_live_hosts else " — evaluating locally"),
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+    def _local_rig(self) -> SimulationRig:
+        if self._fallback_rig is None:
+            self._fallback_rig = self.spec.build_rig()
+        return self._fallback_rig
+
+    # ------------------------------------------------------------------
+    def evaluate(self, rows: np.ndarray) -> np.ndarray:
+        """Fitness of each (already repaired) encoding row, preserving row order."""
+        rows = np.atleast_2d(np.asarray(rows, dtype=float))
+        if len(rows) == 0:
+            return np.empty(0, dtype=float)
+        # A population too small to amortise a round trip runs in process,
+        # without ever touching a socket.  Unlike the process pool, a single
+        # *shard* still goes remote: the user configured a fleet (maybe of
+        # one beefy host) precisely to take this work off the coordinator,
+        # and a fleet down to its last survivor should keep using it.
+        if self.num_live_hosts == 0 or len(rows) < MIN_ROWS_PER_WORKER:
+            return self._local_rig().fitnesses_for_rows(rows)
+        clients = self._live_clients()
+        if not clients:
+            return self._local_rig().fitnesses_for_rows(rows)
+        shards = split_shards(rows, len(clients))
+        return gather_rows(self._dispatch(shards, clients))
+
+    def _dispatch(
+        self, shards: List[np.ndarray], clients: List[RpcWorkerClient]
+    ) -> List[np.ndarray]:
+        """Score every shard, re-dispatching the shards of workers that die.
+
+        Each round assigns the pending shards round-robin over the surviving
+        workers and runs one sender thread per worker (shards travel and
+        compute concurrently across hosts).  A transport failure marks that
+        worker dead and requeues its unfinished shards; when no workers
+        remain, the local fallback rig finishes the job.
+        """
+        results: List[Optional[np.ndarray]] = [None] * len(shards)
+        pending = deque(range(len(shards)))
+        lock = threading.Lock()
+        while pending:
+            if not clients:
+                rig = self._local_rig()
+                while pending:
+                    index = pending.popleft()
+                    results[index] = rig.fitnesses_for_rows(shards[index])
+                break
+            assignments: List[List[int]] = [[] for _ in clients]
+            slot = 0
+            while pending:
+                assignments[slot % len(clients)].append(pending.popleft())
+                slot += 1
+            failed_clients: List[RpcWorkerClient] = []
+            retry: List[int] = []
+
+            def _run(client: RpcWorkerClient, indices: List[int]) -> None:
+                # Any failure — transport death, corrupt frame, protocol
+                # error — retires this worker and requeues its remaining
+                # shards; a systemic (non-worker) problem still surfaces,
+                # because the shards eventually reach the local rig, which
+                # raises the real error.
+                for position, index in enumerate(indices):
+                    try:
+                        fitnesses = client.evaluate(shards[index])
+                    except Exception:
+                        with lock:
+                            failed_clients.append(client)
+                            retry.extend(indices[position:])
+                        return
+                    results[index] = fitnesses
+
+            threads = [
+                threading.Thread(target=_run, args=(client, indices), daemon=True)
+                for client, indices in zip(clients, assignments)
+                if indices
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            for client in failed_clients:
+                self._mark_dead((client.host, client.port), "died mid-shard")
+            clients = [client for client in clients if client not in failed_clients]
+            pending.extend(sorted(retry))
+        missing = [index for index, result in enumerate(results) if result is None]
+        if missing:  # pragma: no cover - the retry loop leaves nothing behind
+            raise RpcError(f"internal dispatch error: shards {missing} never produced results")
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def warm_up(self) -> int:
+        """Eagerly connect + bootstrap every reachable host; returns how many."""
+        return len(self._live_clients())
+
+    def close(self) -> None:
+        """Drop the worker connections (the workers themselves keep serving)."""
+        for client in self._clients.values():
+            client.close()
+        self._clients.clear()
+
+    def __enter__(self) -> "RpcEvaluationPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

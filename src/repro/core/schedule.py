@@ -9,7 +9,7 @@ visualisations (Fig. 4(b) and Fig. 15).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import SchedulingError

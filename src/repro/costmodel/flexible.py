@@ -13,7 +13,6 @@ fixed-vs-flexible comparison of Fig. 14 is an apples-to-apples one.
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.costmodel.dataflow import Dataflow, DataflowStyle, get_dataflow

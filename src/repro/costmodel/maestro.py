@@ -14,7 +14,6 @@ the paper and `benchmarks/test_fig07_job_analysis.py`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Optional
 
 from repro.costmodel.dataflow import Dataflow, DataflowStyle, get_dataflow

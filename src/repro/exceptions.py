@@ -42,3 +42,16 @@ class ExperimentError(ReproError):
 
 class ServiceError(ReproError):
     """Raised when the mapping service receives an invalid request or job id."""
+
+
+class RpcError(ReproError):
+    """Raised when the RPC evaluation protocol fails (auth, framing, worker errors)."""
+
+
+class WorkerDiedError(RpcError):
+    """Raised when an RPC evaluation worker's connection dies mid-conversation.
+
+    The coordinator treats this as a transport failure — the worker is marked
+    dead and its shard is re-dispatched — unlike a :class:`RpcError` reply,
+    which means the worker is alive and deliberately reported a failure.
+    """

@@ -30,7 +30,7 @@ from repro.accelerator import AcceleratorPlatform, build_setting
 from repro.core.analyzer import AnalysisTableCache, JobAnalysisTable, shared_table_cache
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND
 from repro.core.framework import M3E, SearchResult
-from repro.exceptions import ExperimentError
+from repro.exceptions import ConfigurationError, ExperimentError
 from repro.experiments.scenarios import (
     ScenarioSpec,
     SearchCell,
@@ -94,9 +94,11 @@ class CampaignRunner:
     scale:
         Experiment scale (name, instance, or ``None`` for the environment
         default) every cell resolves budgets/group sizes against.
-    eval_backend / eval_workers:
+    eval_backend / eval_workers / eval_hosts / rpc_token:
         Evaluation backend configuration threaded into every explorer the
         engine builds — one knob for every cell of every scenario.
+        ``eval_hosts``/``rpc_token`` configure the ``rpc`` backend's remote
+        worker fleet (``repro-magma eval-worker`` instances).
     table_cache:
         Analysis-table cache to share; defaults to the process-wide cache so
         independent runners in one process still dedup table builds.
@@ -112,12 +114,24 @@ class CampaignRunner:
         scale: "ExperimentScale | str | None" = None,
         eval_backend: str = DEFAULT_EVAL_BACKEND,
         eval_workers: Optional[int] = None,
+        eval_hosts: "str | Sequence[str] | None" = None,
+        rpc_token: Optional[str] = None,
         table_cache: Optional[AnalysisTableCache] = None,
         warm_store: Optional[Any] = None,
     ):
+        if (eval_hosts is not None or rpc_token is not None) and eval_backend != "rpc":
+            # Mirror M3E's validation: a campaign/service configured with a
+            # worker fleet but the wrong backend must fail loudly, not
+            # silently evaluate every cell locally.
+            raise ConfigurationError(
+                f"eval_hosts/rpc_token are only meaningful for the 'rpc' backend, "
+                f"not {eval_backend!r}"
+            )
         self.scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
         self.eval_backend = eval_backend
         self.eval_workers = eval_workers
+        self.eval_hosts = eval_hosts
+        self.rpc_token = rpc_token
         self.table_cache = table_cache if table_cache is not None else shared_table_cache()
         self.warm_store = warm_store
         self._groups: Dict[Tuple[str, int, int, int], JobGroup] = {}
@@ -141,6 +155,8 @@ class CampaignRunner:
             sampling_budget=sampling_budget if sampling_budget is not None else self.scale.sampling_budget,
             eval_backend=self.eval_backend,
             eval_workers=self.eval_workers if self.eval_backend == "parallel" else None,
+            eval_hosts=self.eval_hosts,
+            rpc_token=self.rpc_token,
             table_cache=self.table_cache,
             warm_store=self.warm_store,
         )

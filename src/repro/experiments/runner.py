@@ -95,6 +95,8 @@ def run_method_comparison(
     group: Optional[JobGroup] = None,
     eval_backend: str = DEFAULT_EVAL_BACKEND,
     eval_workers: Optional[int] = None,
+    eval_hosts: "str | Sequence[str] | None" = None,
+    rpc_token: Optional[str] = None,
 ) -> Dict[str, SearchResult]:
     """Run several mapping methods on one (setting, bandwidth, task) problem.
 
@@ -106,8 +108,9 @@ def run_method_comparison(
     these semantics exactly, so a figure run cell-by-cell is bit-identical
     to this direct loop.  ``eval_backend`` selects the fitness-evaluation
     path (``"batch"`` — the vectorized default — ``"parallel"`` — the same
-    sweep sharded across ``eval_workers`` processes — or the ``"scalar"``
-    reference oracle); all produce bit-identical results.
+    sweep sharded across ``eval_workers`` processes — ``"rpc"`` — sharded
+    across the remote ``eval_hosts`` workers — or the ``"scalar"`` reference
+    oracle); all produce bit-identical results.
     """
     scale = scale or get_scale()
     platform = build_setting(setting, bandwidth_gbps)
@@ -118,6 +121,8 @@ def run_method_comparison(
         sampling_budget=scale.sampling_budget,
         eval_backend=eval_backend,
         eval_workers=eval_workers,
+        eval_hosts=eval_hosts,
+        rpc_token=rpc_token,
     )
     rngs = spawn_rngs(seed, len(methods))
     results: Dict[str, SearchResult] = {}

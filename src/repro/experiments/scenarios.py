@@ -19,7 +19,7 @@ dedup, a JSONL results store, and ``--resume``.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.exceptions import ExperimentError
@@ -404,6 +404,8 @@ def run_scenario(
     seed: int = 0,
     eval_backend: Optional[str] = None,
     eval_workers: Optional[int] = None,
+    eval_hosts: "str | Sequence[str] | None" = None,
+    rpc_token: Optional[str] = None,
     engine: Optional["CampaignRunner"] = None,
     options: Optional[Dict[str, Any]] = None,
     warm_store: Optional[Any] = None,
@@ -428,6 +430,8 @@ def run_scenario(
             scale=resolved,
             eval_backend=eval_backend or DEFAULT_EVAL_BACKEND,
             eval_workers=eval_workers,
+            eval_hosts=eval_hosts,
+            rpc_token=rpc_token,
             warm_store=warm_store,
         )
     context = ScenarioContext(spec=spec, engine=engine, base_seed=seed, options=dict(options or {}))

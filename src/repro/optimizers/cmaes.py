@@ -131,7 +131,10 @@ class CMAESOptimizer(BaseOptimizer):
             sigma = float(np.clip(sigma, 1e-6, 2.0))
 
             # Covariance adaptation.
-            h_sigma = float(np.linalg.norm(p_sigma) / np.sqrt(1 - (1 - c_sigma) ** (2 * (generations + 1))) < (1.4 + 2 / (dimension + 1)) * chi_n)
+            h_sigma = float(
+                np.linalg.norm(p_sigma) / np.sqrt(1 - (1 - c_sigma) ** (2 * (generations + 1)))
+                < (1.4 + 2 / (dimension + 1)) * chi_n
+            )
             p_c = (1 - c_c) * p_c + h_sigma * np.sqrt(c_c * (2 - c_c) * mu_eff) * y_w
             if use_diagonal:
                 rank_mu = np.sum(top_weights[:, None] * (y[top] ** 2), axis=0)

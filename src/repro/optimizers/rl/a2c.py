@@ -17,7 +17,7 @@ from repro.core.evaluator import MappingEvaluator
 from repro.exceptions import OptimizationError
 from repro.optimizers.base import BaseOptimizer
 from repro.optimizers.rl.env import SequentialMappingEnv
-from repro.optimizers.rl.nn import MLP, AdamOptimizer, RMSPropOptimizer, clip_gradients, softmax
+from repro.optimizers.rl.nn import MLP, RMSPropOptimizer, clip_gradients, softmax
 from repro.utils.rng import SeedLike
 
 

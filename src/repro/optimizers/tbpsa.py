@@ -10,7 +10,7 @@ to.  The paper initialises the population size at 50 and lets it evolve.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Deque, Optional
 
 import numpy as np
 

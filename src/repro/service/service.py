@@ -26,7 +26,7 @@ import queue
 import threading
 from collections import deque
 from dataclasses import dataclass, field, fields as dataclass_fields
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from repro.accelerator import build_setting, list_settings
 from repro.core.analyzer import AnalysisTableCache
@@ -191,8 +191,11 @@ class MappingService:
         searches warm-start from the best prior same-task solution.
     scale:
         Experiment scale unresolved request knobs default to.
-    eval_backend / eval_workers:
+    eval_backend / eval_workers / eval_hosts / rpc_token:
         Evaluation backend configuration for every search the service runs.
+        With ``eval_backend="rpc"`` service jobs fan their fitness
+        evaluations out to the remote ``eval_hosts`` workers
+        (``repro-magma eval-worker`` fleet), authenticated by ``rpc_token``.
     workers:
         Worker threads executing queued jobs concurrently.
     max_finished_jobs:
@@ -210,6 +213,8 @@ class MappingService:
         scale: "ExperimentScale | str | None" = None,
         eval_backend: str = DEFAULT_EVAL_BACKEND,
         eval_workers: Optional[int] = None,
+        eval_hosts: "str | Sequence[str] | None" = None,
+        rpc_token: Optional[str] = None,
         workers: int = 2,
         table_cache: Optional[AnalysisTableCache] = None,
         max_finished_jobs: int = 10_000,
@@ -226,6 +231,8 @@ class MappingService:
             scale=scale,
             eval_backend=eval_backend,
             eval_workers=eval_workers,
+            eval_hosts=eval_hosts,
+            rpc_token=rpc_token,
             table_cache=table_cache if table_cache is not None else AnalysisTableCache(),
             warm_store=warm_store,
         )

@@ -7,7 +7,7 @@ behaviour consistent across optimizers, workload generators, and tests.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Union
 
 import numpy as np
 

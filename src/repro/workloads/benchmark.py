@@ -14,13 +14,12 @@ reproducible.  This is the substitution documented in DESIGN.md.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.exceptions import WorkloadError
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import ensure_rng
 from repro.workloads.groups import JobGroup, partition_into_groups
 from repro.workloads.jobs import Job, JobBatch
 from repro.workloads.layers import LayerShape

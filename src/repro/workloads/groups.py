@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence
 
-import numpy as np
 
 from repro.exceptions import WorkloadError
 from repro.utils.rng import SeedLike, ensure_rng

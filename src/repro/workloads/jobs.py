@@ -10,7 +10,7 @@ program later partitions into dependency-free groups.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Sequence
 
 from repro.exceptions import WorkloadError

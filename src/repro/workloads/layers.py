@@ -21,7 +21,7 @@ every layer uniformly.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.exceptions import WorkloadError
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.accelerator import ACCELERATOR_SETTINGS, build_setting, list_settings
+from repro.accelerator import build_setting, list_settings
 from repro.costmodel import DataflowStyle
 from repro.exceptions import ConfigurationError
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.analyzer import JobAnalyzer, JobAnalysisTable
-from repro.costmodel import DataflowStyle
 from repro.exceptions import SchedulingError
 from repro.workloads.layers import fully_connected
 

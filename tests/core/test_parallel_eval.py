@@ -16,10 +16,13 @@ from repro.accelerator import build_setting
 from repro.core.evaluator import EVAL_BACKENDS, MappingEvaluator
 from repro.core.framework import M3E
 from repro.core.parallel import (
+    MIN_ROWS_PER_WORKER,
     EvaluatorSpec,
     ParallelEvaluationPool,
     SimulationRig,
+    gather_rows,
     resolve_num_workers,
+    split_shards,
 )
 from repro.exceptions import ConfigurationError
 from repro.workloads import TaskType, build_task_workload
@@ -67,6 +70,56 @@ class TestEvaluatorSpec:
         assert resolve_num_workers(None) >= 1
         with pytest.raises(ConfigurationError):
             resolve_num_workers(0)
+
+
+class TestShardHelpers:
+    """The contiguous-shard/gather policy shared by the parallel and rpc pools."""
+
+    def test_split_is_contiguous_and_order_preserving(self):
+        rows = np.arange(33 * 4, dtype=float).reshape(33, 4)
+        shards = split_shards(rows, num_workers=4)
+        assert len(shards) == 4
+        assert np.array_equal(np.concatenate(shards), rows)
+        # Contiguity: every shard is a consecutive slice of the input.
+        offset = 0
+        for shard in shards:
+            assert np.array_equal(shard, rows[offset:offset + len(shard)])
+            offset += len(shard)
+
+    def test_split_matches_np_array_split_exactly(self):
+        """The historical policy was a literal np.array_split; the extracted
+        helper must not change a single shard boundary."""
+        rows = np.arange(50 * 2, dtype=float).reshape(50, 2)
+        expected = [s for s in np.array_split(rows, 4) if len(s)]
+        observed = split_shards(rows, num_workers=4)
+        assert len(observed) == len(expected)
+        for got, want in zip(observed, expected):
+            assert np.array_equal(got, want)
+
+    def test_small_populations_collapse_to_one_shard(self):
+        rows = np.zeros((MIN_ROWS_PER_WORKER * 2 - 1, 4))
+        assert len(split_shards(rows, num_workers=8)) == 1
+        assert len(split_shards(np.zeros((MIN_ROWS_PER_WORKER * 2, 4)), 8)) == 2
+
+    def test_never_more_shards_than_workers_or_rows(self):
+        rows = np.zeros((100, 4))
+        assert len(split_shards(rows, num_workers=3)) == 3
+        assert len(split_shards(rows, num_workers=1)) == 1
+        assert len(split_shards(np.zeros((2, 4)), num_workers=8, min_rows_per_worker=1)) == 2
+
+    def test_empty_population_yields_no_shards(self):
+        assert split_shards(np.empty((0, 4)), num_workers=4) == []
+        assert gather_rows([]).shape == (0,)
+
+    def test_gather_restores_row_order(self):
+        fitnesses = np.arange(33, dtype=float)
+        shards = split_shards(fitnesses.reshape(33, 1), num_workers=5)
+        per_shard = []
+        offset = 0
+        for shard in shards:
+            per_shard.append(fitnesses[offset:offset + len(shard)])
+            offset += len(shard)
+        assert np.array_equal(gather_rows(per_shard), fitnesses)
 
 
 class TestParallelEvaluationPool:

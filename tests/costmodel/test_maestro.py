@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.costmodel import AnalyticalCostModel, DataflowStyle
+from repro.costmodel import AnalyticalCostModel
 from repro.exceptions import CostModelError
 from repro.workloads.layers import conv2d, fully_connected
 from repro.workloads.models import get_model

@@ -6,7 +6,6 @@ qualitative relationships the paper's headline claims rest on.
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     M3E,
@@ -16,7 +15,6 @@ from repro import (
     build_task_workload,
 )
 from repro.analysis.reporting import normalized_throughputs
-from repro.optimizers import MagmaOptimizer
 
 
 class TestFullPipeline:

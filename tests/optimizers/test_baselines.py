@@ -1,6 +1,5 @@
 """Tests for the black-box optimization baselines (stdGA, DE, CMA-ES, PSO, TBPSA, random)."""
 
-import numpy as np
 import pytest
 
 from repro.core.evaluator import MappingEvaluator

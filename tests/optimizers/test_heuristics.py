@@ -1,7 +1,6 @@
 """Tests for the manual mappers (Herald-like, AI-MT-like)."""
 
 import numpy as np
-import pytest
 
 from repro.core.evaluator import MappingEvaluator
 from repro.optimizers import AIMTLikeMapper, HeraldLikeMapper

@@ -2,7 +2,6 @@
 
 import threading
 
-import numpy as np
 import pytest
 
 from repro.exceptions import ServiceError
@@ -155,6 +154,50 @@ class TestEndToEnd:
             assert hit.cached and hit.state == "done"
             assert hit.result.to_dict() == original.to_dict()
             assert second.stats["searches_run"] == 0
+
+
+class TestEvalBackendParity:
+    """The service must be backend-invariant (PR 4 only exercised ``batch``).
+
+    ``repro-magma serve --eval-backend parallel`` (and ``rpc``, covered with
+    live workers in ``tests/core/test_rpc_eval.py``) drives the same search
+    engine through a worker pool; job results, stored solutions, and repeat
+    store hits must be bit-identical to the threaded default.
+    """
+
+    def _solve(self, tmp_path, backend, **backend_kwargs):
+        service = MappingService(
+            store=str(tmp_path / f"solutions-{backend}.jsonl"),
+            scale=SCALE,
+            eval_backend=backend,
+            workers=2,
+            **backend_kwargs,
+        )
+        try:
+            request = {"task": "vision", "setting": "S2", "seed": 11}
+            job = service.submit(request)
+            summary = service.result(job.job_id, timeout=120)
+            assert not job.cached
+            # The repeat request must be a store hit, bit-identical to the
+            # freshly computed summary.
+            hit = service.submit(request)
+            assert hit.cached and hit.state == "done"
+            assert hit.result.to_dict() == summary.to_dict()
+            assert service.stats["cache_hits"] == 1
+            stored = service.store.records()
+        finally:
+            service.close()
+        assert len(stored) == 1
+        return summary, stored[0]
+
+    def test_parallel_backend_results_and_store_bit_identical_to_batch(self, tmp_path):
+        batch_summary, batch_record = self._solve(tmp_path, "batch")
+        parallel_summary, parallel_record = self._solve(
+            tmp_path, "parallel", eval_workers=2
+        )
+        assert parallel_summary.to_dict() == batch_summary.to_dict()
+        # Whole stored records (request payload, task key, result) match too.
+        assert parallel_record == batch_record
 
 
 def _blocking_execute(release: threading.Event, started: threading.Event):

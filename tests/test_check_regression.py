@@ -1,0 +1,101 @@
+"""Unit tests for the CI benchmark-regression gate (benchmarks/check_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_MODULE_PATH = Path(__file__).resolve().parent.parent / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _MODULE_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check_regression)
+
+
+def _write(path: Path, payload: dict) -> None:
+    path.write_text(json.dumps(payload))
+
+
+@pytest.fixture()
+def workspace(tmp_path):
+    """A baselines file plus a healthy set of measured benchmarks."""
+    baselines = tmp_path / "baselines.json"
+    _write(baselines, {
+        "BENCH_a.json": {"speedup": 3.0},
+        "BENCH_b.json": {"speedup": 1.5, "requests_per_second": 100.0},
+    })
+    _write(tmp_path / "BENCH_a.json", {"status": "measured", "speedup": 12.4})
+    _write(tmp_path / "BENCH_b.json",
+           {"status": "measured", "speedup": 2.0, "requests_per_second": 18000.0})
+    return tmp_path, baselines
+
+
+class TestGate:
+    def test_healthy_measurements_pass(self, workspace, capsys):
+        tmp_path, baselines = workspace
+        exit_code = check_regression.main(
+            ["--baselines", str(baselines), "--dir", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert "benchmark regression gate: ok" in capsys.readouterr().out
+
+    def test_synthetic_ratio_drop_fails(self, workspace, capsys):
+        """The acceptance scenario: a speedup below its committed floor must
+        fail the gate."""
+        tmp_path, baselines = workspace
+        _write(tmp_path / "BENCH_a.json", {"status": "measured", "speedup": 2.4})
+        exit_code = check_regression.main(
+            ["--baselines", str(baselines), "--dir", str(tmp_path)]
+        )
+        assert exit_code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "measured 2.4 < required 3" in out
+
+    def test_skipped_benchmark_passes_with_reason(self, workspace, capsys):
+        tmp_path, baselines = workspace
+        _write(tmp_path / "BENCH_a.json",
+               {"status": "skipped", "skip_reason": "runner has 1 core"})
+        exit_code = check_regression.main(
+            ["--baselines", str(baselines), "--dir", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert "runner has 1 core" in capsys.readouterr().out
+
+    def test_missing_bench_file_fails(self, workspace):
+        tmp_path, baselines = workspace
+        (tmp_path / "BENCH_a.json").unlink()
+        assert check_regression.main(
+            ["--baselines", str(baselines), "--dir", str(tmp_path)]
+        ) == 1
+
+    def test_missing_metric_fails(self, workspace):
+        tmp_path, baselines = workspace
+        _write(tmp_path / "BENCH_b.json", {"status": "measured", "speedup": 2.0})
+        assert check_regression.main(
+            ["--baselines", str(baselines), "--dir", str(tmp_path)]
+        ) == 1
+
+    def test_empty_baselines_rejected(self, tmp_path):
+        baselines = tmp_path / "baselines.json"
+        _write(baselines, {})
+        with pytest.raises(ValueError):
+            check_regression.load_baselines(str(baselines))
+
+
+class TestCommittedBaselines:
+    def test_committed_floors_match_the_benchmarks_own_minimums(self):
+        """The committed floors must agree with the MIN_SPEEDUP constants the
+        benchmark files themselves assert, so the gate and the smoke tests
+        can never disagree about what 'regressed' means."""
+        committed = check_regression.load_baselines(str(check_regression.DEFAULT_BASELINES))
+        assert committed["BENCH_batch_eval.json"]["speedup"] == 3.0
+        assert committed["BENCH_parallel_eval.json"]["speedup"] == 2.0
+        assert committed["BENCH_rpc_eval.json"]["speedup"] == 1.5
+
+    def test_gate_accepts_the_checked_in_bench_results(self):
+        """The BENCH_*.json files committed at the repo root must pass their
+        own gate (they are either healthy measurements or recorded skips)."""
+        root = Path(__file__).resolve().parent.parent
+        findings = check_regression.run(str(check_regression.DEFAULT_BASELINES), str(root))
+        bad = [f for f in findings if f["status"] == check_regression.FAIL]
+        assert not bad, bad
