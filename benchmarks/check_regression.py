@@ -9,9 +9,12 @@ silently regress.
 
 Rules:
 
-* A benchmark whose payload says ``"status": "skipped"`` passes with a note
+* A benchmark whose payload says ``"status": "skipped"`` *and* records a
+  ``skip_reason`` passes, listing every floored metric it skipped explicitly
   (constrained runners record *why* they could not measure — e.g. a
   single-core machine cannot demonstrate a multi-worker speedup).
+* A skipped payload without a recorded reason fails: "skipped" must be an
+  explicit decision, never a silent hole in coverage.
 * A missing benchmark file fails: the gate must notice when a benchmark is
   deleted or silently stops running.
 * A metric missing from a measured payload fails for the same reason.
@@ -62,11 +65,18 @@ def check_bench(path: str, floors: Dict[str, float]) -> List[Dict[str, Any]]:
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     if payload.get("status") == "skipped":
+        # List every floored metric the skip covers, so skipped floors are
+        # visible one-by-one in the gate's output instead of hiding behind a
+        # single per-file line; a skip with no recorded reason is a failure,
+        # not a free pass.
+        reason = payload.get("skip_reason")
+        status = SKIP if reason else FAIL
+        note = reason or "skipped without a recorded reason — record skip_reason or run it"
         return [{
-            "file": name, "metric": None, "status": SKIP,
-            "value": None, "floor": None,
-            "note": payload.get("skip_reason", "skipped without a recorded reason"),
-        }]
+            "file": name, "metric": metric, "status": status,
+            "value": None, "floor": floor,
+            "note": note,
+        } for metric, floor in sorted(floors.items())]
     findings = []
     for metric, floor in sorted(floors.items()):
         value = payload.get(metric)

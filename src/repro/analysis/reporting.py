@@ -30,6 +30,25 @@ def normalized_throughputs(
     return {name: result.throughput_gflops / reference_value for name, result in results.items()}
 
 
+def normalized_values_with_reference(
+    values: Mapping[str, float],
+    preferred: str = "MAGMA",
+) -> tuple[Dict[str, float], str]:
+    """Like :func:`normalized_with_reference`, for plain per-method numbers.
+
+    Seed-replicate post-processing normalises *mean* throughputs across
+    seeds rather than single :class:`SearchResult` objects; same fallback
+    semantics (the best method when *preferred* is absent).
+    """
+    if not values:
+        raise ExperimentError("cannot normalise an empty values mapping")
+    reference = preferred if preferred in values else max(values, key=lambda name: values[name])
+    reference_value = float(values[reference])
+    if reference_value <= 0:
+        raise ExperimentError("reference throughput is non-positive; cannot normalise")
+    return {name: float(value) / reference_value for name, value in values.items()}, reference
+
+
 def normalized_with_reference(
     results: Mapping[str, SearchResult],
     preferred: str = "MAGMA",

@@ -82,7 +82,14 @@ from repro.experiments import (
     spec_from_grid,
 )
 from repro.experiments.settings import list_scales
+from repro.experiments.stats import (
+    aggregate_cells,
+    cross_seed_agreement,
+    replicate_table,
+    rows_from_store,
+)
 from repro.optimizers import list_optimizers
+from repro.utils.rng import resolve_seed, set_global_seed
 from repro.utils.serialization import jsonable
 from repro.workloads import TaskType, build_task_workload, list_models
 
@@ -107,14 +114,27 @@ def _cmd_list(_: argparse.Namespace) -> int:
     return 0
 
 
+def _session_seed(args: argparse.Namespace) -> int:
+    """The run's governing seed: ``--seed`` → ``REPRO_SEED`` → 0.
+
+    The resolved value is installed as the session seed so every seed
+    consumer of the command — including any left unseeded — derives from
+    the same documented policy (see ``docs/DETERMINISM.md``).
+    """
+    seed = resolve_seed(getattr(args, "seed", None), default=0)
+    set_global_seed(seed, source="cli")
+    return seed
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     """Run a single mapping search and print the result summary."""
+    seed = _session_seed(args)
     platform = build_setting(args.setting, args.bandwidth)
     task = TaskType(args.task)
     group = build_task_workload(
         task,
         group_size=args.group_size,
-        seed=args.seed,
+        seed=seed,
         num_sub_accelerators=platform.num_sub_accelerators,
     )[0]
     explorer = M3E(
@@ -123,7 +143,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         warm_store=_warm_library(args),
         **_eval_kwargs(args),
     )
-    result = explorer.search(group, optimizer=args.optimizer, seed=args.seed)
+    result = explorer.search(group, optimizer=args.optimizer, seed=seed)
     print(platform.describe())
     print(
         f"optimizer={result.optimizer_name} throughput={result.throughput_gflops:.2f} GFLOP/s "
@@ -143,7 +163,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         TaskType(args.task),
         methods=args.optimizers,
         scale=scale,
-        seed=args.seed,
+        seed=_session_seed(args),
         **_eval_kwargs(args),
     )
     report = ComparisonReport(
@@ -165,7 +185,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     output = run_scenario(
         args.name,
         scale=args.scale,
-        seed=args.seed,
+        seed=_session_seed(args),
         warm_store=_warm_library(args),
         **_eval_kwargs(args),
     )
@@ -196,10 +216,22 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         scenarios,
         store=args.out,
         resume=args.resume,
-        base_seed=args.seed,
+        base_seed=_session_seed(args),
+        seed_replicates=args.seeds,
         progress=print,
     )
     print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    if args.seeds:
+        rows = rows_from_store(args.out)
+        print(replicate_table(
+            aggregate_cells(rows),
+            title=f"throughput_gflops across {args.seeds} seed replicates (mean ± std)",
+        ))
+        for key, info in cross_seed_agreement(rows).items():
+            print(
+                f"agreement {key}: winner={info['winner']} "
+                f"agreement={info['agreement']:.2f} over {info['num_seeds']} seed(s)"
+            )
     return 0
 
 
@@ -287,7 +319,9 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "task": args.task,
         "objective": args.objective,
         "method": args.optimizer,
-        "seed": args.seed,
+        # Resolve client-side so the submitted (and fingerprinted) payload
+        # reflects this client's --seed/REPRO_SEED, not the server's.
+        "seed": resolve_seed(args.seed, default=0),
     }
     if args.group_size is not None:
         request["group_size"] = args.group_size
@@ -325,6 +359,14 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         reply = call(f"/result/{job_id}")
     print(json.dumps(reply, indent=2, sort_keys=True))
     return 0
+
+
+def _add_seed_option(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--seed`` flag (unset defers to ``REPRO_SEED``, then 0)."""
+    parser.add_argument(
+        "--seed", type=int, default=None, metavar="SEED",
+        help="governing seed for the run (default: $REPRO_SEED if set, else 0)",
+    )
 
 
 def _add_warm_store_option(parser: argparse.ArgumentParser) -> None:
@@ -403,7 +445,7 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--optimizer", default="magma")
     search.add_argument("--group-size", type=int, default=100)
     search.add_argument("--budget", type=int, default=10_000)
-    search.add_argument("--seed", type=int, default=0)
+    _add_seed_option(search)
     _add_eval_backend_options(search)
     _add_warm_store_option(search)
     search.add_argument("--show-schedule", action="store_true")
@@ -415,14 +457,14 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--task", default="mix", choices=[t.value for t in TaskType])
     compare.add_argument("--optimizers", nargs="+", default=["herald-like", "ai-mt-like", "stdga", "magma"])
     compare.add_argument("--scale", default=None, choices=list_scales())
-    compare.add_argument("--seed", type=int, default=0)
+    _add_seed_option(compare)
     _add_eval_backend_options(compare)
     compare.set_defaults(func=_cmd_compare)
 
     experiment = subparsers.add_parser("experiment", help="run one registered scenario")
     experiment.add_argument("name", choices=list_scenarios())
     experiment.add_argument("--scale", default=None, choices=list_scales())
-    experiment.add_argument("--seed", type=int, default=0)
+    _add_seed_option(experiment)
     _add_eval_backend_options(experiment)
     _add_warm_store_option(experiment)
     experiment.set_defaults(func=_cmd_experiment)
@@ -452,7 +494,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL results store (default: campaign_results.jsonl)",
     )
     campaign.add_argument("--scale", default=None, choices=list_scales())
-    campaign.add_argument("--seed", type=int, default=0)
+    _add_seed_option(campaign)
+    campaign.add_argument(
+        "--seeds", type=int, default=None, metavar="N",
+        help="run every cell under N seed replicates (seeds 0..N-1) and print "
+        "per-cell mean ± std plus cross-seed winner agreement",
+    )
     _add_eval_backend_options(campaign)
     _add_warm_store_option(campaign)
     campaign.set_defaults(func=_cmd_campaign)
@@ -499,7 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--task", default="mix", choices=[t.value for t in TaskType])
     submit.add_argument("--objective", default="throughput", choices=list_objectives())
     submit.add_argument("--optimizer", default="magma")
-    submit.add_argument("--seed", type=int, default=0)
+    _add_seed_option(submit)
     submit.add_argument("--group-size", type=int, default=None)
     submit.add_argument("--budget", type=int, default=None)
     submit.add_argument(

@@ -97,6 +97,7 @@ class MappingEvaluator:
         num_workers: Optional[int] = None,
         eval_hosts: "str | Sequence[str] | None" = None,
         rpc_token: Optional[str] = None,
+        resolved_seed: Optional[int] = None,
     ):
         if backend not in EVAL_BACKENDS:
             raise ConfigurationError(
@@ -106,6 +107,9 @@ class MappingEvaluator:
         self.platform = platform
         self.objective = get_objective(objective)
         self.backend = backend
+        #: The search's resolved seed (recorded here so worker bootstraps in
+        #: the parallel/rpc backends carry it instead of re-deriving one).
+        self.resolved_seed = resolved_seed
         self.codec = MappingCodec(
             num_jobs=group.size,
             num_sub_accelerators=platform.num_sub_accelerators,
@@ -125,6 +129,7 @@ class MappingEvaluator:
             allocator=self.batch_allocator,
             table=self.table,
             objective=self.objective,
+            resolved_seed=resolved_seed,
         )
         self._pool: "Optional[ParallelEvaluationPool | RpcEvaluationPool]" = None
         if num_workers is not None and backend != "parallel":
@@ -140,7 +145,8 @@ class MappingEvaluator:
         if backend == "parallel":
             self._pool = ParallelEvaluationPool(
                 spec=EvaluatorSpec.capture(
-                    self.codec, self.batch_allocator, self.table, self.objective
+                    self.codec, self.batch_allocator, self.table, self.objective,
+                    resolved_seed=resolved_seed,
                 ),
                 num_workers=num_workers,
             )
@@ -150,7 +156,8 @@ class MappingEvaluator:
             # never depend on fleet health.
             self._pool = RpcEvaluationPool(
                 spec=EvaluatorSpec.capture(
-                    self.codec, self.batch_allocator, self.table, self.objective
+                    self.codec, self.batch_allocator, self.table, self.objective,
+                    resolved_seed=resolved_seed,
                 ),
                 hosts=eval_hosts,
                 token=rpc_token,

@@ -189,8 +189,18 @@ class M3E:
         """
         return self._table_cache.get_or_build(self.platform, group, self._analyzer)
 
-    def build_evaluator(self, group: JobGroup, sampling_budget: Optional[int] = None) -> MappingEvaluator:
-        """Construct the fitness evaluator for a group (pre-processing step)."""
+    def build_evaluator(
+        self,
+        group: JobGroup,
+        sampling_budget: Optional[int] = None,
+        resolved_seed: Optional[int] = None,
+    ) -> MappingEvaluator:
+        """Construct the fitness evaluator for a group (pre-processing step).
+
+        ``resolved_seed`` is the search's concrete seed (when known): the
+        parallel/rpc backends carry it into their worker bootstraps so
+        workers never re-derive their own.
+        """
         return MappingEvaluator(
             group=group,
             platform=self.platform,
@@ -201,6 +211,7 @@ class M3E:
             num_workers=self.eval_workers,
             eval_hosts=self.eval_hosts,
             rpc_token=self.rpc_token,
+            resolved_seed=resolved_seed,
         )
 
     # ------------------------------------------------------------------
@@ -226,13 +237,18 @@ class M3E:
         from repro.optimizers import build_optimizer
         from repro.optimizers.base import BaseOptimizer
 
-        evaluator = self.build_evaluator(group, sampling_budget)
+        # The algorithm is built first so its governing seed policy is known
+        # before the evaluator exists: the parallel/rpc backends thread the
+        # resolved seed into their worker bootstraps.
         if isinstance(optimizer, BaseOptimizer):
             algorithm = optimizer
             if seed is not None:
                 algorithm.reseed(seed)
         else:
             algorithm = build_optimizer(optimizer, seed=seed, **(optimizer_options or {}))
+        seed_policy = getattr(algorithm, "seed_policy", None)
+        resolved_seed = seed_policy.resolved_seed if seed_policy is not None else None
+        evaluator = self.build_evaluator(group, sampling_budget, resolved_seed=resolved_seed)
 
         if initial_encodings is None and self.warm_store is not None:
             # Perturbations of the extra warm seeds must be reproducible: with
@@ -271,6 +287,12 @@ class M3E:
                 detail.fitness,
                 objective=evaluator.objective.name,
             )
+        metadata = dict(algorithm.metadata)
+        if seed_policy is not None:
+            # Record the seed that governed this search so replays (service,
+            # campaign store, figure post-hooks) know their provenance.
+            metadata.setdefault("resolved_seed", resolved_seed)
+            metadata.setdefault("seed_source", seed_policy.source)
         return SearchResult(
             best_encoding=np.asarray(best_encoding, dtype=float),
             best_mapping=detail.mapping,
@@ -280,7 +302,7 @@ class M3E:
             history=evaluator.history,
             schedule=schedule,
             optimizer_name=algorithm.name,
-            metadata=dict(algorithm.metadata),
+            metadata=metadata,
         )
 
     def compare(

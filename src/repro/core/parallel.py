@@ -123,6 +123,11 @@ class EvaluatorSpec:
     energy_joules: np.ndarray
     dram_traffic_bytes: np.ndarray
     job_flops: np.ndarray
+    #: The search's resolved seed, carried to every worker so worker-side
+    #: randomness (if any is ever added) derives from the coordinator's seed
+    #: policy instead of being re-resolved per process.  ``None`` when the
+    #: search itself is unseeded.
+    resolved_seed: Optional[int] = None
 
     @classmethod
     def capture(
@@ -131,6 +136,7 @@ class EvaluatorSpec:
         allocator: BatchBandwidthAllocator,
         table: JobAnalysisTable,
         objective: Objective | str,
+        resolved_seed: Optional[int] = None,
     ) -> "EvaluatorSpec":
         """Snapshot an evaluator's state into a spec (arrays are shared, not copied)."""
         return cls(
@@ -144,6 +150,7 @@ class EvaluatorSpec:
             energy_joules=table.energy_joules,
             dram_traffic_bytes=table.dram_traffic_bytes,
             job_flops=table.job_flops,
+            resolved_seed=resolved_seed,
         )
 
     def build_rig(self) -> "SimulationRig":
@@ -166,6 +173,7 @@ class EvaluatorSpec:
             ),
             table=table,
             objective=self.objective,
+            resolved_seed=self.resolved_seed,
         )
 
 
@@ -184,11 +192,14 @@ class SimulationRig:
         allocator: BatchBandwidthAllocator,
         table: JobAnalysisTable,
         objective: Objective,
+        resolved_seed: Optional[int] = None,
     ):
         self.codec = codec
         self.allocator = allocator
         self.table = table
         self.objective = objective
+        #: The coordinating search's resolved seed (see EvaluatorSpec).
+        self.resolved_seed = resolved_seed
 
     def fitnesses_for_rows(self, rows: np.ndarray) -> np.ndarray:
         """Fitness of each (already repaired) encoding row, in row order."""
@@ -223,9 +234,20 @@ _WORKER_RIG: Optional[SimulationRig] = None
 
 
 def _bootstrap_worker(spec: EvaluatorSpec) -> None:
-    """Pool initializer: rebuild the evaluation state once per worker."""
+    """Pool initializer: rebuild the evaluation state once per worker.
+
+    The coordinator's resolved seed travels inside the spec: a parallel
+    worker is dedicated to one coordinator, so installing it as the worker's
+    session seed means any worker-side randomness derives from the search's
+    own seed policy rather than re-resolving (or falling back to entropy)
+    in the child process.
+    """
     global _WORKER_RIG
     _WORKER_RIG = spec.build_rig()
+    if spec.resolved_seed is not None:
+        from repro.utils.rng import set_global_seed
+
+        set_global_seed(spec.resolved_seed, source="worker-bootstrap")
 
 
 def _evaluate_shard(rows: np.ndarray) -> np.ndarray:

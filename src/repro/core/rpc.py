@@ -378,6 +378,11 @@ class EvalWorkerServer:
         return True
 
     def _build_rig(self, spec: EvaluatorSpec) -> SimulationRig:
+        # The coordinator's resolved seed arrives inside the bootstrap spec
+        # and lands on the per-connection rig.  Unlike the parallel backend's
+        # dedicated workers, one RPC worker serves many coordinators
+        # concurrently, so the seed stays connection-scoped (on the rig)
+        # rather than being installed as this process's session seed.
         return spec.build_rig()
 
     def _eval(self, rig: SimulationRig, rows: np.ndarray) -> np.ndarray:

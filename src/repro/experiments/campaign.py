@@ -37,6 +37,7 @@ from repro.experiments.scenarios import (
     _fingerprint,
     get_scenario,
     run_scenario,
+    with_seed_replicates,
 )
 from repro.experiments.settings import ExperimentScale, get_scale
 from repro.utils.jsonl_store import AppendOnlyJsonlStore
@@ -227,6 +228,7 @@ class CampaignRunner:
         store: "CampaignResultsStore | str | None" = None,
         resume: bool = False,
         base_seed: int = 0,
+        seed_replicates: Optional[int] = None,
         progress: Optional[Callable[[str], None]] = None,
     ) -> CampaignReport:
         """Run scenarios as one flat, deduplicated, resumable cell stream.
@@ -234,9 +236,16 @@ class CampaignRunner:
         Grid scenarios expand into cells; custom scenarios run as a single
         unit keyed by a ``(scenario, scale, seed)`` fingerprint.  With
         ``resume=True`` the store's existing fingerprints are skipped;
-        otherwise the store is truncated first.
+        otherwise the store is truncated first.  ``seed_replicates=N``
+        replicates every grid scenario across seeds ``0..N-1`` (shifted by
+        ``base_seed``), feeding the seed-replicate statistics layer
+        (:mod:`repro.experiments.stats`); replication happens *before*
+        fingerprinting, so an interrupted multi-seed campaign resumes to the
+        same byte-identical store an uninterrupted one writes.
         """
         specs = [get_scenario(s) if isinstance(s, str) else s for s in scenarios]
+        if seed_replicates is not None:
+            specs = [with_seed_replicates(spec, seed_replicates) for spec in specs]
         if isinstance(store, str):
             store = CampaignResultsStore(store)
 

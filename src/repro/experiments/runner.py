@@ -18,8 +18,9 @@ resumable ``repro campaign`` engine.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import replace
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -27,7 +28,7 @@ from repro.accelerator import build_setting
 from repro.analysis.convergence import ConvergenceCurve, convergence_from_history
 from repro.analysis.gantt import schedule_to_bandwidth_series, schedule_to_gantt
 from repro.analysis.pca import project_encodings
-from repro.analysis.reporting import normalized_with_reference
+from repro.analysis.reporting import normalized_values_with_reference, normalized_with_reference
 from repro.core.analyzer import JobAnalyzer
 from repro.core.evaluator import DEFAULT_EVAL_BACKEND
 from repro.core.framework import M3E, SearchResult
@@ -39,8 +40,16 @@ from repro.experiments.scenarios import (
     ScenarioRun,
     ScenarioSpec,
     default_optimizer_options,
+    default_post_process,
     register_scenario,
     run_scenario,
+)
+from repro.experiments.stats import (
+    MetricStats,
+    aggregate_cells,
+    cross_seed_agreement,
+    replicate_table,
+    rows_from_run,
 )
 from repro.experiments.settings import ExperimentScale, get_scale
 from repro.optimizers import build_optimizer
@@ -207,23 +216,56 @@ def run_fig7_job_analysis(
 # ----------------------------------------------------------------------
 # Fig. 8 — Homogeneous small accelerator (S1, BW=16), four tasks
 # ----------------------------------------------------------------------
+def _replicate_throughputs(
+    by_panel_seed: "OrderedDict",
+    label: str,
+    seeds: Sequence[int],
+) -> "OrderedDict[str, List[float]]":
+    """Per-method throughput lists for one panel across seed replicates."""
+    per_method: "OrderedDict[str, List[float]]" = OrderedDict()
+    for seed in seeds:
+        for name, result in by_panel_seed.get((label, seed), {}).items():
+            per_method.setdefault(name, []).append(float(result.throughput_gflops))
+    return per_method
+
+
 def _fig8_post(run: ScenarioRun) -> Dict[str, Any]:
     panels = run.panel_map()
+    seeds = run.seeds()
     absolute: Dict[str, Dict[str, float]] = {}
     normalized: Dict[str, Dict[str, float]] = {}
     references: Dict[str, str] = {}
-    for label, results in run.by_panel().items():
-        task = panels[label].task
-        absolute[task] = _throughputs(results)
-        normalized[task], references[task] = normalized_with_reference(results, "MAGMA")
+    replicates: Dict[str, Dict[str, Dict[str, float]]] = {}
+    if len(seeds) <= 1:
+        # Single-seed: the historical path, byte-identical output.
+        for label, results in run.by_panel().items():
+            task = panels[label].task
+            absolute[task] = _throughputs(results)
+            normalized[task], references[task] = normalized_with_reference(results, "MAGMA")
+    else:
+        # Seed-replicated: normalise per-method *means* and report uncertainty.
+        by_panel_seed = run.by_panel_and_seed()
+        for label, panel in panels.items():
+            per_method = _replicate_throughputs(by_panel_seed, label, seeds)
+            stats = {name: MetricStats.from_values(vals) for name, vals in per_method.items()}
+            absolute[panel.task] = {name: s.mean for name, s in stats.items()}
+            normalized[panel.task], references[panel.task] = normalized_values_with_reference(
+                absolute[panel.task], "MAGMA"
+            )
+            replicates[panel.task] = {name: s.to_dict() for name, s in stats.items()}
     first = next(iter(panels.values()))
-    return {
+    output = {
         "setting": first.setting,
         "bandwidth_gbps": first.bandwidth_gbps,
         "absolute": absolute,
         "normalized": normalized,
         "normalized_reference": references,
     }
+    if len(seeds) > 1:
+        output["seeds"] = seeds
+        output["replicates"] = replicates
+        output["cross_seed_agreement"] = cross_seed_agreement(rows_from_run(run.cells, run.results))
+    return output
 
 
 def run_fig8_homogeneous(
@@ -241,13 +283,27 @@ def run_fig8_homogeneous(
 # ----------------------------------------------------------------------
 def _fig9_post(run: ScenarioRun) -> Dict[str, Any]:
     panels = run.panel_map()
+    seeds = run.seeds()
     absolute: Dict[str, Dict[str, float]] = {}
     normalized: Dict[str, Dict[str, float]] = {}
     references: Dict[str, str] = {}
-    for label, results in run.by_panel().items():
-        absolute[label] = _throughputs(results)
-        normalized[label], references[label] = normalized_with_reference(results, "MAGMA")
-    return {
+    replicates: Dict[str, Dict[str, Dict[str, float]]] = {}
+    if len(seeds) <= 1:
+        # Single-seed: the historical path, byte-identical output.
+        for label, results in run.by_panel().items():
+            absolute[label] = _throughputs(results)
+            normalized[label], references[label] = normalized_with_reference(results, "MAGMA")
+    else:
+        by_panel_seed = run.by_panel_and_seed()
+        for label in panels:
+            per_method = _replicate_throughputs(by_panel_seed, label, seeds)
+            stats = {name: MetricStats.from_values(vals) for name, vals in per_method.items()}
+            absolute[label] = {name: s.mean for name, s in stats.items()}
+            normalized[label], references[label] = normalized_values_with_reference(
+                absolute[label], "MAGMA"
+            )
+            replicates[label] = {name: s.to_dict() for name, s in stats.items()}
+    output = {
         "panels": {
             label: (panel.setting, panel.bandwidth_gbps, TaskType(panel.task))
             for label, panel in panels.items()
@@ -256,6 +312,11 @@ def _fig9_post(run: ScenarioRun) -> Dict[str, Any]:
         "normalized": normalized,
         "normalized_reference": references,
     }
+    if len(seeds) > 1:
+        output["seeds"] = seeds
+        output["replicates"] = replicates
+        output["cross_seed_agreement"] = cross_seed_agreement(rows_from_run(run.cells, run.results))
+    return output
 
 
 def run_fig9_heterogeneous(
@@ -817,6 +878,26 @@ OBJECTIVE_SWEEP = register_scenario(ScenarioSpec(
     objectives=("throughput", "latency", "energy", "edp", "performance_per_watt"),
 ), overwrite=True)
 
+def _seed_replicates_post(run: ScenarioRun) -> Dict[str, Any]:
+    """Per-cell rows plus cross-seed uncertainty statistics.
+
+    On top of the generic per-cell summary this reports mean ± std (and
+    min/max) of every result metric per replicate group, the cross-seed
+    winner agreement per comparison, and a rendered uncertainty table.
+    """
+    output = default_post_process(run)
+    rows = rows_from_run(run.cells, run.results)
+    aggregates = aggregate_cells(rows)
+    output["seeds"] = run.seeds()
+    output["replicates"] = [aggregate.to_dict() for aggregate in aggregates]
+    output["cross_seed_agreement"] = cross_seed_agreement(rows)
+    output["table"] = replicate_table(
+        aggregates,
+        title="throughput_gflops across seed replicates (mean ± std)",
+    )
+    return output
+
+
 SEED_REPLICATES = register_scenario(ScenarioSpec(
     name="seed-replicates",
     description="Seed-replicated method comparison on (Mix, S2, BW=16)",
@@ -825,4 +906,5 @@ SEED_REPLICATES = register_scenario(ScenarioSpec(
     tasks=("mix",),
     methods=("herald-like", "stdga", "magma"),
     seeds=(0, 1, 2),
+    post_process=_seed_replicates_post,
 ), overwrite=True)

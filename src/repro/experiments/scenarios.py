@@ -343,6 +343,24 @@ class ScenarioRun:
             bucket[unique_key(result.optimizer_name, bucket)] = result
         return grouped
 
+    def seeds(self) -> List[int]:
+        """Distinct cell seeds, in expansion order (one entry per replicate)."""
+        return list(dict.fromkeys(cell.seed for cell in self.cells))
+
+    def by_panel_and_seed(self) -> "OrderedDict[Tuple[str, int], Dict[str, SearchResult]]":
+        """Like :meth:`by_panel`, but seed replicates stay separate.
+
+        Post-processing hooks that aggregate across seed replicates
+        (mean ± std, cross-seed agreement) need per-seed method maps;
+        :meth:`by_panel` would suffix same-named methods from different
+        seeds as collisions instead.
+        """
+        grouped: "OrderedDict[Tuple[str, int], Dict[str, SearchResult]]" = OrderedDict()
+        for cell, result in zip(self.cells, self.results):
+            bucket = grouped.setdefault((cell.panel, cell.seed), {})
+            bucket[unique_key(result.optimizer_name, bucket)] = result
+        return grouped
+
 
 def default_post_process(run: ScenarioRun) -> Dict[str, Any]:
     """Generic scenario output: one summary row per executed cell."""
@@ -442,6 +460,25 @@ def run_scenario(
     run = ScenarioRun(spec=spec, context=context, cells=cells, results=results)
     post = spec.post_process or default_post_process
     return post(run)
+
+
+def with_seed_replicates(spec: ScenarioSpec, count: int) -> ScenarioSpec:
+    """The spec, replicated across seeds ``0..count-1``.
+
+    This is the axis behind ``repro-magma campaign --seeds N``: every grid
+    cell runs once per seed offset (the campaign's ``base_seed`` still
+    shifts all of them), feeding the seed-replicate statistics layer
+    (:mod:`repro.experiments.stats`).  Custom scenarios have no cell grid to
+    replicate and are returned unchanged.
+    """
+    if count <= 0:
+        raise ExperimentError(f"seed replicate count must be positive, got {count}")
+    if spec.is_custom:
+        return spec
+    from dataclasses import replace
+
+    seeds = tuple(range(count))
+    return spec if spec.seeds == seeds else replace(spec, seeds=seeds)
 
 
 def spec_from_grid(grid: Dict[str, Any]) -> ScenarioSpec:

@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.core.evaluator import MappingEvaluator
 from repro.exceptions import OptimizationError
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, SeedPolicy
 
 
 def ranked_finite(fitnesses: np.ndarray) -> np.ndarray:
@@ -60,16 +60,62 @@ class BaseOptimizer(abc.ABC):
     is_rl: bool = False
 
     def __init__(self, seed: SeedLike = None, name: Optional[str] = None):
-        self.rng = ensure_rng(seed)
         self.name = name or self.default_name
+        #: The governing seed policy (see :mod:`repro.utils.rng`): explicit
+        #: seed, session substream, or unset (error under pytest).
+        self.seed_policy = SeedPolicy.resolve(seed)
+        self._rng: Optional[np.random.Generator] = None
         #: Free-form dictionary of algorithm-specific diagnostics, surfaced in
         #: :class:`~repro.core.framework.SearchResult.metadata`.
         self.metadata: Dict[str, Any] = {}
 
+    @property
+    def rng(self) -> np.random.Generator:
+        """The algorithm's root random stream.
+
+        Materialised on first use, so *constructing* an optimizer without a
+        seed is fine (e.g. to inspect hyper-parameter defaults) — only
+        actually drawing unseeded randomness trips the policy's
+        unset-is-error-under-pytest rule.
+        """
+        if self._rng is None:
+            self._rng = self.seed_policy.generator()
+        return self._rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self._rng = value
+
     # ------------------------------------------------------------------
     def reseed(self, seed: SeedLike) -> None:
-        """Replace the algorithm's random stream (used by M3E.compare)."""
-        self.rng = ensure_rng(seed)
+        """Replace the algorithm's *entire* random state (used by M3E.compare).
+
+        Rebuilds the policy and the root stream, then gives subclasses a
+        chance to rebuild any component-local generators via
+        :meth:`_reseed_components` — a reseeded optimizer must be
+        bit-identical to a freshly constructed one with the same seed.
+        """
+        self.seed_policy = SeedPolicy.resolve(seed)
+        self._rng = None
+        self._reseed_components()
+
+    def _reseed_components(self) -> None:
+        """Hook for subclasses holding generators besides ``self.rng``.
+
+        Any optimizer that caches a component-local generator (rather than
+        deriving it per-``optimize`` call via :meth:`stream`) must rebuild it
+        here, or :meth:`reseed` silently leaves stale streams behind.
+        """
+
+    def stream(self, name: str) -> np.random.Generator:
+        """A named substream for an optimizer component (reseed-safe).
+
+        Namespaced as ``optimizer/<optimizer-name>/<name>`` so two
+        optimizers (or two components) never collide.  Derive component
+        generators (RL network init, operator-local noise) through this
+        rather than caching draws of ``self.rng``.
+        """
+        return self.seed_policy.stream(f"optimizer/{self.name}/{name}")
 
     @abc.abstractmethod
     def optimize(

@@ -21,7 +21,7 @@ from repro.accelerator import AcceleratorPlatform
 from repro.core.framework import M3E
 from repro.exceptions import OptimizationError
 from repro.optimizers.magma import MagmaConfig, MagmaOptimizer
-from repro.utils.rng import SeedLike, ensure_rng
+from repro.utils.rng import SeedLike, SeedPolicy
 from repro.utils.tables import geometric_mean
 from repro.workloads.groups import JobGroup
 
@@ -90,7 +90,8 @@ class MagmaHyperParameterTuner:
         self.problems = list(problems)
         self.sampling_budget_per_run = sampling_budget_per_run
         self.space = space or HyperParameterSpace()
-        self.rng = ensure_rng(seed)
+        self.seed_policy = SeedPolicy.resolve(seed)
+        self.rng = self.seed_policy.stream("tuner/magma-hyperparams")
         self.trials: List[TuningTrial] = []
 
     # ------------------------------------------------------------------

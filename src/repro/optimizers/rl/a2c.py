@@ -88,8 +88,11 @@ class A2COptimizer(BaseOptimizer):
         ]
         spec = envs[0].spec
         hidden = [self.hidden_size] * self.num_hidden_layers
-        policy = MLP([spec.observation_size, *hidden, spec.num_actions], rng=self.rng)
-        critic = MLP([spec.observation_size, *hidden, 1], rng=self.rng)
+        # Network init comes from named substreams, not draws of self.rng:
+        # reseed() then rebuilds them exactly, and the action-sampling stream
+        # is insensitive to how many weights the networks have.
+        policy = MLP([spec.observation_size, *hidden, spec.num_actions], rng=self.stream("policy-init"))
+        critic = MLP([spec.observation_size, *hidden, 1], rng=self.stream("critic-init"))
         policy_opt = RMSPropOptimizer(learning_rate=self.learning_rate)
         critic_opt = RMSPropOptimizer(learning_rate=self.learning_rate)
         normalizer = _RunningNormalizer()

@@ -69,8 +69,10 @@ class PPOOptimizer(BaseOptimizer):
         env = SequentialMappingEnv(evaluator, self.num_priority_buckets)
         spec = env.spec
         hidden = [self.hidden_size] * self.num_hidden_layers
-        policy = MLP([spec.observation_size, *hidden, spec.num_actions], rng=self.rng)
-        critic = MLP([spec.observation_size, *hidden, 1], rng=self.rng)
+        # Named substreams (not self.rng draws) so reseed() rebuilds the
+        # exact same networks and action sampling is layout-insensitive.
+        policy = MLP([spec.observation_size, *hidden, spec.num_actions], rng=self.stream("policy-init"))
+        critic = MLP([spec.observation_size, *hidden, 1], rng=self.stream("critic-init"))
         policy_opt = AdamOptimizer(learning_rate=self.learning_rate)
         critic_opt = AdamOptimizer(learning_rate=self.learning_rate)
 

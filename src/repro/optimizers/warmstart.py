@@ -152,9 +152,12 @@ class WarmStartEngine:
         if task_key not in self._memory:
             return None
         stored = self._memory[task_key]
-        generator = ensure_rng(rng)
         base = self._adapt(stored, codec)
         suggestions = [base]
+        # The verbatim first suggestion needs no randomness; only resolve a
+        # generator (and thus the seed policy) when mutated copies are asked
+        # for — see docs/DETERMINISM.md.
+        generator = ensure_rng(rng) if count > 1 else None
         for _ in range(count - 1):
             noisy = base.copy()
             genome = codec.genome_length

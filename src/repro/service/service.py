@@ -38,6 +38,7 @@ from repro.experiments.scenarios import default_optimizer_options
 from repro.experiments.settings import ExperimentScale
 from repro.service.store import SolutionStore
 from repro.service.warmlib import WarmStartLibrary
+from repro.utils.rng import resolve_seed
 from repro.utils.serialization import SearchResultSummary, payload_fingerprint
 from repro.workloads.benchmark import TaskType
 
@@ -72,7 +73,7 @@ class MappingRequest:
     task: str = "mix"
     objective: str = "throughput"
     method: str = "magma"
-    seed: int = 0
+    seed: Optional[int] = None
     group_size: Optional[int] = None
     budget: Optional[int] = None
 
@@ -105,7 +106,14 @@ class MappingRequest:
         objective = _expect_str("objective", self.objective)
         method = _expect_str("method", self.method).lower()
         bandwidth_gbps = _coerce("bandwidth_gbps", self.bandwidth_gbps, float)
-        seed = _coerce("seed", self.seed, int)
+        # Resolve the seed at submit time so the fingerprinted payload always
+        # carries a concrete int: explicit request seed wins, then the
+        # session policy (CLI --seed / REPRO_SEED), then 0 — which keeps
+        # fingerprints of historical seed-less submissions stable and makes
+        # replaying a stored payload bit-identical regardless of the
+        # replayer's own session seed.
+        explicit = None if self.seed is None else _coerce("seed", self.seed, int)
+        seed = resolve_seed(explicit, default=0)
         if setting not in list_settings():
             raise ServiceError(
                 f"unknown setting {setting!r}; available: {list_settings()}"

@@ -13,8 +13,22 @@ from repro.accelerator import AcceleratorPlatform, SubAcceleratorConfig, build_s
 from repro.core.analyzer import JobAnalyzer
 from repro.core.evaluator import MappingEvaluator
 from repro.costmodel import DataflowStyle
+from repro.utils.rng import clear_global_seed
 from repro.workloads import TaskType, build_task_workload
 from repro.workloads.groups import JobGroup
+
+
+@pytest.fixture(autouse=True)
+def _isolated_seed_policy():
+    """No session seed leaks between tests.
+
+    CLI commands install the resolved ``--seed`` as the process-wide session
+    seed (see docs/DETERMINISM.md); a test that runs ``main([...])`` must not
+    silently seed every later test's "unseeded" paths.
+    """
+    clear_global_seed()
+    yield
+    clear_global_seed()
 
 
 @pytest.fixture()

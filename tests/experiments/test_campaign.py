@@ -210,3 +210,78 @@ class TestEngineByName:
         # 3 methods x 3 seeds on one panel.
         assert report.cells_total == 9
         assert report.cells_run == 9
+
+
+class TestSeedReplicates:
+    """The --seeds axis: replication before fingerprinting, stats after."""
+
+    def test_seed_replicates_expand_every_grid_cell(self, grid_spec, tmp_path):
+        report = fresh_engine().run(
+            [grid_spec], store=str(tmp_path / "out.jsonl"), seed_replicates=2
+        )
+        assert report.cells_total == report.cells_run == 16
+
+    def test_interrupted_multi_seed_campaign_resumes_byte_identical(
+        self, grid_spec, tmp_path
+    ):
+        """Acceptance: an interrupted --seeds campaign resumed to completion
+        is byte-identical to an uninterrupted one, with identical aggregate
+        statistics."""
+        from repro.experiments.stats import replicate_summary, rows_from_store
+
+        full_path = tmp_path / "full.jsonl"
+        fresh_engine().run([grid_spec], store=str(full_path), seed_replicates=2)
+        full_lines = full_path.read_text().splitlines()
+        assert len(full_lines) == 16
+
+        # Simulate an interruption after 5 completed cells (mid-replicate).
+        partial_path = tmp_path / "partial.jsonl"
+        partial_path.write_text("\n".join(full_lines[:5]) + "\n")
+        report = fresh_engine().run(
+            [grid_spec], store=str(partial_path), resume=True, seed_replicates=2
+        )
+        assert report.cells_skipped == 5
+        assert report.cells_run == 11
+        assert partial_path.read_text() == full_path.read_text()
+
+        full_stats = replicate_summary(rows_from_store(str(full_path)))
+        resumed_stats = replicate_summary(rows_from_store(str(partial_path)))
+        assert resumed_stats == full_stats
+
+    def test_replicated_store_aggregates_with_uncertainty(self, grid_spec, tmp_path):
+        from repro.experiments.stats import replicate_summary, rows_from_store
+
+        path = tmp_path / "out.jsonl"
+        fresh_engine().run([grid_spec], store=str(path), seed_replicates=3)
+        summary = replicate_summary(rows_from_store(str(path)))
+        assert summary["num_cells"] == 24
+        assert summary["num_groups"] == 8
+        for group in summary["replicates"]:
+            assert group["seeds"] == [0, 1, 2]
+            stats = group["metrics"]["throughput_gflops"]
+            assert stats["count"] == 3
+            assert stats["min"] <= stats["mean"] <= stats["max"]
+            assert stats["std"] >= 0.0
+        agreement = summary["cross_seed_agreement"]
+        assert agreement
+        for info in agreement.values():
+            assert info["num_seeds"] == 3
+            assert 0.0 < info["agreement"] <= 1.0
+            assert info["winner"] in {"herald-like", "magma"}
+
+    def test_replication_happens_before_fingerprinting(self, grid_spec, tmp_path):
+        """A single-seed store is a strict prefix-compatible subset of the
+        replicated one: seed 0 cells share fingerprints across both runs."""
+        single = tmp_path / "single.jsonl"
+        multi = tmp_path / "multi.jsonl"
+        fresh_engine().run([grid_spec], store=str(single))
+        fresh_engine().run([grid_spec], store=str(multi), seed_replicates=2)
+        single_fps = {json.loads(l)["fingerprint"] for l in single.read_text().splitlines()}
+        multi_fps = {json.loads(l)["fingerprint"] for l in multi.read_text().splitlines()}
+        assert single_fps < multi_fps
+
+    def test_non_positive_replicate_count_rejected(self, grid_spec):
+        from repro.exceptions import ExperimentError
+
+        with pytest.raises(ExperimentError, match="positive"):
+            fresh_engine().run([grid_spec], seed_replicates=0)

@@ -128,3 +128,53 @@ class TestTable5:
         assert average["trf_full"] == pytest.approx(1.0)
         assert average["trf_30_ep"] <= 1.5
         assert average["trf_1_ep"] >= average["raw"] * 0.5
+
+
+class TestSeedReplicatedFigures:
+    """Multi-seed runs of the figure scenarios report uncertainty; single-
+    seed runs keep their historical output shape."""
+
+    def _fig9_small(self, seeds):
+        from dataclasses import replace
+
+        from repro.experiments.runner import FIG9
+        from repro.experiments.scenarios import run_scenario, with_seed_replicates
+
+        spec = replace(FIG9, methods=("herald-like", "magma"))
+        if seeds > 1:
+            spec = with_seed_replicates(spec, seeds)
+        return run_scenario(spec, scale=get_scale("tiny"), seed=0)
+
+    def test_single_seed_output_has_no_replicate_keys(self):
+        output = self._fig9_small(seeds=1)
+        assert "replicates" not in output and "seeds" not in output
+        assert "cross_seed_agreement" not in output
+
+    def test_multi_seed_output_aggregates_with_uncertainty(self):
+        output = self._fig9_small(seeds=2)
+        assert output["seeds"] == [0, 1]
+        for label, per_method in output["replicates"].items():
+            for method, stats in per_method.items():
+                assert stats["count"] == 2
+                assert stats["min"] <= stats["mean"] <= stats["max"]
+                # The normalised table is built from the cross-seed means.
+                expected = stats["mean"] / output["absolute"][label][
+                    output["normalized_reference"][label]
+                ]
+                assert output["normalized"][label][method] == pytest.approx(expected)
+        assert output["cross_seed_agreement"]
+        for info in output["cross_seed_agreement"].values():
+            assert info["num_seeds"] == 2
+            assert 0.0 < info["agreement"] <= 1.0
+
+    def test_seed_replicates_scenario_reports_uncertainty_table(self):
+        from repro.experiments.scenarios import run_scenario
+
+        output = run_scenario("seed-replicates", scale=get_scale("tiny"), seed=0)
+        assert output["seeds"] == [0, 1, 2]
+        assert len(output["replicates"]) == 3  # one group per method
+        for group in output["replicates"]:
+            assert group["seeds"] == [0, 1, 2]
+            assert group["metrics"]["throughput_gflops"]["count"] == 3
+        assert "mean" in output["table"] and "std" in output["table"]
+        assert output["cross_seed_agreement"]

@@ -123,6 +123,40 @@ class TestCampaignCommand:
         with pytest.raises(ExperimentError):
             main(["campaign", "--out", str(tmp_path / "x.jsonl")])
 
+    def test_campaign_seeds_flag_prints_uncertainty_and_agreement(self, capsys, tmp_path):
+        """Acceptance: ``campaign --seeds 3`` emits per-cell mean ± std plus
+        cross-seed winner agreement."""
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps({
+            "name": "cli-seeds-grid",
+            "settings": ["S1"],
+            "tasks": ["vision"],
+            "methods": ["magma", "stdga"],
+        }))
+        out = str(tmp_path / "campaign.jsonl")
+        exit_code = main([
+            "campaign", "--grid", str(grid), "--scale", "tiny", "--out", out,
+            "--seeds", "3",
+        ])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert '"cells_run": 6' in output  # 2 methods x 3 seeds
+        # The uncertainty table: headers plus one row per replicate group.
+        assert "mean" in output and "std" in output
+        assert "throughput_gflops across 3 seed replicates" in output
+        # Cross-seed agreement per (panel, objective) comparison.
+        assert "agreement" in output and "winner=" in output
+        # Resuming the finished multi-seed campaign re-runs nothing and
+        # reports identical statistics from the same store.
+        exit_code = main([
+            "campaign", "--grid", str(grid), "--scale", "tiny", "--out", out,
+            "--seeds", "3", "--resume",
+        ])
+        assert exit_code == 0
+        resumed = capsys.readouterr().out
+        assert '"cells_run": 0' in resumed and '"cells_skipped": 6' in resumed
+        assert output.splitlines()[-7:] == resumed.splitlines()[-7:]
+
 
 class TestServiceCommands:
     def test_search_with_warm_store_persists_solution(self, capsys, tmp_path):

@@ -61,6 +61,34 @@ class TestGate:
         assert exit_code == 0
         assert "runner has 1 core" in capsys.readouterr().out
 
+    def test_skip_lists_every_floored_metric_explicitly(self, workspace, capsys):
+        """A skip must enumerate the floors it leaves unmeasured, one line
+        each, so skipped coverage is visible in the gate's output."""
+        tmp_path, baselines = workspace
+        _write(tmp_path / "BENCH_b.json",
+               {"status": "skipped", "skip_reason": "runner has 1 core"})
+        exit_code = check_regression.main(
+            ["--baselines", str(baselines), "--dir", str(tmp_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        skip_lines = [line for line in out.splitlines()
+                      if line.strip().startswith(check_regression.SKIP)]
+        assert len(skip_lines) == 2
+        assert any("speedup" in line for line in skip_lines)
+        assert any("requests_per_second" in line for line in skip_lines)
+
+    def test_skip_without_reason_fails(self, workspace, capsys):
+        """'skipped' with no recorded reason is a silent coverage hole, not
+        a pass."""
+        tmp_path, baselines = workspace
+        _write(tmp_path / "BENCH_a.json", {"status": "skipped"})
+        exit_code = check_regression.main(
+            ["--baselines", str(baselines), "--dir", str(tmp_path)]
+        )
+        assert exit_code == 1
+        assert "skipped without a recorded reason" in capsys.readouterr().out
+
     def test_missing_bench_file_fails(self, workspace):
         tmp_path, baselines = workspace
         (tmp_path / "BENCH_a.json").unlink()

@@ -1,0 +1,84 @@
+"""Lint: all randomness in the library must flow through repro.utils.rng.
+
+The seed policy (docs/DETERMINISM.md) only works if no module mints its own
+entropy on the side.  This test scans the library source for the three ways
+that happens — module-level ``np.random.*`` calls, the stdlib ``random``
+module, and argless ``default_rng()`` — and fails with file:line positions.
+The CI lint job runs the same check as a grep step, so a violation is caught
+even when the test stage is skipped.
+
+Allowed: ``repro/utils/rng.py`` itself (the one place entropy is handled),
+attribute references like the ``np.random.Generator`` type annotation, and
+seeded ``default_rng(seed)`` calls.
+"""
+
+import re
+from pathlib import Path
+
+SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: The only file allowed to touch raw entropy sources.
+ALLOWED = {Path("utils") / "rng.py"}
+
+#: (description, pattern) pairs; patterns match *calls*, not annotations.
+BANNED = [
+    (
+        "module-level numpy RNG call (np.random.<fn>(...)) — use "
+        "repro.utils.rng.ensure_rng / SeedPolicy.stream instead",
+        re.compile(r"\bnp\.random\.(?!default_rng\b|Generator\b|SeedSequence\b)\w+\s*\("),
+    ),
+    (
+        "stdlib random module call — use repro.utils.rng instead",
+        re.compile(r"(?<![\w.])random\.(?:seed|random|randint|randrange|choice|choices|"
+                   r"shuffle|sample|uniform|gauss|betavariate|expovariate)\s*\("),
+    ),
+    (
+        "argless default_rng() mints OS entropy — resolve a seed through "
+        "repro.utils.rng (ensure_rng(None) applies the seed policy)",
+        re.compile(r"\bdefault_rng\(\s*\)"),
+    ),
+]
+
+
+def iter_source_files():
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        if path.relative_to(SRC_ROOT) in ALLOWED:
+            continue
+        yield path
+
+
+def test_no_naked_randomness_outside_rng_module():
+    violations = []
+    for path in iter_source_files():
+        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            stripped = line.split("#", 1)[0]
+            for description, pattern in BANNED:
+                if pattern.search(stripped):
+                    violations.append(
+                        f"{path.relative_to(SRC_ROOT.parent.parent)}:{lineno}: "
+                        f"{description}\n    {line.strip()}"
+                    )
+    assert not violations, (
+        "naked randomness outside repro/utils/rng.py (see docs/DETERMINISM.md):\n"
+        + "\n".join(violations)
+    )
+
+
+def test_lint_actually_detects_violations(tmp_path):
+    """The banned patterns must catch the real offences (no dead regexes)."""
+    offending = [
+        "x = np.random.rand(3)",
+        "random.seed(42)",
+        "rng = default_rng()",
+    ]
+    clean = [
+        "rng: np.random.Generator = ensure_rng(seed)",
+        "seq = np.random.SeedSequence(seed)",
+        "rng = np.random.default_rng(seed)",
+        "rng = default_rng(seed)",
+        "self.rng.random(size)",
+    ]
+    for line in offending:
+        assert any(p.search(line) for _, p in BANNED), f"lint misses: {line}"
+    for line in clean:
+        assert not any(p.search(line) for _, p in BANNED), f"lint over-bans: {line}"
