@@ -283,7 +283,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         **_eval_kwargs(args),
     )
-    server = create_server(service, host=args.host, port=args.port, quiet=False)
+    try:
+        server = create_server(service, host=args.host, port=args.port, quiet=False)
+    except OSError:
+        # Port in use etc.: without this, the service's worker threads would
+        # linger after the bind failure (found by the repro-lint review).
+        service.close(wait=False)
+        raise
     host, port = server.server_address[:2]
     print(f"mapping service listening on http://{host}:{port}")
     print(f"  solution store: {service.store.path}")
@@ -433,6 +439,24 @@ def _eval_kwargs(args: argparse.Namespace) -> dict:
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(prog="repro-magma", description=__doc__)
+    return _populate_parser(parser)
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run repro-lint (the AST invariant checkers) over the given paths."""
+    from repro.tools.lint.cli import run_lint
+
+    return run_lint(
+        paths=args.paths,
+        select=args.select,
+        output_format=args.format,
+        out=args.out,
+        show_suppressed=args.show_suppressed,
+        list_codes=args.list_codes,
+    )
+
+
+def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list models, settings, optimizers, scenarios")
@@ -556,6 +580,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--poll", type=float, default=0.5, metavar="SECONDS")
     submit.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS")
     submit.set_defaults(func=_cmd_submit)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the AST-based invariant checkers (docs/STATIC_ANALYSIS.md)",
+    )
+    from repro.tools.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=_cmd_lint)
     return parser
 
 

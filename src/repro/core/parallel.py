@@ -349,5 +349,5 @@ class ParallelEvaluationPool:
         try:
             if self._pool is not None:
                 self._pool.terminate()
-        except Exception:
+        except Exception:  # repro-lint: disable=RPL502 — GC finalizer must never raise
             pass

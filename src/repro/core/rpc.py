@@ -190,10 +190,12 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
 
 
 def _send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
+    # rpc-frame: encoder allow=bootstrap,eval,ping,pong,ok,result,error,shutdown
     send_frame(sock, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def _recv_message(sock: socket.socket) -> Dict[str, Any]:
+    # rpc-frame: decoder — the ONLY place raw peer bytes may be unpickled
     return pickle.loads(recv_frame(sock))
 
 
@@ -236,11 +238,11 @@ class EvalWorkerServer:
         self._stopping = threading.Event()
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
-        self._active: set = set()
+        self._active: set = set()  # guarded-by: _lock
         #: Served-request counters (telemetry; the fault tests assert on them).
-        self.connections_served = 0
-        self.evals_served = 0
-        self.rows_served = 0
+        self.connections_served = 0  # guarded-by: _lock
+        self.evals_served = 0  # guarded-by: _lock
+        self.rows_served = 0  # guarded-by: _lock
 
     @property
     def address(self) -> str:
@@ -359,7 +361,7 @@ class EvalWorkerServer:
             except OSError:  # pragma: no cover - close is best-effort
                 pass
 
-    def _authenticate(self, conn: socket.socket) -> bool:
+    def _authenticate(self, conn: socket.socket) -> bool:  # rpc-frame: auth-gate
         """Token check on raw bytes — nothing is unpickled before this passes.
 
         Unauthenticated peers are kept on a short leash: the auth frame is
@@ -465,6 +467,7 @@ class RpcWorkerClient:
 
     # ------------------------------------------------------------------
     def _request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        # rpc-frame: encoder allow=bootstrap,eval,ping,shutdown
         if self._sock is None:
             raise RpcError(f"client for {self.host}:{self.port} is not connected")
         _send_message(self._sock, message)
@@ -498,7 +501,7 @@ class RpcWorkerClient:
                 return self._request({"op": "ping"}).get("op") == "pong"
             finally:
                 self._sock.settimeout(None)
-        except Exception:
+        except Exception:  # repro-lint: disable=RPL502 — liveness probe: any failure just means "not alive"
             return False
 
     def request_shutdown(self) -> None:
@@ -731,5 +734,5 @@ class RpcEvaluationPool:
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro-lint: disable=RPL502 — GC finalizer must never raise
             pass

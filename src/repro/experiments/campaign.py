@@ -135,7 +135,7 @@ class CampaignRunner:
         self.rpc_token = rpc_token
         self.table_cache = table_cache if table_cache is not None else shared_table_cache()
         self.warm_store = warm_store
-        self._groups: Dict[Tuple[str, int, int, int], JobGroup] = {}
+        self._groups: Dict[Tuple[str, int, int, int], JobGroup] = {}  # guarded-by: _groups_lock
         # The mapping service drives one runner from several worker threads;
         # the group memo is the only mutable state they all write.
         self._groups_lock = threading.Lock()

@@ -246,13 +246,13 @@ class MappingService:
         )
         self._lock = threading.Lock()
         self._queue: "queue.Queue[Optional[MappingJob]]" = queue.Queue()
-        self._jobs: Dict[str, MappingJob] = {}
-        self._inflight: Dict[str, MappingJob] = {}
-        self._finished: "deque[str]" = deque()
+        self._jobs: Dict[str, MappingJob] = {}  # guarded-by: _lock
+        self._inflight: Dict[str, MappingJob] = {}  # guarded-by: _lock
+        self._finished: "deque[str]" = deque()  # guarded-by: _lock
         self._max_finished_jobs = max_finished_jobs
-        self._counter = 0
-        self._closed = False
-        self.stats: Dict[str, int] = {
+        self._counter = 0  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
+        self.stats: Dict[str, int] = {  # guarded-by: _lock
             "submitted": 0,
             "cache_hits": 0,
             "deduped": 0,
@@ -262,7 +262,7 @@ class MappingService:
         # Never-corrupt startup: drop a torn trailing line a previous crash
         # may have left, then index best-per-fingerprint for instant hits.
         self.store.repair()
-        self._index: Dict[str, SearchResultSummary] = {}
+        self._index: Dict[str, SearchResultSummary] = {}  # guarded-by: _lock
         for fingerprint, record in self.store.best_by_fingerprint().items():
             self._index[fingerprint] = SearchResultSummary.from_dict(record["result"])
         self._threads = [
@@ -315,11 +315,11 @@ class MappingService:
             self._queue.put(job)
             return job
 
-    def _next_id(self) -> str:
+    def _next_id(self) -> str:  # holds-lock: _lock
         self._counter += 1
         return f"job-{self._counter:06d}"
 
-    def _retire(self, job: MappingJob) -> None:
+    def _retire(self, job: MappingJob) -> None:  # holds-lock: _lock
         """Bound the job table: evict the oldest finished jobs (lock held)."""
         self._finished.append(job.job_id)
         while len(self._finished) > self._max_finished_jobs:

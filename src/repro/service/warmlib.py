@@ -122,7 +122,7 @@ class WarmStartLibrary:
         encoding: np.ndarray,
         codec: MappingCodec,
         fitness: float,
-    ) -> bool:
+    ) -> bool:  # acquires-lock: _lock
         """Remember a solution; persist (and return ``True``) if it improved."""
         key = self.key_for(task, objective)
         with self._lock:

@@ -1,0 +1,34 @@
+"""repro-lint: AST-based invariant checkers (see docs/STATIC_ANALYSIS.md).
+
+Public API::
+
+    from repro.tools.lint import lint_source, lint_paths, Finding
+
+    report = lint_paths(["src/repro"])          # whole tree
+    report = lint_source(code, path="x.py")     # one in-memory module
+    report.unsuppressed                         # findings that fail the build
+"""
+
+from .engine import (
+    Checker,
+    Finding,
+    LintReport,
+    SourceFile,
+    all_codes,
+    lint_paths,
+    lint_source,
+    register,
+    registered_checkers,
+)
+
+__all__ = [
+    "Checker",
+    "Finding",
+    "LintReport",
+    "SourceFile",
+    "all_codes",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "registered_checkers",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.tools.lint`` — run the invariant checkers."""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""RPL1xx — determinism: all entropy must flow through ``repro.utils.rng``.
+
+The seed policy (docs/DETERMINISM.md) only works if no module mints its own
+entropy on the side.  Unlike the retired regex lint, this checker resolves
+imports through the AST, so ``from numpy import random``, ``import
+numpy.random as npr``, and ``from numpy.random import default_rng`` are all
+seen as the same qualified name — and annotations like
+``rng: np.random.Generator`` are never false positives because only *calls*
+are examined.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Mapping
+
+from .engine import (
+    Checker,
+    Finding,
+    SourceFile,
+    call_final_name,
+    import_aliases,
+    qualified_name,
+    register,
+)
+
+
+@register
+class DeterminismChecker(Checker):
+    """Ban naked entropy sources outside the seed policy."""
+
+    name = "determinism"
+    codes: Mapping[str, str] = {
+        "RPL101": "numpy.random module-level call outside the seed policy",
+        "RPL102": "stdlib random module call outside the seed policy",
+        "RPL103": "argless RNG constructor mints OS entropy",
+        "RPL104": "operating-system entropy source",
+        "RPL105": "time-derived seed defeats reproducibility",
+    }
+
+    #: numpy.random attributes that are constructors/types, not entropy calls.
+    ALLOWED_NUMPY = frozenset(
+        {
+            "default_rng",
+            "Generator",
+            "SeedSequence",
+            "BitGenerator",
+            "PCG64",
+            "PCG64DXSM",
+            "Philox",
+            "MT19937",
+            "SFC64",
+        }
+    )
+    #: Constructors whose *argless* call pulls fresh OS entropy.
+    ENTROPY_WHEN_ARGLESS = frozenset({"default_rng", "SeedSequence"})
+    #: Wall-clock sources that must never feed a seed.
+    TIME_SOURCES = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+        }
+    )
+    #: Direct OS entropy taps.
+    OS_ENTROPY = frozenset({"os.urandom", "os.getrandom", "uuid.uuid4", "uuid.uuid1"})
+    #: Call targets whose positional arguments are seeds.
+    SEED_CTOR_NAMES = frozenset({"default_rng", "SeedSequence", "ensure_rng", "set_global_seed"})
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(src.tree)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            yield from self._check_seed_arguments(src, node, aliases)
+            qual = qualified_name(node.func, aliases)
+            if qual is None:
+                continue
+            if qual.startswith("numpy.random."):
+                tail = qual[len("numpy.random.") :]
+                if "." in tail:
+                    continue  # e.g. numpy.random.Generator.<method> via an odd alias
+                if tail not in self.ALLOWED_NUMPY:
+                    yield self.finding(
+                        src,
+                        node,
+                        "RPL101",
+                        f"numpy.random.{tail}() bypasses the seed policy — use "
+                        "repro.utils.rng.ensure_rng / SeedPolicy.stream instead",
+                    )
+                elif tail in self.ENTROPY_WHEN_ARGLESS and not node.args and not node.keywords:
+                    yield self.finding(
+                        src,
+                        node,
+                        "RPL103",
+                        f"argless {tail}() mints OS entropy — resolve a seed through "
+                        "repro.utils.rng (ensure_rng(None) applies the seed policy)",
+                    )
+            elif qual.startswith("random."):
+                yield self.finding(
+                    src,
+                    node,
+                    "RPL102",
+                    f"stdlib {qual}() is unseedable per-process state — use "
+                    "repro.utils.rng instead",
+                )
+            elif qual in self.OS_ENTROPY or qual.startswith("secrets."):
+                yield self.finding(
+                    src,
+                    node,
+                    "RPL104",
+                    f"{qual}() draws OS entropy — derive values from the run seed "
+                    "(docs/DETERMINISM.md)",
+                )
+
+    # ------------------------------------------------------------------
+    def _check_seed_arguments(
+        self, src: SourceFile, call: ast.Call, aliases: Dict[str, str]
+    ) -> Iterator[Finding]:
+        """Flag wall-clock values flowing into a seed position."""
+        for keyword in call.keywords:
+            if keyword.arg == "seed" and self._contains_time_call(keyword.value, aliases):
+                yield self.finding(
+                    src,
+                    call,
+                    "RPL105",
+                    "seed derived from wall-clock time — pass a fixed seed or None "
+                    "so the seed policy resolves it",
+                )
+        final = call_final_name(call.func)
+        if final in self.SEED_CTOR_NAMES:
+            for arg in call.args:
+                if self._contains_time_call(arg, aliases):
+                    yield self.finding(
+                        src,
+                        call,
+                        "RPL105",
+                        f"{final}() seeded from wall-clock time — pass a fixed seed "
+                        "or None so the seed policy resolves it",
+                    )
+
+    def _contains_time_call(self, node: ast.expr, aliases: Dict[str, str]) -> bool:
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call):
+                qual = qualified_name(sub.func, aliases)
+                if qual in self.TIME_SOURCES:
+                    return True
+        return False

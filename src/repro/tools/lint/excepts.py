@@ -1,0 +1,74 @@
+"""RPL5xx — exception policy: no bare or silently-swallowed broad handlers.
+
+A ``except Exception: pass`` in the service tier turns a crashed worker into
+a silent hang; this checker requires every broad handler to either *do*
+something observable (record the error, fail the job, re-raise) or carry an
+explicit ``# repro-lint: disable=RPL502`` waiver with a rationale.  The
+triage of the library's intentional waivers is tabulated in
+``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Mapping, Sequence
+
+from .engine import Checker, Finding, SourceFile, register
+
+
+@register
+class ExceptionPolicyChecker(Checker):
+    """Flag bare ``except:`` and broad handlers that swallow silently."""
+
+    name = "excepts"
+    codes: Mapping[str, str] = {
+        "RPL501": "bare except catches SystemExit/KeyboardInterrupt",
+        "RPL502": "broad exception handler silently swallows the error",
+    }
+
+    BROAD = frozenset({"Exception", "BaseException"})
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    src,
+                    node,
+                    "RPL501",
+                    "bare except also catches SystemExit/KeyboardInterrupt — "
+                    "name the exception types (Exception at the broadest)",
+                )
+            elif self._is_broad(node.type) and self._is_silent(node.body):
+                yield self.finding(
+                    src,
+                    node,
+                    "RPL502",
+                    "broad handler swallows the error with no logging, re-raise, "
+                    "or state change — record it or narrow the except",
+                )
+
+    # ------------------------------------------------------------------
+    def _is_broad(self, expr: ast.expr) -> bool:
+        if isinstance(expr, ast.Tuple):
+            return any(self._is_broad(element) for element in expr.elts)
+        if isinstance(expr, ast.Name):
+            return expr.id in self.BROAD
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in self.BROAD
+        return False
+
+    def _is_silent(self, body: Sequence[ast.stmt]) -> bool:
+        """True when the handler body provably does nothing observable."""
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue, ast.Break)):
+                continue
+            if isinstance(stmt, ast.Return) and (
+                stmt.value is None or isinstance(stmt.value, ast.Constant)
+            ):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring / ellipsis
+            return False
+        return True

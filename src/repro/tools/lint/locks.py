@@ -1,0 +1,301 @@
+"""RPL2xx — lock discipline: annotated shared state only mutates under its lock.
+
+Convention (documented in docs/STATIC_ANALYSIS.md):
+
+* ``self.attr = ...  # guarded-by: _lock`` on the attribute's assignment in
+  ``__init__`` declares that every later mutation of ``self.attr`` (assign,
+  augment, delete, or a mutating method such as ``.append``/``.pop``) must
+  happen inside a ``with self._lock:`` block.
+* ``# holds-lock: _lock`` on a ``def`` declares a private helper whose
+  callers already hold the lock — mutations inside are allowed, but
+  re-acquiring the same (non-reentrant) lock is flagged as a deadlock.
+* ``# acquires-lock: _lock`` on a ``def`` declares that the method's body
+  is responsible for taking the lock itself; a body that never does is
+  flagged.
+
+``__init__`` is exempt from the mutation check (the object is not shared
+yet), and nested functions are analysed with an empty lock context (a
+closure may run on another thread after the ``with`` exits).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple, Union
+
+from .engine import Checker, Finding, SourceFile, register
+
+_GUARDED_RE = re.compile(r"#\s*guarded-by:\s*(?:self\.)?([A-Za-z_]\w*)")
+_HOLDS_RE = re.compile(r"#\s*holds-lock:\s*(?:self\.)?([A-Za-z_]\w*)")
+_ACQUIRES_RE = re.compile(r"#\s*acquires-lock:\s*(?:self\.)?([A-Za-z_]\w*)")
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset(
+    {
+        "append",
+        "appendleft",
+        "extend",
+        "add",
+        "insert",
+        "remove",
+        "discard",
+        "pop",
+        "popleft",
+        "popitem",
+        "clear",
+        "update",
+        "setdefault",
+        "sort",
+        "reverse",
+    }
+)
+
+
+@register
+class LockDisciplineChecker(Checker):
+    """Enforce guarded-by / holds-lock / acquires-lock annotations."""
+
+    name = "locks"
+    codes: Mapping[str, str] = {
+        "RPL201": "guarded attribute mutated outside its lock",
+        "RPL202": "lock annotation references an attribute never assigned",
+        "RPL203": "lock acquired while already held (deadlock on threading.Lock)",
+        "RPL204": "acquires-lock method never takes its declared lock",
+    }
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(src, node)
+
+    # ------------------------------------------------------------------
+    def _check_class(self, src: SourceFile, cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = [
+            node for node in cls.body if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        assigned = self._assigned_attrs(cls)
+        guarded, annotation_lines = self._guarded_attrs(src, cls)
+        holds: Dict[str, Tuple[str, int]] = {}
+        acquires: Dict[str, Tuple[str, int]] = {}
+        for method in methods:
+            hold = self._def_annotation(src, method, _HOLDS_RE)
+            if hold is not None:
+                holds[method.name] = hold
+            acquire = self._def_annotation(src, method, _ACQUIRES_RE)
+            if acquire is not None:
+                acquires[method.name] = acquire
+
+        declared_locks = set(guarded.values())
+        declared_locks.update(lock for lock, _ in holds.values())
+        declared_locks.update(lock for lock, _ in acquires.values())
+
+        # RPL202: every annotation must name a real attribute of the class.
+        referenced: List[Tuple[str, int]] = list(holds.values()) + list(acquires.values())
+        referenced.extend((lock, annotation_lines[attr]) for attr, lock in guarded.items())
+        for lock, line in referenced:
+            if lock not in assigned:
+                yield Finding(
+                    code="RPL202",
+                    message=(
+                        f"annotation names lock {lock!r} but no 'self.{lock}' is "
+                        f"ever assigned in class {cls.name}"
+                    ),
+                    path=src.path,
+                    line=line,
+                    column=1,
+                    checker=self.name,
+                )
+
+        for method in methods:
+            if method.name == "__init__":
+                continue  # construction precedes sharing
+            held: frozenset = frozenset()
+            if method.name in holds:
+                held = frozenset({holds[method.name][0]})
+            yield from self._scan_body(src, method.body, held, guarded, declared_locks)
+            if method.name in acquires:
+                lock, line = acquires[method.name]
+                if not self._body_acquires(method, lock):
+                    yield Finding(
+                        code="RPL204",
+                        message=(
+                            f"method {method.name}() is annotated acquires-lock: "
+                            f"{lock} but its body never enters 'with self.{lock}:'"
+                        ),
+                        path=src.path,
+                        line=line,
+                        column=1,
+                        checker=self.name,
+                    )
+
+    # ------------------------------------------------------------------
+    def _assigned_attrs(self, cls: ast.ClassDef) -> Set[str]:
+        attrs: Set[str] = set()
+        for node in ast.walk(cls):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    attrs.add(attr)
+        return attrs
+
+    def _guarded_attrs(
+        self, src: SourceFile, cls: ast.ClassDef
+    ) -> Tuple[Dict[str, str], Dict[str, int]]:
+        guarded: Dict[str, str] = {}
+        lines: Dict[str, int] = {}
+        for node in ast.walk(cls):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            match = _GUARDED_RE.search(src.comment(node.lineno))
+            if match is None:
+                continue
+            for target in targets:
+                attr = _self_attr(target)
+                if attr is not None:
+                    guarded[attr] = match.group(1)
+                    lines[attr] = node.lineno
+        return guarded, lines
+
+    def _def_annotation(
+        self, src: SourceFile, method: _FunctionNode, pattern: "re.Pattern[str]"
+    ) -> Optional[Tuple[str, int]]:
+        """Find an annotation comment anywhere in the def's signature lines."""
+        body_start = method.body[0].lineno if method.body else method.lineno + 1
+        for line in range(method.lineno, max(body_start, method.lineno + 1)):
+            match = pattern.search(src.comment(line))
+            if match is not None:
+                return match.group(1), line
+        return None
+
+    def _body_acquires(self, method: _FunctionNode, lock: str) -> bool:
+        for node in ast.walk(method):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if _self_attr(item.context_expr) == lock:
+                        return True
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr == "acquire" and _self_attr(node.func.value) == lock:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _scan_body(
+        self,
+        src: SourceFile,
+        stmts: List[ast.stmt],
+        held: frozenset,
+        guarded: Dict[str, str],
+        declared_locks: Set[str],
+    ) -> Iterator[Finding]:
+        for stmt in stmts:
+            yield from self._visit(src, stmt, held, guarded, declared_locks)
+
+    def _visit(
+        self,
+        src: SourceFile,
+        node: ast.AST,
+        held: frozenset,
+        guarded: Dict[str, str],
+        declared_locks: Set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired: Set[str] = set()
+            for item in node.items:
+                lock = _self_attr(item.context_expr)
+                if lock is not None and lock in declared_locks:
+                    if lock in held:
+                        yield self.finding(
+                            src,
+                            item.context_expr,
+                            "RPL203",
+                            f"'with self.{lock}:' while the lock is already held — "
+                            "threading.Lock is not reentrant",
+                        )
+                    acquired.add(lock)
+                yield from self._visit(src, item.context_expr, held, guarded, declared_locks)
+            inner = frozenset(held | acquired)
+            for stmt in node.body:
+                yield from self._visit(src, stmt, inner, guarded, declared_locks)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A closure can outlive the with-block; analyse it lock-free.
+            for stmt in node.body:
+                yield from self._visit(src, stmt, frozenset(), guarded, declared_locks)
+            return
+        if isinstance(node, ast.Lambda):
+            yield from self._visit(src, node.body, frozenset(), guarded, declared_locks)
+            return
+
+        yield from self._check_mutation(src, node, held, guarded)
+        for child in ast.iter_child_nodes(node):
+            yield from self._visit(src, child, held, guarded, declared_locks)
+
+    def _check_mutation(
+        self,
+        src: SourceFile,
+        node: ast.AST,
+        held: frozenset,
+        guarded: Dict[str, str],
+    ) -> Iterator[Finding]:
+        mutated: List[str] = []
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                mutated.extend(_mutated_attrs(target))
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            mutated.extend(_mutated_attrs(node.target))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                mutated.extend(_mutated_attrs(target))
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in MUTATORS:
+                attr = _self_attr(node.func.value)
+                if attr is not None:
+                    mutated.append(attr)
+        for attr in mutated:
+            lock = guarded.get(attr)
+            if lock is not None and lock not in held:
+                yield self.finding(
+                    src,
+                    node,
+                    "RPL201",
+                    f"'self.{attr}' is guarded-by {lock} but is mutated outside "
+                    f"'with self.{lock}:'",
+                )
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_attrs(target: ast.expr) -> List[str]:
+    """Attribute names of ``self`` mutated by an assignment target."""
+    attrs: List[str] = []
+    direct = _self_attr(target)
+    if direct is not None:
+        attrs.append(direct)
+    elif isinstance(target, ast.Subscript):
+        inner = _self_attr(target.value)
+        if inner is not None:
+            attrs.append(inner)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            attrs.extend(_mutated_attrs(element))
+    elif isinstance(target, ast.Starred):
+        attrs.extend(_mutated_attrs(target.value))
+    return attrs

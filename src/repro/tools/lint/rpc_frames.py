@@ -1,0 +1,218 @@
+"""RPL3xx — RPC frame safety: auth before unpickle, allowlisted frame ops.
+
+``pickle.loads`` on attacker-controlled bytes is remote code execution, so
+the RPC layer's safety argument (docs/STATIC_ANALYSIS.md) is structural and
+this checker proves it at the source level for every module that imports
+``pickle``:
+
+* ``# rpc-frame: decoder`` on a ``def`` marks the one place raw bytes may be
+  unpickled; any other ``pickle.loads``/``load``/``Unpickler`` is RPL301.
+* ``# rpc-frame: auth-gate`` marks the function that authenticates a peer on
+  raw (never unpickled) bytes.  A connection handler that unpickles must
+  call the gate first — unpickling at an earlier line, or discarding the
+  gate's result, is RPL302; never calling it at all is RPL303.
+* ``# rpc-frame: encoder allow=op1,op2,...`` marks the serialization
+  choke-point and the frame ops it may emit; a call site passing a literal
+  frame whose ``"op"`` is off-list (or missing) is RPL304.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple, Union
+
+from .engine import (
+    Checker,
+    Finding,
+    SourceFile,
+    call_final_name,
+    import_aliases,
+    qualified_name,
+    register,
+)
+
+_FRAME_RE = re.compile(r"#\s*rpc-frame:\s*(decoder|encoder|auth-gate)(?:\s+allow=([\w,\s-]+))?")
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Parameter names that mark a function as a peer-connection handler.
+CONN_PARAMS = frozenset({"conn", "sock", "connection", "client", "peer"})
+
+#: pickle entry points that deserialize (the dangerous direction).
+UNPICKLERS = frozenset({"pickle.loads", "pickle.load", "pickle.Unpickler"})
+#: pickle entry points that serialize.
+PICKLERS = frozenset({"pickle.dumps", "pickle.dump", "pickle.Pickler"})
+
+
+@register
+class RpcFrameChecker(Checker):
+    """Prove auth-before-unpickle and the frame-op allowlist statically."""
+
+    name = "rpc-frames"
+    codes: Mapping[str, str] = {
+        "RPL301": "pickle deserialization outside the annotated frame decoder",
+        "RPL302": "unpickling reachable before the auth gate passes",
+        "RPL303": "connection handler unpickles without calling the auth gate",
+        "RPL304": "frame op not in the encoder's allowlist",
+        "RPL305": "pickle serialization outside the annotated frame encoder",
+    }
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        aliases = import_aliases(src.tree)
+        if not any(value == "pickle" or value.startswith("pickle.") for value in aliases.values()):
+            return  # module never touches pickle; nothing to prove
+
+        decoders: Set[str] = set()
+        encoders: Dict[str, Optional[Set[str]]] = {}
+        auth_gates: Set[str] = set()
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            role = self._frame_annotation(src, node)
+            if role is None:
+                continue
+            kind, allow = role
+            if kind == "decoder":
+                decoders.add(node.name)
+            elif kind == "auth-gate":
+                auth_gates.add(node.name)
+            else:
+                encoders[node.name] = allow
+
+        annotated = decoders | auth_gates | set(encoders)
+        parents = src.parents()
+
+        # Every call with its stack of enclosing functions (innermost last);
+        # a single pass avoids double-visiting calls inside nested defs.
+        calls: List[Tuple[ast.Call, Tuple[_FunctionNode, ...]]] = []
+
+        def collect(node: ast.AST, stack: Tuple[_FunctionNode, ...]) -> None:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                stack = stack + (node,)
+            elif isinstance(node, ast.Call):
+                calls.append((node, stack))
+            for child in ast.iter_child_nodes(node):
+                collect(child, stack)
+
+        collect(src.tree, ())
+
+        per_function: Dict[Optional[_FunctionNode], Dict[str, List[ast.Call]]] = {}
+        for call, stack in calls:
+            qual = qualified_name(call.func, aliases)
+            final = call_final_name(call.func)
+            owner = stack[-1] if stack else None
+            bucket = per_function.setdefault(
+                owner, {"deserializes": [], "auth": []}
+            )
+            if qual in UNPICKLERS:
+                bucket["deserializes"].append(call)
+                if not any(f.name in decoders for f in stack):
+                    yield self.finding(
+                        src,
+                        call,
+                        "RPL301",
+                        f"{qual}() outside the '# rpc-frame: decoder' function — "
+                        "all deserialization must go through the frame decoder",
+                    )
+            elif qual in PICKLERS:
+                if not any(f.name in encoders for f in stack):
+                    yield self.finding(
+                        src,
+                        call,
+                        "RPL305",
+                        f"{qual}() outside the '# rpc-frame: encoder' function — "
+                        "all serialization must go through the frame encoder",
+                    )
+            elif final in decoders:
+                bucket["deserializes"].append(call)
+            elif final in auth_gates:
+                bucket["auth"].append(call)
+            if final in encoders:
+                yield from self._check_frame_literal(src, call, encoders[final])
+
+        for function, bucket in per_function.items():
+            if function is None or function.name in annotated:
+                continue
+            deserializes = bucket["deserializes"]
+            auth_calls = bucket["auth"]
+            if not deserializes:
+                continue
+            if auth_calls:
+                first_auth = min(call.lineno for call in auth_calls)
+                for call in deserializes:
+                    if call.lineno < first_auth:
+                        yield self.finding(
+                            src,
+                            call,
+                            "RPL302",
+                            "frame is deserialized before the auth gate runs — "
+                            "authenticate on raw bytes first",
+                        )
+                for call in auth_calls:
+                    if isinstance(parents.get(call), ast.Expr):
+                        yield self.finding(
+                            src,
+                            call,
+                            "RPL302",
+                            "auth gate result is discarded — the handler must stop "
+                            "when authentication fails",
+                        )
+            elif self._handles_connection(function):
+                yield self.finding(
+                    src,
+                    function,
+                    "RPL303",
+                    f"connection handler {function.name}() deserializes frames but "
+                    "never calls the '# rpc-frame: auth-gate' function",
+                )
+
+    # ------------------------------------------------------------------
+    def _frame_annotation(
+        self, src: SourceFile, function: _FunctionNode
+    ) -> Optional[Tuple[str, Optional[Set[str]]]]:
+        body_start = function.body[0].lineno if function.body else function.lineno + 1
+        for line in range(function.lineno, max(body_start, function.lineno + 1)):
+            match = _FRAME_RE.search(src.comment(line))
+            if match is not None:
+                allow: Optional[Set[str]] = None
+                if match.group(2):
+                    allow = {op.strip() for op in match.group(2).split(",") if op.strip()}
+                return match.group(1), allow
+        return None
+
+    def _handles_connection(self, function: _FunctionNode) -> bool:
+        names = [arg.arg for arg in function.args.args + function.args.kwonlyargs]
+        return any(name in CONN_PARAMS for name in names)
+
+    def _check_frame_literal(
+        self, src: SourceFile, call: ast.Call, allow: Optional[Set[str]]
+    ) -> Iterator[Finding]:
+        """Validate literal frame dicts passed to an encoder call."""
+        candidates: List[ast.expr] = list(call.args) + [kw.value for kw in call.keywords]
+        for candidate in candidates:
+            if not isinstance(candidate, ast.Dict):
+                continue
+            op: Optional[str] = None
+            has_op_key = False
+            for key, value in zip(candidate.keys, candidate.values):
+                if isinstance(key, ast.Constant) and key.value == "op":
+                    has_op_key = True
+                    if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                        op = value.value
+            if not has_op_key:
+                yield self.finding(
+                    src,
+                    candidate,
+                    "RPL304",
+                    "literal frame has no 'op' key — every frame must carry an "
+                    "allowlisted op",
+                )
+            elif op is not None and allow is not None and op not in allow:
+                allowed = ", ".join(sorted(allow))
+                yield self.finding(
+                    src,
+                    candidate,
+                    "RPL304",
+                    f"frame op {op!r} is not in the encoder allowlist ({allowed})",
+                )

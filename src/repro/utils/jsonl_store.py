@@ -44,7 +44,7 @@ _FINGERPRINT_RE = re.compile(r'"fingerprint":\s*"([^"]*)"')
 class AppendOnlyJsonlStore:
     """Base class for append-only, fingerprint-keyed JSONL result stores."""
 
-    def __init__(self, path: str):
+    def __init__(self, path: str) -> None:
         self.path = str(path)
         self._lock = threading.Lock()
 
@@ -100,20 +100,20 @@ class AppendOnlyJsonlStore:
         parent = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(parent, exist_ok=True)
 
-    def truncate(self) -> None:
+    def truncate(self) -> None:  # acquires-lock: _lock
         """Start the store afresh."""
         with self._lock:
             self._ensure_parent()
             open(self.path, "w", encoding="utf-8").close()
 
-    def append_record(self, record: Dict[str, Any]) -> None:
+    def append_record(self, record: Dict[str, Any]) -> None:  # acquires-lock: _lock
         """Append one record as a single flushed line (crash/thread-safe)."""
         with self._lock:
             self._ensure_parent()
             with open(self.path, "a", encoding="utf-8") as handle:
                 dump_jsonl_line(record, handle)
 
-    def repair(self) -> int:
+    def repair(self) -> int:  # acquires-lock: _lock
         """Drop a torn trailing line left by a hard mid-write interruption.
 
         Appends are single flushed writes, so the only corruption an

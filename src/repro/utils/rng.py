@@ -93,7 +93,7 @@ class SeedPolicy:
         base: "None | int | np.random.Generator | np.random.SeedSequence",
         source: str,
         resolved_seed: Optional[int] = None,
-    ):
+    ) -> None:
         self._base = base
         self.source = source
         self.resolved_seed = resolved_seed
@@ -209,7 +209,7 @@ class SeedPolicy:
                 RuntimeWarning,
                 stacklevel=3,
             )
-        return np.random.SeedSequence()
+        return np.random.SeedSequence()  # repro-lint: disable=RPL103 — deliberate OS-entropy fallback, warned above
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SeedPolicy(source={self.source!r}, resolved_seed={self.resolved_seed!r})"

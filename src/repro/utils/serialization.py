@@ -20,9 +20,12 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, Iterator, List
+from typing import Any, Dict, IO, Iterator, List, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # runtime import stays deferred: core.framework imports utils
+    from repro.core.framework import SearchResult
 
 
 def payload_fingerprint(payload: Dict[str, Any]) -> str:
@@ -101,7 +104,7 @@ class SearchResultSummary:
     metadata: Dict[str, Any] = field(default_factory=dict)
 
     @classmethod
-    def from_result(cls, result: "SearchResult") -> "SearchResultSummary":  # noqa: F821
+    def from_result(cls, result: "SearchResult") -> "SearchResultSummary":
         """Summarise a full search result."""
         return cls(
             optimizer_name=result.optimizer_name,

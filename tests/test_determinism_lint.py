@@ -1,84 +1,89 @@
 """Lint: all randomness in the library must flow through repro.utils.rng.
 
 The seed policy (docs/DETERMINISM.md) only works if no module mints its own
-entropy on the side.  This test scans the library source for the three ways
-that happens — module-level ``np.random.*`` calls, the stdlib ``random``
-module, and argless ``default_rng()`` — and fails with file:line positions.
-The CI lint job runs the same check as a grep step, so a violation is caught
-even when the test stage is skipped.
+entropy on the side.  This gate is now the AST-based determinism checker
+(``repro-magma lint --select RPL1``, RPL101–RPL105 in
+docs/STATIC_ANALYSIS.md), which replaced the original regex scan: it
+resolves import aliases (``from numpy import random``), distinguishes calls
+from annotations without heuristics, and additionally bans OS entropy
+(``os.urandom``/``uuid4``) and time-derived seeds.
 
-Allowed: ``repro/utils/rng.py`` itself (the one place entropy is handled),
-attribute references like the ``np.random.Generator`` type annotation, and
-seeded ``default_rng(seed)`` calls.
+This file keeps the regex lint's original true-positive/clean corpus and
+asserts the AST checker subsumes it, then runs the checker over the whole
+library source.  ``repro/utils/rng.py`` — the one entropy boundary — needs
+no allowlist anymore: its single deliberate OS-entropy fallback carries an
+inline ``# repro-lint: disable=RPL103`` waiver with rationale.
 """
 
-import re
+import textwrap
 from pathlib import Path
+
+from repro.tools.lint import lint_paths, lint_source
 
 SRC_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
 
-#: The only file allowed to touch raw entropy sources.
-ALLOWED = {Path("utils") / "rng.py"}
+#: The retired regex lint's corpus, wrapped with the imports real modules
+#: carry (the AST checker resolves names through imports, not spelling).
+CORPUS_PREAMBLE = textwrap.dedent(
+    """
+    import random
 
-#: (description, pattern) pairs; patterns match *calls*, not annotations.
-BANNED = [
-    (
-        "module-level numpy RNG call (np.random.<fn>(...)) — use "
-        "repro.utils.rng.ensure_rng / SeedPolicy.stream instead",
-        re.compile(r"\bnp\.random\.(?!default_rng\b|Generator\b|SeedSequence\b)\w+\s*\("),
-    ),
-    (
-        "stdlib random module call — use repro.utils.rng instead",
-        re.compile(r"(?<![\w.])random\.(?:seed|random|randint|randrange|choice|choices|"
-                   r"shuffle|sample|uniform|gauss|betavariate|expovariate)\s*\("),
-    ),
-    (
-        "argless default_rng() mints OS entropy — resolve a seed through "
-        "repro.utils.rng (ensure_rng(None) applies the seed policy)",
-        re.compile(r"\bdefault_rng\(\s*\)"),
-    ),
+    import numpy as np
+    from numpy.random import default_rng
+
+    from repro.utils.rng import ensure_rng
+
+    seed = 1234
+    size = 4
+    """
+)
+
+#: (line, code it must trigger) — the regex lint's true positives.
+OFFENDING = [
+    ("x = np.random.rand(3)", "RPL101"),
+    ("random.seed(42)", "RPL102"),
+    ("rng = default_rng()", "RPL103"),
+]
+
+#: Lines the regex lint had to stay quiet on; the AST checker must too.
+CLEAN = [
+    "rng: np.random.Generator = ensure_rng(seed)",
+    "seq = np.random.SeedSequence(seed)",
+    "rng = np.random.default_rng(seed)",
+    "rng = default_rng(seed)",
+    "self.rng.random(size)",
 ]
 
 
-def iter_source_files():
-    for path in sorted(SRC_ROOT.rglob("*.py")):
-        if path.relative_to(SRC_ROOT) in ALLOWED:
-            continue
-        yield path
+def determinism_codes(line):
+    source = CORPUS_PREAMBLE + line + "\n"
+    report = lint_source(source, path="corpus.py", select="RPL1")
+    return [finding.code for finding in report.unsuppressed]
 
 
 def test_no_naked_randomness_outside_rng_module():
-    violations = []
-    for path in iter_source_files():
-        for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
-            stripped = line.split("#", 1)[0]
-            for description, pattern in BANNED:
-                if pattern.search(stripped):
-                    violations.append(
-                        f"{path.relative_to(SRC_ROOT.parent.parent)}:{lineno}: "
-                        f"{description}\n    {line.strip()}"
-                    )
-    assert not violations, (
-        "naked randomness outside repro/utils/rng.py (see docs/DETERMINISM.md):\n"
-        + "\n".join(violations)
+    report = lint_paths([str(SRC_ROOT)], select="RPL1")
+    rendered = "\n".join(f.render() for f in report.unsuppressed)
+    assert not report.unsuppressed, (
+        "naked randomness in the library (see docs/DETERMINISM.md and "
+        f"docs/STATIC_ANALYSIS.md):\n{rendered}"
     )
 
 
-def test_lint_actually_detects_violations(tmp_path):
-    """The banned patterns must catch the real offences (no dead regexes)."""
-    offending = [
-        "x = np.random.rand(3)",
-        "random.seed(42)",
-        "rng = default_rng()",
-    ]
-    clean = [
-        "rng: np.random.Generator = ensure_rng(seed)",
-        "seq = np.random.SeedSequence(seed)",
-        "rng = np.random.default_rng(seed)",
-        "rng = default_rng(seed)",
-        "self.rng.random(size)",
-    ]
-    for line in offending:
-        assert any(p.search(line) for _, p in BANNED), f"lint misses: {line}"
-    for line in clean:
-        assert not any(p.search(line) for _, p in BANNED), f"lint over-bans: {line}"
+def test_lint_actually_detects_violations():
+    """The AST checker must subsume the old regex corpus (no dead checks)."""
+    for line, expected in OFFENDING:
+        assert expected in determinism_codes(line), f"lint misses: {line}"
+    for line in CLEAN:
+        assert determinism_codes(line) == [], f"lint over-bans: {line}"
+
+
+def test_catches_what_the_regex_lint_missed():
+    """The upgrade cases that motivated the AST port (ISSUE 7)."""
+    aliased = CORPUS_PREAMBLE + "from numpy import random as nprand\nx = nprand.rand(3)\n"
+    report = lint_source(aliased, path="corpus.py", select="RPL1")
+    assert "RPL101" in [f.code for f in report.unsuppressed]
+
+    timed = CORPUS_PREAMBLE + "import time\nrng = default_rng(int(time.time()))\n"
+    report = lint_source(timed, path="corpus.py", select="RPL1")
+    assert "RPL105" in [f.code for f in report.unsuppressed]
