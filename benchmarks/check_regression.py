@@ -109,6 +109,53 @@ def run(baselines_path: str, directory: str) -> List[Dict[str, Any]]:
     return findings
 
 
+def write_step_summary(findings: List[Dict[str, Any]], path: str) -> None:
+    """Append the gate's verdict to a GitHub Actions step summary file.
+
+    Two markdown tables: every gated metric with its measured value vs
+    floor, then — so constrained runners cannot silently hollow out the
+    gate — a dedicated table of skipped floors with their recorded reasons.
+    """
+    def fmt(value: "float | None") -> str:
+        return "—" if value is None else f"{float(value):.3g}"
+
+    icon = {PASS: "✅", SKIP: "⏭️", FAIL: "❌"}
+    lines = [
+        "## Benchmark regression gate",
+        "",
+        "| | benchmark | metric | measured | floor |",
+        "|---|---|---|---|---|",
+    ]
+    for finding in findings:
+        lines.append(
+            f"| {icon[finding['status']]} | {finding['file']} "
+            f"| {finding['metric'] or '—'} "
+            f"| {fmt(finding['value'])} | {fmt(finding['floor'])} |"
+        )
+    skipped = [finding for finding in findings if finding["status"] == SKIP]
+    if skipped:
+        lines += [
+            "",
+            "### Skipped floors",
+            "",
+            "These floors could not be measured on this runner; each skip",
+            "records why.  The core-count-independent benches (kernel step",
+            "rate, frame codec GB/s, dispatch overhead) still gate above.",
+            "",
+            "| benchmark | metric | reason |",
+            "|---|---|---|",
+        ]
+        for finding in skipped:
+            lines.append(
+                f"| {finding['file']} | {finding['metric'] or '—'} "
+                f"| {finding['note']} |"
+            )
+    verdict = "FAILED" if any(f["status"] == FAIL for f in findings) else "ok"
+    lines += ["", f"**Verdict:** {verdict}", ""]
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write("\n".join(lines) + "\n")
+
+
 def main(argv: "List[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -122,6 +169,9 @@ def main(argv: "List[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     findings = run(args.baselines, args.dir)
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        write_step_summary(findings, summary_path)
     width = max(len(f["file"]) for f in findings)
     failed = False
     for finding in findings:

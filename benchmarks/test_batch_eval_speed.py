@@ -2,9 +2,12 @@
 
 Evaluates the same 100-individual population through both backends, records
 the wall times (and the achieved speedup) to ``BENCH_batch_eval.json``, and
-asserts the vectorized batch path is at least 3x faster.  This is a
+asserts the vectorized batch path is at least 10x faster.  This is a
 regression guard for the hot path of every population-based optimizer, not a
-statistically rigorous benchmark.
+statistically rigorous benchmark.  The floor was raised from 3x after the
+kernel raw-speed pass (docs/PERFORMANCE.md): the dev-box measurement is
+~29x, so 10x still leaves ~3x headroom for slower shared runners while a
+regression to the pre-optimization kernel would trip it.
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from repro.core.evaluator import MappingEvaluator
 from repro.workloads import TaskType, build_task_workload
 
 #: Minimum accepted batch-vs-scalar speedup on a 100-individual population.
-MIN_SPEEDUP = 3.0
+MIN_SPEEDUP = 10.0
 
 POPULATION_SIZE = 100
 GROUP_SIZE = 20

@@ -1,0 +1,59 @@
+"""Perf smoke: raw step rate of the batched bandwidth event-sweep kernel.
+
+The parallel/rpc speed benches must skip-with-reason on core-starved runners
+(a fleet timesharing one CPU cannot demonstrate a speedup), which would
+leave the raw-speed pass ungated there.  This bench closes that hole: the
+kernel's step rate is a single-core property, so it measures — and floors —
+on every machine.  The unit is *row-events per second*: each of the ``pop``
+individuals sees ~``group_size`` job-completion events, and each event is
+one vectorized sweep step (see ``benchmarks/profile_kernel.py``, whose
+measurement method this reuses, and docs/PERFORMANCE.md for the
+methodology and the before/after table).
+"""
+
+from __future__ import annotations
+
+import json
+
+from profile_kernel import measure_point
+
+#: Per-setting step-rate floors (row-events/s).  Dev-box measurements are
+#: 3.5M (S2) and 2.1M (S6); the floors sit ~3x under that so shared CI
+#: runners with noisy neighbours do not flake, while a kernel regression
+#: back to the pre-optimization rates (1.2M / 0.7M) still trips the gate.
+MIN_S2_ROW_EVENTS_PER_SECOND = 1.2e6
+MIN_S6_ROW_EVENTS_PER_SECOND = 0.7e6
+
+POPULATION_SIZE = 512
+
+
+def test_kernel_step_rate_floors(report_lines):
+    s2 = measure_point("S2", 16.0, 20, POPULATION_SIZE)
+    s6 = measure_point("S6", 256.0, 64, POPULATION_SIZE)
+
+    record = {
+        "population_size": POPULATION_SIZE,
+        "s2_seconds": s2["seconds"],
+        "s2_row_events_per_second": s2["row_events_per_second"],
+        "s6_seconds": s6["seconds"],
+        "s6_row_events_per_second": s6["row_events_per_second"],
+        "min_s2_row_events_per_second": MIN_S2_ROW_EVENTS_PER_SECOND,
+        "min_s6_row_events_per_second": MIN_S6_ROW_EVENTS_PER_SECOND,
+    }
+    with open("BENCH_kernel_sweep.json", "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+    report_lines.append(
+        f"kernel step rate: S2 {s2['row_events_per_second'] / 1e6:.2f}M "
+        f"({s2['seconds'] * 1e3:.2f} ms), "
+        f"S6 {s6['row_events_per_second'] / 1e6:.2f}M "
+        f"({s6['seconds'] * 1e3:.2f} ms) row-events/s at pop {POPULATION_SIZE}"
+    )
+
+    assert s2["row_events_per_second"] >= MIN_S2_ROW_EVENTS_PER_SECOND, (
+        f"S2 kernel step rate {s2['row_events_per_second']:.3g} row-events/s "
+        f"below floor {MIN_S2_ROW_EVENTS_PER_SECOND:.3g}"
+    )
+    assert s6["row_events_per_second"] >= MIN_S6_ROW_EVENTS_PER_SECOND, (
+        f"S6 kernel step rate {s6['row_events_per_second']:.3g} row-events/s "
+        f"below floor {MIN_S6_ROW_EVENTS_PER_SECOND:.3g}"
+    )

@@ -40,6 +40,11 @@ from repro.utils.units import DEFAULT_FREQUENCY_HZ
 #: Numerical tolerance when deciding that a job's remaining work is finished.
 _EPSILON = 1e-9
 
+#: The batched sweep compacts its state arrays down to the still-running rows
+#: once at least this many rows have converged (and they are the majority):
+#: below this, the gather costs more than the dead rows' masked no-op steps.
+_COMPACTION_MIN_ROWS = 16
+
 
 @dataclass(frozen=True)
 class ScheduleEvent:
@@ -252,88 +257,189 @@ class BatchBandwidthAllocator:
                 f"{batch.selection[first_row, first_job]}"
             )
 
-        queue_pos = np.zeros((pop, num_cores), dtype=int)
-        current_job = np.full((pop, num_cores), -1, dtype=int)
+        num_jobs = batch.num_jobs
+        # The execution order per (row, core) is static — only the launch
+        # *times* are dynamic — so the work every launch installs is
+        # precomputable per job: latency * bw, the exact multiplication the
+        # scalar launch performs.  The event loop then never touches the
+        # analysis table again: a launch is a handful of flat gathers into
+        # these (pop, jobs) tables and the queue array, addressed through
+        # base-offset arrays that survive row compaction (the big per-job
+        # tables are never copied — only the small (rows, cores) offsets).
+        work_of_job = latency_of_job * bw_of_job
+        queues = batch.queues
+        rows_2d = np.arange(pop, dtype=np.intp)[:, None]
+        cores_2d = np.arange(num_cores, dtype=np.intp)[None, :]
+        #: Flat offset of lane (row, core)'s queue in ``queues.ravel()``.
+        lane_base = (rows_2d * num_cores + cores_2d) * num_jobs
+        #: Flat offset of row's job table in ``work_of_job.ravel()``.
+        job_base = rows_2d * num_jobs + np.zeros_like(cores_2d)
+
+        # Per-(row, core) live-lane state.  Queue cursors are int32: positions
+        # fit comfortably, and halving the index bytes trims the flat gathers.
+        queue_pos = np.zeros((pop, num_cores), dtype=np.int32)
         remaining_work = np.zeros((pop, num_cores))
         required_bw = np.zeros((pop, num_cores))
+        active = np.zeros((pop, num_cores), dtype=bool)
+        queue_len = batch.queue_lengths.astype(np.int32)
         now = np.zeros(pop)
+        #: Compacted-row -> original-row map (identity until rows retire).
+        row_index = np.arange(pop, dtype=np.intp)
+        makespans = np.zeros(pop)
 
-        self._launch(batch, table, queue_pos, current_job, remaining_work, required_bw,
-                     np.ones((pop, num_cores), dtype=bool))
-        active = current_job >= 0
+        self._launch_lanes(
+            np.arange(pop * num_cores, dtype=np.intp),
+            queues, queue_pos, queue_len, lane_base, job_base,
+            work_of_job, bw_of_job, remaining_work, required_bw, active,
+        )
         live = active.any(axis=1)
 
-        # Reused per-iteration buffers: the event loop runs O(G) iterations
-        # whose cost is dominated by per-op overhead on small arrays, so
-        # in-place arithmetic (identical values, no reallocation) measurably
-        # shortens the sweep — which is also what lets the parallel backend's
-        # shards scale.  The errstate guard is hoisted for the same reason.
-        total_demand = np.zeros(pop)
+        # Preallocated per-iteration buffers: the event loop runs O(G)
+        # iterations whose cost is dominated by per-op overhead on small
+        # arrays, so every step below is an in-place ufunc (identical values,
+        # no reallocation) over [:n] views of these full-size buffers — which
+        # is also what lets the distributed backends' shards scale.  The
+        # errstate guard is hoisted for the same reason.
+        total_demand = np.empty(pop)
         scale = np.empty(pop)
+        dt = np.empty(pop)
+        threshold = np.empty(pop)
+        over = np.empty(pop, dtype=bool)
+        not_live = np.empty(pop, dtype=bool)
+        allocation = np.empty((pop, num_cores))
+        runtimes = np.empty((pop, num_cores))
         step_work = np.empty((pop, num_cores))
+        finished = np.empty((pop, num_cores), dtype=bool)
+        inactive = np.empty((pop, num_cores), dtype=bool)
 
+        n = pop  # rows still carried by the (compacted) state arrays
         with np.errstate(divide="ignore", invalid="ignore"):
-            while np.any(live):
+            while n:
+                num_live = int(np.count_nonzero(live))
+                if num_live == 0:
+                    break
+                if 2 * num_live <= n and n - num_live >= _COMPACTION_MIN_ROWS:
+                    # Active-row compaction: converged rows' state never
+                    # changes again, yet every masked step below still pays
+                    # for them.  Scatter their final times into the output
+                    # and shrink every state array to the live rows — each
+                    # row's trajectory is independent (every op is
+                    # elementwise per row), so dropping finished rows cannot
+                    # perturb the survivors' bits.
+                    retired = np.flatnonzero(~live)
+                    makespans[row_index[retired]] = now[retired]
+                    keep = np.flatnonzero(live)
+                    n = len(keep)
+                    row_index = row_index[keep]
+                    queue_pos = queue_pos[keep]
+                    queue_len = queue_len[keep]
+                    lane_base = lane_base[keep]
+                    job_base = job_base[keep]
+                    remaining_work = remaining_work[keep]
+                    required_bw = required_bw[keep]
+                    active = active[keep]
+                    now = now[keep]
+                    live = live[keep]
+
+                demand = total_demand[:n]
+                ratio = scale[:n]
+                step = dt[:n]
+                thresh = threshold[:n]
+                capped = over[:n]
+                dead = not_live[:n]
+                alloc = allocation[:n]
+                runtime = runtimes[:n]
+                work = step_work[:n]
+                done = finished[:n]
+                idle = inactive[:n]
+
                 # Column-by-column accumulation mirrors the scalar allocator's
                 # sequential per-core demand sum bit for bit (idle slots hold 0.0).
-                total_demand[:] = required_bw[:, 0]
+                demand[:] = required_bw[:, 0]
                 for core in range(1, num_cores):
-                    np.add(total_demand, required_bw[:, core], out=total_demand)
-                over = total_demand > self.system_bandwidth_gbps
-                scale.fill(1.0)
-                np.divide(self.system_bandwidth_gbps, total_demand, out=scale, where=over)
-                allocation = np.where(over[:, None], required_bw * scale[:, None], required_bw)
+                    np.add(demand, required_bw[:, core], out=demand)
+                np.greater(demand, self.system_bandwidth_gbps, out=capped)
+                ratio.fill(1.0)
+                np.divide(self.system_bandwidth_gbps, demand, out=ratio, where=capped)
+                # Rows under budget keep ratio == 1.0, and IEEE-754 guarantees
+                # x * 1.0 returns x's bits exactly, so one unconditional
+                # multiply replaces the old np.where copy bit for bit.
+                np.multiply(required_bw, ratio[:, None], out=alloc)
 
-                runtimes = np.where(
-                    active, remaining_work / np.maximum(allocation, _EPSILON), np.inf
-                )
-                dt_rows = runtimes.min(axis=1)
-                if np.any(live & (~np.isfinite(dt_rows) | (dt_rows < 0))):
+                np.maximum(alloc, _EPSILON, out=work)  # reuse step_work as the denominator
+                np.divide(remaining_work, work, out=runtime)
+                np.logical_not(active, out=idle)
+                np.copyto(runtime, np.inf, where=idle)
+                runtime.min(axis=1, out=step)
+                np.logical_not(live, out=dead)
+                np.copyto(step, 0.0, where=dead)
+                # Live steps are quotients of clamped non-negative numerators
+                # and >= _EPSILON denominators, so they cannot be negative or
+                # NaN — only +inf (an all-idle "active" row) is possible, and
+                # one summed finiteness probe catches it.  The probe also
+                # guarantees termination: an infinite step would otherwise
+                # poison remaining_work and spin this loop forever.
+                if not np.isfinite(float(step.sum())):
                     raise SchedulingError("bandwidth allocation produced a non-finite time step")
-                dt = np.where(live, dt_rows, 0.0)
 
-                finished = active & (runtimes <= dt[:, None] * (1.0 + 1e-12) + _EPSILON)
-                np.multiply(allocation, dt[:, None], out=step_work)
-                np.subtract(remaining_work, step_work, out=remaining_work)
+                np.multiply(step, 1.0 + 1e-12, out=thresh)
+                np.add(thresh, _EPSILON, out=thresh)
+                np.less_equal(runtime, thresh[:, None], out=done)
+                np.logical_and(done, active, out=done)
+
+                np.multiply(alloc, step[:, None], out=work)
+                np.subtract(remaining_work, work, out=remaining_work)
                 np.maximum(remaining_work, 0.0, out=remaining_work)
-                remaining_work[finished] = 0.0
-                now = now + dt
+                np.copyto(remaining_work, 0.0, where=done)
+                np.add(now, step, out=now)
 
-                self._launch(batch, table, queue_pos, current_job, remaining_work, required_bw,
-                             finished)
-                active = current_job >= 0
-                live = active.any(axis=1)
+                lanes = np.flatnonzero(done)
+                if lanes.size:
+                    self._launch_lanes(
+                        lanes, queues, queue_pos, queue_len, lane_base, job_base,
+                        work_of_job, bw_of_job, remaining_work, required_bw, active,
+                    )
+                    np.any(active, axis=1, out=live)
 
-        return now
+        makespans[row_index] = now
+        return makespans
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _launch(
-        batch: MappingBatch,
-        table: JobAnalysisTable,
+    def _launch_lanes(
+        lanes: np.ndarray,
+        queues: np.ndarray,
         queue_pos: np.ndarray,
-        current_job: np.ndarray,
+        queue_len: np.ndarray,
+        lane_base: np.ndarray,
+        job_base: np.ndarray,
+        work_of_job: np.ndarray,
+        bw_of_job: np.ndarray,
         remaining_work: np.ndarray,
         required_bw: np.ndarray,
-        mask: np.ndarray,
+        active: np.ndarray,
     ) -> None:
-        """Pop the next queued job (if any) on every ``(individual, core)`` in *mask*."""
-        rows, cores = np.nonzero(mask)
-        if rows.size == 0:
-            return
-        pos = queue_pos[rows, cores]
-        has_next = pos < batch.queue_lengths[rows, cores]
+        """Pop the next queued job (if any) on every flat ``(row, core)`` lane.
 
-        idle_rows, idle_cores = rows[~has_next], cores[~has_next]
-        current_job[idle_rows, idle_cores] = -1
-        remaining_work[idle_rows, idle_cores] = 0.0
-        required_bw[idle_rows, idle_cores] = 0.0
+        *lanes* are flat indices into the (possibly compacted)
+        ``(rows, cores)`` state arrays; ``lane_base``/``job_base`` map each
+        lane back to its original row's flat offsets in ``queues`` and the
+        per-job launch tables, so advancing a lane is a cursor bump plus
+        three flat gathers — no 2-D fancy indexing, no table copies at
+        compaction.  Lanes whose queue is exhausted go (and stay) inactive.
+        """
+        pos = queue_pos.ravel()[lanes]
+        has_next = pos < queue_len.ravel()[lanes]
+        active.ravel()[lanes] = has_next
 
-        run_rows, run_cores, run_pos = rows[has_next], cores[has_next], pos[has_next]
-        jobs = batch.queues[run_rows, run_cores, run_pos]
-        queue_pos[run_rows, run_cores] = run_pos + 1
-        latency = table.latency_cycles[jobs, run_cores]
-        bandwidth = table.required_bw_gbps[jobs, run_cores]
-        current_job[run_rows, run_cores] = jobs
-        remaining_work[run_rows, run_cores] = latency * bandwidth
-        required_bw[run_rows, run_cores] = bandwidth
+        idle = lanes[~has_next]
+        remaining_work.ravel()[idle] = 0.0
+        required_bw.ravel()[idle] = 0.0
+
+        run = lanes[has_next]
+        run_pos = pos[has_next]
+        queue_pos.ravel()[run] = run_pos + 1
+        jobs = queues.ravel()[lane_base.ravel()[run] + run_pos]
+        offsets = job_base.ravel()[run] + jobs
+        remaining_work.ravel()[run] = work_of_job.ravel()[offsets]
+        required_bw.ravel()[run] = bw_of_job.ravel()[offsets]

@@ -10,8 +10,9 @@ negated/inverted fitness so every optimizer can treat fitness uniformly.
 from __future__ import annotations
 
 import abc
-from typing import Dict, Type
+from typing import Dict, Optional, Type
 
+import numpy as np
 
 from repro.core.analyzer import JobAnalysisTable
 from repro.core.encoding import Mapping
@@ -39,6 +40,21 @@ class Objective(abc.ABC):
     def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
         """Return the value in natural units for reporting (e.g. GFLOP/s, joules)."""
 
+    def fitness_batch(
+        self, makespans: np.ndarray, table: JobAnalysisTable, frequency_hz: float
+    ) -> Optional[np.ndarray]:
+        """Vectorized fitness of a whole population from its makespans.
+
+        Returns ``None`` when the objective has no vectorized form (the
+        caller then falls back to per-row :meth:`fitness`).  Implementations
+        must mirror :meth:`fitness` *elementwise*: the same IEEE-754
+        operations in the same order, so a population scored here is
+        bit-identical to scoring each row through a summary
+        :class:`Schedule` — the backend-equivalence property tests enforce
+        this for every registered objective.
+        """
+        return None
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
 
@@ -55,6 +71,20 @@ class ThroughputObjective(Objective):
     def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
         return schedule.throughput_gflops
 
+    def fitness_batch(
+        self, makespans: np.ndarray, table: JobAnalysisTable, frequency_hz: float
+    ) -> np.ndarray:
+        # Same three operations Schedule.throughput_gflops performs per row
+        # (cycles -> seconds, flops / seconds, / 1e9), so each element is
+        # bit-identical to the scalar property; non-positive makespans score
+        # 0.0 exactly as the property's guard does.
+        seconds = makespans / frequency_hz
+        fitnesses = np.zeros_like(seconds)
+        positive = seconds > 0
+        np.divide(table.total_flops, seconds, out=fitnesses, where=positive)
+        np.divide(fitnesses, 1e9, out=fitnesses, where=positive)
+        return fitnesses
+
 
 class LatencyObjective(Objective):
     """Minimise the makespan of the group (fitness is the negated makespan)."""
@@ -67,6 +97,11 @@ class LatencyObjective(Objective):
 
     def report_value(self, schedule: Schedule, mapping: Mapping, table: JobAnalysisTable) -> float:
         return schedule.makespan_cycles
+
+    def fitness_batch(
+        self, makespans: np.ndarray, table: JobAnalysisTable, frequency_hz: float
+    ) -> np.ndarray:
+        return -makespans
 
 
 class EnergyObjective(Objective):

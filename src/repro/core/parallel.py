@@ -17,9 +17,14 @@ worker processes:
   backend bit-identical to ``batch`` by construction.
 * :class:`ParallelEvaluationPool` owns the worker pool: it bootstraps each
   worker once (``initializer`` rebuilds the rig from the spec), splits a
-  population of repaired encodings into deterministic contiguous shards,
-  gathers the per-shard fitness arrays preserving row order, and is reused
-  across generations until :meth:`ParallelEvaluationPool.close`.
+  population of repaired encodings into fixed-size work-stealing chunks that
+  idle workers pull from the pool's shared task queue, scatters each chunk's
+  fitnesses at its own row offset (row order is positional, so any steal
+  schedule gathers identically), and is reused across generations until
+  :meth:`ParallelEvaluationPool.close`.  Arrays travel zero-copy through a
+  :class:`SharedMemoryRing` — workers read encodings and write fitness rows
+  in place — with the original pickle transport as the fallback where
+  ``multiprocessing.shared_memory`` is unavailable.
 
 Memoization stays in the main process: the evaluator dispatches only rows
 that miss its encoding -> fitness cache and merges the freshly computed
@@ -31,10 +36,16 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+try:  # pragma: no cover - stdlib on every supported platform
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - exotic builds without shm support
+    _shared_memory = None
 
 from repro.core.analyzer import JobAnalysisTable
 from repro.core.bw_allocator import BatchBandwidthAllocator
@@ -47,6 +58,18 @@ from repro.exceptions import ConfigurationError
 #: pickling + dispatch overhead would exceed the simulation cost.
 MIN_ROWS_PER_WORKER = 8
 
+#: Height of one work-stealing chunk: the fixed unit of dispatch every
+#: distributed backend pulls from its shared queue.  Small enough that a slow
+#: worker strands at most one chunk's worth of latency, large enough that the
+#: per-chunk dispatch overhead stays amortised (see BENCH_dispatch.json).
+DEFAULT_CHUNK_ROWS = 16
+
+#: Test seams for the fault-injection property tests (inherited by forked
+#: workers at pool creation): a per-chunk delay to simulate slow workers, and
+#: a chunk start row whose worker kills itself mid-task to simulate a crash.
+_FAULT_DELAY_S: float = 0.0
+_FAULT_KILL_CHUNK_START: Optional[int] = None
+
 
 def split_shards(
     rows: np.ndarray,
@@ -55,19 +78,38 @@ def split_shards(
 ) -> List[np.ndarray]:
     """Split *rows* into deterministic contiguous shards, one per worker.
 
-    This is the one sharding policy every distributed evaluation backend
-    uses (:class:`ParallelEvaluationPool` across processes,
-    :class:`~repro.core.rpc.RpcEvaluationPool` across hosts): contiguous
-    ``np.array_split`` chunks in row order, never more shards than workers,
-    and never shards so small that dispatch overhead exceeds the simulation
-    cost (populations below ``2 * min_rows_per_worker`` collapse to a single
-    shard).  An empty population yields no shards.
+    The static sharding policy (one contiguous ``np.array_split`` block per
+    worker, assigned up front): never more shards than workers, and never
+    shards so small that dispatch overhead exceeds the simulation cost
+    (populations below ``2 * min_rows_per_worker`` collapse to a single
+    shard).  An empty population yields no shards.  The distributed pools
+    now *dispatch* via work-stealing :func:`split_chunks`, but this remains
+    the reference partition the equivalence property tests compare against.
     """
     rows = np.asarray(rows)
     if len(rows) == 0:
         return []
     num_shards = min(max(1, int(num_workers)), max(1, len(rows) // min_rows_per_worker))
     return [shard for shard in np.array_split(rows, num_shards) if len(shard)]
+
+
+def split_chunks(num_rows: int, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> List[Tuple[int, int]]:
+    """Fixed-size contiguous ``(start, stop)`` chunks — the work-stealing unit.
+
+    Unlike :func:`split_shards` (one contiguous block per worker, assigned
+    up front), chunks are *pulled* from a shared queue by whichever worker
+    goes idle first.  Each chunk writes its fitnesses at its own row offset,
+    so the gathered result is row-ordered no matter which worker computed
+    which chunk or in what order — and because every row's simulation is
+    independent (the batch kernel is elementwise per row), the values are
+    bit-identical for every chunk size and steal schedule.
+    """
+    if chunk_rows < 1:
+        raise ConfigurationError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    return [
+        (start, min(start + chunk_rows, int(num_rows)))
+        for start in range(0, int(num_rows), chunk_rows)
+    ]
 
 
 def gather_rows(results: Sequence[np.ndarray]) -> np.ndarray:
@@ -206,6 +248,14 @@ class SimulationRig:
         rows = np.atleast_2d(np.asarray(rows, dtype=float))
         batch = self.codec.decode_batch(rows)
         makespans = self.allocator.makespan_cycles(batch, self.table)
+        # Makespan-only objectives (the default throughput, latency) score the
+        # whole population in a few ufuncs, elementwise bit-identical to the
+        # per-row path below; mapping-reading objectives fall through to it.
+        vectorized = self.objective.fitness_batch(
+            makespans, self.table, self.allocator.frequency_hz
+        )
+        if vectorized is not None:
+            return np.asarray(vectorized, dtype=float)
         fitnesses = np.empty(len(rows), dtype=float)
         for slot in range(len(rows)):
             schedule = self.summary_schedule(float(makespans[slot]))
@@ -226,11 +276,77 @@ class SimulationRig:
 
 
 # ----------------------------------------------------------------------
+# Zero-copy transport: shared-memory ring
+# ----------------------------------------------------------------------
+class SharedMemoryRing:
+    """Rotating ring of named shared-memory slots for zero-copy dispatch.
+
+    One generation's traffic — the repaired population in and the fitness
+    row out — lives in a single slot; consecutive generations rotate through
+    the slots so a straggler still reading slot ``k`` can never observe slot
+    ``k``'s next reuse until a full rotation later.  Slots are created
+    lazily and grown (never shrunk) to the largest population seen; the
+    coordinator owns them and unlinks them all on :meth:`close`.
+    """
+
+    def __init__(self, slots: int = 2):
+        if _shared_memory is None:  # pragma: no cover - exotic builds
+            raise ConfigurationError("multiprocessing.shared_memory is unavailable")
+        self._slots: List[Optional["_shared_memory.SharedMemory"]] = [None] * max(2, slots)
+        self._turn = 0
+
+    def acquire(self, nbytes: int) -> "_shared_memory.SharedMemory":
+        """Next slot in rotation, (re)created if absent or too small."""
+        index = self._turn % len(self._slots)
+        self._turn += 1
+        segment = self._slots[index]
+        if segment is None or segment.size < nbytes:
+            if segment is not None:
+                segment.close()
+                segment.unlink()
+            segment = _shared_memory.SharedMemory(create=True, size=max(1, int(nbytes)))
+            self._slots[index] = segment
+        return segment
+
+    def close(self) -> None:
+        """Release and unlink every slot (idempotent)."""
+        for index, segment in enumerate(self._slots):
+            if segment is None:
+                continue
+            self._slots[index] = None
+            try:
+                segment.close()
+                segment.unlink()
+            except OSError:  # pragma: no cover - already gone
+                pass
+
+
+# ----------------------------------------------------------------------
 # Worker process side
 # ----------------------------------------------------------------------
 #: Per-worker rig, rebuilt once by the pool initializer (module-global so the
 #: map function can reach it; each worker process has its own copy).
 _WORKER_RIG: Optional[SimulationRig] = None
+
+#: Per-worker shared-memory attachments, cached by segment name so each ring
+#: slot is mapped once per worker process, not once per chunk.
+_WORKER_SHM: Dict[str, "_shared_memory.SharedMemory"] = {}
+
+#: Attachment cache bound: ring slots are few, but a long-lived worker serving
+#: many coordinators should not accumulate dead mappings without limit.
+_WORKER_SHM_CACHE_LIMIT = 8
+
+
+def _attach_shared_memory(name: str) -> "_shared_memory.SharedMemory":
+    """Attach to (or reuse the cached mapping of) one named ring slot."""
+    segment = _WORKER_SHM.get(name)
+    if segment is None:
+        while len(_WORKER_SHM) >= _WORKER_SHM_CACHE_LIMIT:
+            stale = _WORKER_SHM.pop(next(iter(_WORKER_SHM)))  # oldest attachment
+            stale.close()
+        segment = _shared_memory.SharedMemory(name=name)
+        _WORKER_SHM[name] = segment
+    return segment
 
 
 def _bootstrap_worker(spec: EvaluatorSpec) -> None:
@@ -257,6 +373,45 @@ def _evaluate_shard(rows: np.ndarray) -> np.ndarray:
     return _WORKER_RIG.fitnesses_for_rows(rows)
 
 
+def _inject_chunk_faults(start: int) -> None:
+    """Honour the fault-injection test seams (no-ops in production)."""
+    if _FAULT_DELAY_S > 0.0:
+        time.sleep(_FAULT_DELAY_S)
+    if _FAULT_KILL_CHUNK_START is not None and start == _FAULT_KILL_CHUNK_START:
+        os._exit(1)  # simulate a worker crash mid-chunk
+
+
+def _evaluate_chunk(task: Tuple[int, np.ndarray]) -> Tuple[int, np.ndarray]:
+    """Work-stealing map function (pickle transport): one ``(start, rows)`` chunk."""
+    start, rows = task
+    if _WORKER_RIG is None:  # pragma: no cover - defensive, initializer always runs
+        raise RuntimeError("parallel evaluation worker used before bootstrap")
+    _inject_chunk_faults(start)
+    return start, _WORKER_RIG.fitnesses_for_rows(rows)
+
+
+def _evaluate_shm_chunk(task: Tuple[str, int, int, int, int]) -> Tuple[int, int]:
+    """Work-stealing map function (zero-copy transport).
+
+    *task* is ``(segment_name, pop, width, start, stop)``: the worker maps
+    the named ring slot, reads its chunk of encoding rows **in place** (the
+    rig's decode never copies the float64 input), and writes the fitness row
+    back **in place** at the slot's output region — the only bytes that cross
+    the process boundary are this tiny task tuple and the ``(start, stop)``
+    acknowledgement.
+    """
+    name, pop, width, start, stop = task
+    if _WORKER_RIG is None:  # pragma: no cover - defensive, initializer always runs
+        raise RuntimeError("parallel evaluation worker used before bootstrap")
+    _inject_chunk_faults(start)
+    segment = _attach_shared_memory(name)
+    rows = np.ndarray((pop, width), dtype=np.float64, buffer=segment.buf)[start:stop]
+    fitnesses = _WORKER_RIG.fitnesses_for_rows(rows)
+    out = np.ndarray((pop,), dtype=np.float64, buffer=segment.buf, offset=pop * width * 8)
+    out[start:stop] = fitnesses
+    return start, stop
+
+
 # ----------------------------------------------------------------------
 # Main process side
 # ----------------------------------------------------------------------
@@ -276,6 +431,9 @@ class ParallelEvaluationPool:
         spec: EvaluatorSpec,
         num_workers: Optional[int] = None,
         start_method: Optional[str] = None,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
+        use_shared_memory: Optional[bool] = None,
+        task_timeout_s: float = 60.0,
     ):
         self.spec = spec
         self.num_workers = resolve_num_workers(num_workers)
@@ -285,8 +443,20 @@ class ParallelEvaluationPool:
             # picklable and the worker entry points are module-level.
             start_method = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
         self.start_method = start_method
+        if chunk_rows < 1:
+            raise ConfigurationError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self.chunk_rows = int(chunk_rows)
+        #: ``None`` = auto (shared memory when the platform has it); tests
+        #: force ``False`` to exercise the pickle transport explicitly.
+        if use_shared_memory is None:
+            use_shared_memory = _shared_memory is not None
+        self.use_shared_memory = bool(use_shared_memory) and _shared_memory is not None
+        #: How long to wait for one chunk acknowledgement before declaring
+        #: its worker lost and recomputing the missing chunks inline.
+        self.task_timeout_s = float(task_timeout_s)
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._fallback_rig: Optional[SimulationRig] = None
+        self._ring: Optional[SharedMemoryRing] = None
 
     # ------------------------------------------------------------------
     @property
@@ -296,6 +466,17 @@ class ParallelEvaluationPool:
 
     def _ensure_pool(self) -> multiprocessing.pool.Pool:
         if self._pool is None:
+            if self.use_shared_memory:
+                # Start the shared-memory resource tracker *before* forking
+                # workers: a child forked without a live tracker would lazily
+                # spawn its own on first attach, and that private tracker
+                # later "cleans up" (and warns about) segments the
+                # coordinator still owns.  With the tracker already running,
+                # every process funnels into the one inherited instance and
+                # the coordinator's unlink is the single source of truth.
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
             context = multiprocessing.get_context(self.start_method)
             self._pool = context.Pool(
                 processes=self.num_workers,
@@ -304,22 +485,122 @@ class ParallelEvaluationPool:
             )
         return self._pool
 
-    def _shards(self, rows: np.ndarray) -> List[np.ndarray]:
-        """Deterministic contiguous-chunk assignment, one shard per worker."""
-        return split_shards(rows, self.num_workers)
+    def _chunks(self, num_rows: int) -> List[Tuple[int, int]]:
+        """Fixed-size work-stealing chunks, shrunk so every worker gets work.
+
+        The chunk height is :attr:`chunk_rows` capped at an even split of the
+        population (never below :data:`MIN_ROWS_PER_WORKER`): a population
+        that used to fill every worker under static sharding still does under
+        work stealing, while large populations get several chunks per worker
+        for the queue to balance.
+        """
+        num_rows = int(num_rows)
+        if num_rows < 2 * MIN_ROWS_PER_WORKER:
+            # Same collapse as static split_shards: a population this small
+            # is overhead-bound, one (inline) chunk beats any dispatch.
+            return split_chunks(num_rows, max(1, num_rows))
+        even = -(-num_rows // self.num_workers)  # ceil division
+        height = min(self.chunk_rows, max(MIN_ROWS_PER_WORKER, even))
+        return split_chunks(num_rows, height)
 
     def evaluate(self, rows: np.ndarray) -> np.ndarray:
         """Fitness of each (already repaired) encoding row, preserving row order."""
         rows = np.atleast_2d(np.asarray(rows, dtype=float))
         if len(rows) == 0:
             return np.empty(0, dtype=float)
-        shards = self._shards(rows)
-        if len(shards) == 1:
-            # A single shard gains nothing from IPC (one worker would do all
+        chunks = self._chunks(len(rows))
+        if len(chunks) == 1 or self.num_workers == 1:
+            # A single chunk gains nothing from IPC (one worker would do all
             # the work anyway); run it in process and leave the pool alone.
             return self._local_rig().fitnesses_for_rows(rows)
-        results = self._ensure_pool().map(_evaluate_shard, shards)
-        return gather_rows(results)
+        pool = self._ensure_pool()
+        if self.use_shared_memory:
+            return self._evaluate_shared(pool, rows, chunks)
+        return self._evaluate_pickled(pool, rows, chunks)
+
+    def _evaluate_shared(
+        self,
+        pool: multiprocessing.pool.Pool,
+        rows: np.ndarray,
+        chunks: List[Tuple[int, int]],
+    ) -> np.ndarray:
+        """Zero-copy dispatch: population and fitnesses travel via the ring.
+
+        One ring slot holds the whole generation — the ``(pop, width)``
+        float64 population followed by the ``(pop,)`` fitness row.  Workers
+        pull ``(segment, start, stop)`` descriptors from the pool's shared
+        task queue (``imap_unordered`` with ``chunksize=1`` *is* the steal
+        queue: an idle worker takes the next chunk the moment it finishes its
+        last) and write results in place, so the arrays themselves never
+        cross the pipe in either direction.
+        """
+        pop, width = rows.shape
+        if self._ring is None:
+            self._ring = SharedMemoryRing()
+        segment = self._ring.acquire(rows.nbytes + pop * 8)
+        shared_rows = np.ndarray((pop, width), dtype=np.float64, buffer=segment.buf)
+        shared_rows[:] = rows
+        shared_out = np.ndarray((pop,), dtype=np.float64, buffer=segment.buf, offset=rows.nbytes)
+        tasks = [(segment.name, pop, width, start, stop) for start, stop in chunks]
+        acks = self._collect(pool.imap_unordered(_evaluate_shm_chunk, tasks, chunksize=1),
+                             len(chunks))
+        acked = {start for start, _ in acks}
+        missing = [chunk for chunk in chunks if chunk[0] not in acked]
+        if missing:
+            rig = self._local_rig()
+            for start, stop in missing:
+                shared_out[start:stop] = rig.fitnesses_for_rows(rows[start:stop])
+        return np.array(shared_out, dtype=float, copy=True)
+
+    def _evaluate_pickled(
+        self,
+        pool: multiprocessing.pool.Pool,
+        rows: np.ndarray,
+        chunks: List[Tuple[int, int]],
+    ) -> np.ndarray:
+        """Pickle-transport fallback with the same work-stealing dispatch."""
+        fitnesses = np.empty(len(rows), dtype=float)
+        tasks = [(start, rows[start:stop]) for start, stop in chunks]
+        acked = set()
+        for start, chunk_fitnesses in self._collect(
+            pool.imap_unordered(_evaluate_chunk, tasks, chunksize=1), len(chunks)
+        ):
+            fitnesses[start:start + len(chunk_fitnesses)] = chunk_fitnesses
+            acked.add(start)
+        missing = [chunk for chunk in chunks if chunk[0] not in acked]
+        if missing:
+            rig = self._local_rig()
+            for start, stop in missing:
+                fitnesses[start:stop] = rig.fitnesses_for_rows(rows[start:stop])
+        return fitnesses
+
+    def _collect(self, iterator, expected: int) -> list:
+        """Up to *expected* results from the steal queue, bailing out on timeout.
+
+        A killed worker's in-flight chunk never produces a result, so an
+        unbounded ``for`` over ``imap_unordered`` would hang forever.  Each
+        ``next`` gets :attr:`task_timeout_s`; on timeout the remaining chunks
+        go to the caller's inline-recompute path and the wedged pool is
+        abandoned (an incomplete map job pins ``Pool.join`` forever, so a
+        clean ``close`` is no longer possible — the next generation lazily
+        builds a fresh pool instead).
+        """
+        results: list = []
+        for _ in range(expected):
+            try:
+                results.append(iterator.next(timeout=self.task_timeout_s))
+            except StopIteration:  # pragma: no cover - expected count is exact
+                break
+            except multiprocessing.TimeoutError:
+                self._abandon_pool()
+                break
+        return results
+
+    def _abandon_pool(self) -> None:
+        """Terminate a pool wedged by a lost worker; the next use rebuilds it."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool = None
 
     def _local_rig(self) -> SimulationRig:
         if self._fallback_rig is None:
@@ -333,11 +614,14 @@ class ParallelEvaluationPool:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Shut the worker processes down; the pool can be lazily re-created."""
+        """Shut the workers down and unlink the ring; both lazily re-create."""
         if self._pool is not None:
             self._pool.close()
             self._pool.join()
             self._pool = None
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
 
     def __enter__(self) -> "ParallelEvaluationPool":
         return self
@@ -349,5 +633,7 @@ class ParallelEvaluationPool:
         try:
             if self._pool is not None:
                 self._pool.terminate()
+            if self._ring is not None:
+                self._ring.close()
         except Exception:  # repro-lint: disable=RPL502 — GC finalizer must never raise
             pass

@@ -2,8 +2,10 @@
 
 The ``parallel`` backend shards a population across worker *processes* on one
 machine; this module shards the same work across worker *hosts*.  It is
-deliberately stdlib-only — TCP sockets carrying length-prefixed pickle
-frames — so a fleet of workers needs nothing beyond this package and NumPy:
+deliberately stdlib-only — TCP sockets carrying length-prefixed tagged
+frames: pickled control messages (``P``) and raw ndarray frames (``N``,
+dtype/shape header + buffer bytes, received straight into a preallocated
+array) — so a fleet of workers needs nothing beyond this package and NumPy:
 
 * :class:`EvalWorkerServer` is the worker side (``repro-magma eval-worker
   --listen HOST:PORT``): it accepts coordinator connections, authenticates
@@ -16,11 +18,12 @@ frames — so a fleet of workers needs nothing beyond this package and NumPy:
 * :class:`RpcWorkerClient` is one coordinator->worker connection: framing,
   auth, bootstrap, heartbeat, and shard evaluation.
 * :class:`RpcEvaluationPool` is the coordinator: it mirrors
-  :class:`~repro.core.parallel.ParallelEvaluationPool` — the same
-  deterministic contiguous sharding (:func:`~repro.core.parallel.split_shards`)
-  and the same row-ordered gather (:func:`~repro.core.parallel.gather_rows`) —
+  :class:`~repro.core.parallel.ParallelEvaluationPool` — the same fixed-size
+  work-stealing chunks (:func:`~repro.core.parallel.split_chunks`) pulled
+  from a shared queue, each scattering its fitnesses at its own row offset —
   so the ``rpc`` backend is bit-identical to ``batch``/``parallel`` by
-  construction.  Memoization stays in the coordinator: the evaluator
+  construction (every row's simulation is independent, so chunking and steal
+  order cannot change the bits).  Memoization stays in the coordinator: the evaluator
   dispatches only cache misses and merges the computed fitnesses back,
   exactly as with the process pool.  One deliberate policy difference:
   populations below :data:`~repro.core.parallel.MIN_ROWS_PER_WORKER` rows
@@ -35,10 +38,13 @@ Fault tolerance: before every dispatch the pool heartbeats its workers
 the survivors, and when every host is gone the pool falls back to evaluating
 locally — a search never fails because the fleet did.
 
-Security note: after authentication the protocol exchanges pickles, which are
-code-execution-equivalent.  The token (``--token`` / ``REPRO_RPC_TOKEN``)
-gates every connection before any unpickling, but the transport is neither
-encrypted nor replay-protected — run workers on trusted networks only.
+Security note: after authentication the control protocol exchanges pickles,
+which are code-execution-equivalent; bulk array data travels as raw ndarray
+frames that are *never* unpickled (the decoder rejects object dtypes, so a
+peer cannot smuggle a pickle through the array path).  The token
+(``--token`` / ``REPRO_RPC_TOKEN``) gates every connection before any frame
+is decoded, but the transport is neither encrypted nor replay-protected —
+run workers on trusted networks only.
 """
 
 from __future__ import annotations
@@ -56,11 +62,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.parallel import (
+    DEFAULT_CHUNK_ROWS,
     MIN_ROWS_PER_WORKER,
     EvaluatorSpec,
     SimulationRig,
-    gather_rows,
-    split_shards,
+    split_chunks,
 )
 from repro.exceptions import ConfigurationError, RpcError, WorkerDiedError
 
@@ -82,9 +88,21 @@ AUTH_TIMEOUT_SECONDS = 10.0
 #: Frame length prefix: 8-byte big-endian unsigned.
 _LENGTH_PREFIX = struct.Struct(">Q")
 
-#: Auth replies (sent as raw frames, before the pickle protocol starts).
+#: Auth replies (sent as raw frames, before the tagged protocol starts).
 _AUTH_OK = b"OK"
 _AUTH_DENIED = b"DENIED"
+
+#: Post-auth frame tags (first payload byte): ``P`` = pickled control
+#: message, ``N`` = raw ndarray (dtype/shape header + buffer bytes).  Array
+#: payloads travel as ``N`` frames, so peer array data is never unpickled —
+#: the receiver allocates the array itself and ``recv_into``s its buffer.
+_FRAME_PICKLE = b"P"
+_FRAME_NDARRAY = b"N"
+
+#: Raw ndarray frame header: dtype-string length (u8) + ndim (u8), followed
+#: by the ascii dtype string and ndim big-endian u64 dimensions.
+_NDARRAY_HEADER = struct.Struct(">BB")
+_NDARRAY_DIM = struct.Struct(">Q")
 
 
 def _enable_keepalive(sock: socket.socket) -> None:
@@ -174,29 +192,106 @@ def recv_frame(sock: socket.socket, limit: int = MAX_FRAME_BYTES) -> bytes:
     return _recv_exact(sock, length)
 
 
-def _recv_exact(sock: socket.socket, count: int) -> bytes:
-    chunks = []
-    remaining = count
+def _recv_exact_into(sock: socket.socket, view: memoryview) -> None:
+    """Fill *view* from the socket; a closed peer raises :class:`WorkerDiedError`.
+
+    This is the one receive primitive: everything arrives via ``recv_into``
+    on a preallocated buffer (a frame's bytearray, or an ndarray frame's own
+    backing store), never by accumulating and joining ``recv`` chunks.
+    """
+    offset = 0
+    remaining = view.nbytes
     while remaining:
         try:
-            chunk = sock.recv(min(remaining, 1 << 20))
+            count = sock.recv_into(view[offset:offset + min(remaining, 1 << 20)])
         except OSError as error:
             raise WorkerDiedError(f"connection lost: {error}") from error
-        if not chunk:
+        if not count:
             raise WorkerDiedError("connection closed by peer mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        offset += count
+        remaining -= count
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    buffer = bytearray(count)
+    _recv_exact_into(sock, memoryview(buffer))
+    return bytes(buffer)
 
 
 def _send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
     # rpc-frame: encoder allow=bootstrap,eval,ping,pong,ok,result,error,shutdown
-    send_frame(sock, pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LENGTH_PREFIX.pack(1 + len(payload)) + _FRAME_PICKLE + payload)
 
 
-def _recv_message(sock: socket.socket) -> Dict[str, Any]:
+def _send_array(sock: socket.socket, array: np.ndarray) -> None:
+    """Send one raw ndarray frame: tag + dtype/shape header + buffer bytes.
+
+    The buffer is written straight from the array's memory (no pickling, no
+    intermediate copy beyond ``ascontiguousarray`` when the input is already
+    a C-contiguous array, which population rows and fitness rows are).
+    """
+    array = np.ascontiguousarray(array)
+    dtype_str = array.dtype.str.encode("ascii")
+    header = (
+        _NDARRAY_HEADER.pack(len(dtype_str), array.ndim)
+        + dtype_str
+        + b"".join(_NDARRAY_DIM.pack(dim) for dim in array.shape)
+    )
+    sock.sendall(_LENGTH_PREFIX.pack(1 + len(header) + array.nbytes) + _FRAME_NDARRAY + header)
+    if array.nbytes:
+        sock.sendall(memoryview(array).cast("B"))
+
+
+def _recv_ndarray(sock: socket.socket, body_length: int) -> np.ndarray:
+    # rpc-frame: decoder — raw ndarray frames are decoded here and only here
+    fixed = _recv_exact(sock, _NDARRAY_HEADER.size)
+    dtype_length, ndim = _NDARRAY_HEADER.unpack(fixed)
+    meta_length = dtype_length + ndim * _NDARRAY_DIM.size
+    if body_length < _NDARRAY_HEADER.size + meta_length:
+        raise RpcError("truncated ndarray frame header")
+    meta = _recv_exact(sock, meta_length)
+    try:
+        dtype = np.dtype(meta[:dtype_length].decode("ascii"))
+    except (TypeError, UnicodeDecodeError) as error:
+        raise RpcError(f"ndarray frame carries an invalid dtype: {error}") from error
+    if dtype.hasobject:
+        # An object dtype would make "decode" mean "unpickle"; raw frames
+        # exist precisely so peer array data never reaches a pickle.
+        raise RpcError("refusing ndarray frame with object dtype")
+    shape = tuple(
+        _NDARRAY_DIM.unpack_from(meta, dtype_length + index * _NDARRAY_DIM.size)[0]
+        for index in range(ndim)
+    )
+    expected = dtype.itemsize
+    for dim in shape:  # python ints: a hostile 2**63 dim cannot overflow this
+        expected *= dim
+    payload = body_length - _NDARRAY_HEADER.size - meta_length
+    if expected != payload:
+        raise RpcError(
+            f"ndarray frame length mismatch: shape {shape} x {dtype} needs "
+            f"{expected} bytes, frame carries {payload}"
+        )
+    array = np.empty(shape, dtype=dtype)
+    if array.nbytes:
+        _recv_exact_into(sock, memoryview(array).cast("B"))
+    return array
+
+
+def _recv_message(sock: socket.socket) -> Any:
     # rpc-frame: decoder — the ONLY place raw peer bytes may be unpickled
-    return pickle.loads(recv_frame(sock))
+    header = _recv_exact(sock, _LENGTH_PREFIX.size)
+    (length,) = _LENGTH_PREFIX.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise RpcError(f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte limit")
+    if length < 1:
+        raise RpcError("empty frame (missing tag byte)")
+    tag = _recv_exact(sock, 1)
+    if tag == _FRAME_NDARRAY:
+        return _recv_ndarray(sock, length - 1)
+    if tag == _FRAME_PICKLE:
+        return pickle.loads(_recv_exact(sock, length - 1))
+    raise RpcError(f"unknown frame tag {tag!r}")
 
 
 # ----------------------------------------------------------------------
@@ -324,6 +419,18 @@ class EvalWorkerServer:
             rig: Optional[SimulationRig] = None
             while True:
                 message = _recv_message(conn)
+                if isinstance(message, np.ndarray):
+                    # Raw ndarray frame = "evaluate these rows": the bulk
+                    # data path skips pickle entirely in both directions.
+                    if rig is None:
+                        _send_message(
+                            conn, {"op": "error", "message": "eval before bootstrap"}
+                        )
+                        continue
+                    _send_array(
+                        conn, np.asarray(self._eval(rig, message), dtype=np.float64)
+                    )
+                    continue
                 op = message.get("op")
                 if op == "bootstrap":
                     rig = self._build_rig(message["spec"])
@@ -472,6 +579,10 @@ class RpcWorkerClient:
             raise RpcError(f"client for {self.host}:{self.port} is not connected")
         _send_message(self._sock, message)
         reply = _recv_message(self._sock)
+        if not isinstance(reply, dict):
+            raise RpcError(
+                f"worker {self.host}:{self.port} sent a non-control reply to {message.get('op')!r}"
+            )
         if reply.get("op") == "error":
             raise RpcError(
                 f"worker {self.host}:{self.port} error: {reply.get('message')}"
@@ -483,9 +594,22 @@ class RpcWorkerClient:
         self._request({"op": "bootstrap", "spec": spec})
 
     def evaluate(self, rows: np.ndarray) -> np.ndarray:
-        """Fitness of one shard of repaired encodings, in row order."""
-        reply = self._request({"op": "eval", "rows": rows})
-        return np.asarray(reply["fitnesses"], dtype=float)
+        """Fitness of one chunk of repaired encodings, in row order.
+
+        Rows travel as a raw ndarray frame and the fitnesses come back the
+        same way — neither side unpickles the other's array data.
+        """
+        if self._sock is None:
+            raise RpcError(f"client for {self.host}:{self.port} is not connected")
+        _send_array(self._sock, np.ascontiguousarray(rows, dtype=np.float64))
+        reply = _recv_message(self._sock)
+        if isinstance(reply, np.ndarray):
+            return np.asarray(reply, dtype=float)
+        if isinstance(reply, dict) and reply.get("op") == "error":
+            raise RpcError(
+                f"worker {self.host}:{self.port} error: {reply.get('message')}"
+            )
+        raise RpcError(f"worker {self.host}:{self.port} sent an unexpected eval reply")
 
     def heartbeat(self, timeout: float = 2.0) -> bool:
         """Ping/pong liveness probe; ``False`` means the worker is gone.
@@ -542,12 +666,16 @@ class RpcEvaluationPool:
         token: Optional[str] = None,
         connect_timeout: float = 5.0,
         heartbeat_timeout: float = 2.0,
+        chunk_rows: int = DEFAULT_CHUNK_ROWS,
     ):
         self.spec = spec
         self.hosts = parse_hosts(hosts)
         self.token = resolve_token(token)
         self.connect_timeout = connect_timeout
         self.heartbeat_timeout = heartbeat_timeout
+        if chunk_rows < 1:
+            raise ConfigurationError(f"chunk_rows must be >= 1, got {chunk_rows}")
+        self.chunk_rows = int(chunk_rows)
         self._clients: Dict[Tuple[str, int], RpcWorkerClient] = {}
         self._dead: set = set()
         self._fallback_rig: Optional[SimulationRig] = None
@@ -648,71 +776,74 @@ class RpcEvaluationPool:
         clients = self._live_clients()
         if not clients:
             return self._local_rig().fitnesses_for_rows(rows)
-        shards = split_shards(rows, len(clients))
-        return gather_rows(self._dispatch(shards, clients))
+        even = -(-len(rows) // len(clients))  # ceil division
+        height = min(self.chunk_rows, max(MIN_ROWS_PER_WORKER, even))
+        return self._dispatch(rows, split_chunks(len(rows), height), clients)
 
     def _dispatch(
-        self, shards: List[np.ndarray], clients: List[RpcWorkerClient]
-    ) -> List[np.ndarray]:
-        """Score every shard, re-dispatching the shards of workers that die.
+        self,
+        rows: np.ndarray,
+        chunks: List[Tuple[int, int]],
+        clients: List[RpcWorkerClient],
+    ) -> np.ndarray:
+        """Work-stealing dispatch: clients pull chunks from a shared queue.
 
-        Each round assigns the pending shards round-robin over the surviving
-        workers and runs one sender thread per worker (shards travel and
-        compute concurrently across hosts).  A transport failure marks that
-        worker dead and requeues its unfinished shards; when no workers
-        remain, the local fallback rig finishes the job.
+        One sender thread per worker loops "pop the next ``(start, stop)``
+        chunk, evaluate it remotely, scatter the fitnesses at the chunk's
+        row offset" — a fast host simply pulls more chunks than a slow one,
+        and row order is positional so any steal schedule gathers
+        identically.  A transport failure marks that worker dead and
+        requeues the chunk for the survivors; chunks still unfinished when
+        every host is gone land on the local fallback rig — which also
+        raises the real error if the problem was systemic rather than one
+        host dying.
         """
-        results: List[Optional[np.ndarray]] = [None] * len(shards)
-        pending = deque(range(len(shards)))
+        fitnesses = np.empty(len(rows), dtype=float)
+        queue = deque(range(len(chunks)))
+        done = [False] * len(chunks)
         lock = threading.Lock()
-        while pending:
-            if not clients:
-                rig = self._local_rig()
-                while pending:
-                    index = pending.popleft()
-                    results[index] = rig.fitnesses_for_rows(shards[index])
-                break
-            assignments: List[List[int]] = [[] for _ in clients]
-            slot = 0
-            while pending:
-                assignments[slot % len(clients)].append(pending.popleft())
-                slot += 1
-            failed_clients: List[RpcWorkerClient] = []
-            retry: List[int] = []
+        failed_clients: List[RpcWorkerClient] = []
 
-            def _run(client: RpcWorkerClient, indices: List[int]) -> None:
-                # Any failure — transport death, corrupt frame, protocol
-                # error — retires this worker and requeues its remaining
-                # shards; a systemic (non-worker) problem still surfaces,
-                # because the shards eventually reach the local rig, which
-                # raises the real error.
-                for position, index in enumerate(indices):
-                    try:
-                        fitnesses = client.evaluate(shards[index])
-                    except Exception:
-                        with lock:
-                            failed_clients.append(client)
-                            retry.extend(indices[position:])
+        def _run(client: RpcWorkerClient) -> None:
+            while True:
+                with lock:
+                    if not queue:
                         return
-                    results[index] = fitnesses
+                    index = queue.popleft()
+                start, stop = chunks[index]
+                try:
+                    result = client.evaluate(rows[start:stop])
+                    if len(result) != stop - start:
+                        raise RpcError(
+                            f"worker {client.host}:{client.port} returned "
+                            f"{len(result)} fitnesses for a {stop - start}-row chunk"
+                        )
+                except Exception:
+                    with lock:
+                        queue.appendleft(index)
+                        failed_clients.append(client)
+                    return
+                fitnesses[start:stop] = result  # disjoint rows: no lock needed
+                with lock:
+                    done[index] = True
 
-            threads = [
-                threading.Thread(target=_run, args=(client, indices), daemon=True)
-                for client, indices in zip(clients, assignments)
-                if indices
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-            for client in failed_clients:
-                self._mark_dead((client.host, client.port), "died mid-shard")
-            clients = [client for client in clients if client not in failed_clients]
-            pending.extend(sorted(retry))
-        missing = [index for index, result in enumerate(results) if result is None]
-        if missing:  # pragma: no cover - the retry loop leaves nothing behind
-            raise RpcError(f"internal dispatch error: shards {missing} never produced results")
-        return results  # type: ignore[return-value]
+        threads = [
+            threading.Thread(target=_run, args=(client,), daemon=True)
+            for client in clients
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for client in failed_clients:
+            self._mark_dead((client.host, client.port), "died mid-chunk")
+        remaining = [index for index in range(len(chunks)) if not done[index]]
+        if remaining:
+            rig = self._local_rig()
+            for index in remaining:
+                start, stop = chunks[index]
+                fitnesses[start:stop] = rig.fitnesses_for_rows(rows[start:stop])
+        return fitnesses
 
     # ------------------------------------------------------------------
     def warm_up(self) -> int:

@@ -14,6 +14,12 @@ this checker proves it at the source level for every module that imports
 * ``# rpc-frame: encoder allow=op1,op2,...`` marks the serialization
   choke-point and the frame ops it may emit; a call site passing a literal
   frame whose ``"op"`` is off-list (or missing) is RPL304.
+* Raw ndarray frames never touch pickle, but aliasing wire bytes as an
+  array (``np.frombuffer``, ``np.ndarray(buffer=...)``, or ``recv``-ing
+  straight into an array's memory) trusts a peer-supplied dtype/shape
+  header, so it must also live in the ``decoder`` function — anywhere else
+  is RPL306.  No ``allow=`` entry is involved: the tag byte, not a frame
+  ``op``, selects the array path.
 """
 
 from __future__ import annotations
@@ -56,6 +62,7 @@ class RpcFrameChecker(Checker):
         "RPL303": "connection handler unpickles without calling the auth gate",
         "RPL304": "frame op not in the encoder's allowlist",
         "RPL305": "pickle serialization outside the annotated frame encoder",
+        "RPL306": "raw ndarray frame decode outside the annotated frame decoder",
     }
 
     def check(self, src: SourceFile) -> Iterator[Finding]:
@@ -130,6 +137,15 @@ class RpcFrameChecker(Checker):
                 bucket["auth"].append(call)
             if final in encoders:
                 yield from self._check_frame_literal(src, call, encoders[final])
+            reason = self._raw_ndarray_decode(call, qual, final)
+            if reason is not None and not any(f.name in decoders for f in stack):
+                yield self.finding(
+                    src,
+                    call,
+                    "RPL306",
+                    f"{reason} outside the '# rpc-frame: decoder' function — "
+                    "peer-supplied dtype/shape headers may only be trusted there",
+                )
 
         for function, bucket in per_function.items():
             if function is None or function.name in annotated:
@@ -180,6 +196,41 @@ class RpcFrameChecker(Checker):
                     allow = {op.strip() for op in match.group(2).split(",") if op.strip()}
                 return match.group(1), allow
         return None
+
+    def _raw_ndarray_decode(
+        self, call: ast.Call, qual: Optional[str], final: Optional[str]
+    ) -> Optional[str]:
+        """Why *call* constructs an ndarray from raw wire bytes, else ``None``.
+
+        Three shapes count as the zero-copy decode direction: aliasing a
+        bytes object (``np.frombuffer``), aliasing an arbitrary buffer
+        (``np.ndarray(buffer=...)``), and receiving socket bytes straight
+        into an existing array's memory (a ``recv``-style call handed a
+        ``memoryview(array).cast(...)``).
+        """
+        if qual == "numpy.frombuffer":
+            return "np.frombuffer() aliases raw bytes as an ndarray"
+        if qual == "numpy.ndarray" and any(kw.arg == "buffer" for kw in call.keywords):
+            return "np.ndarray(buffer=...) aliases raw bytes as an ndarray"
+        if final is not None and "recv" in final:
+            arguments = list(call.args) + [kw.value for kw in call.keywords]
+            if any(self._casts_memoryview(argument) for argument in arguments):
+                return "socket bytes received straight into an ndarray's memory"
+        return None
+
+    @staticmethod
+    def _casts_memoryview(node: ast.expr) -> bool:
+        """True if *node* contains a ``memoryview(...).cast(...)`` expression."""
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "cast"
+                and isinstance(sub.func.value, ast.Call)
+                and call_final_name(sub.func.value.func) == "memoryview"
+            ):
+                return True
+        return False
 
     def _handles_connection(self, function: _FunctionNode) -> bool:
         names = [arg.arg for arg in function.args.args + function.args.kwonlyargs]

@@ -15,13 +15,16 @@ import pytest
 from repro.accelerator import build_setting
 from repro.core.evaluator import EVAL_BACKENDS, MappingEvaluator
 from repro.core.framework import M3E
+from repro.core import parallel as parallel_module
 from repro.core.parallel import (
     MIN_ROWS_PER_WORKER,
     EvaluatorSpec,
     ParallelEvaluationPool,
+    SharedMemoryRing,
     SimulationRig,
     gather_rows,
     resolve_num_workers,
+    split_chunks,
     split_shards,
 )
 from repro.exceptions import ConfigurationError
@@ -300,3 +303,82 @@ class TestConfiguration:
         platform, group = _problem("S1", 16.0, 8)
         with pytest.raises(ConfigurationError):
             MappingEvaluator(group, platform, backend="parallel", num_workers=0)
+
+
+class TestWorkStealingProperties:
+    """Work-stealing dispatch must be invisible in the results.
+
+    The property under test: for every chunk size, transport (shared memory
+    or pickle), and fault schedule (slow workers, a worker killed
+    mid-chunk), the gathered fitnesses are bit-identical to the in-process
+    batch sweep — chunking and steal order are pure throughput devices.
+    """
+
+    @pytest.fixture()
+    def rig_and_rows(self):
+        platform, group = _problem("S2", 16.0, 10)
+        evaluator = MappingEvaluator(group, platform, backend="batch")
+        spec = _spec_for(evaluator)
+        rows = evaluator.codec.repair_batch(evaluator.codec.random_population(73, rng=5))
+        return spec, rows, spec.build_rig().fitnesses_for_rows(rows)
+
+    @pytest.fixture(autouse=True)
+    def _reset_fault_seams(self):
+        yield
+        parallel_module._FAULT_DELAY_S = 0.0
+        parallel_module._FAULT_KILL_CHUNK_START = None
+
+    def test_split_chunks_contract(self):
+        assert split_chunks(10, 4) == [(0, 4), (4, 8), (8, 10)]
+        assert split_chunks(8, 8) == [(0, 8)]
+        assert split_chunks(0, 16) == []
+        with pytest.raises(ConfigurationError):
+            split_chunks(10, 0)
+
+    @pytest.mark.parametrize("use_shm", [True, False])
+    @pytest.mark.parametrize("chunk_rows", [1, 3, 7, 16, 50])
+    def test_arbitrary_chunk_sizes_bit_identical(self, rig_and_rows, use_shm, chunk_rows):
+        spec, rows, reference = rig_and_rows
+        with ParallelEvaluationPool(
+            spec, num_workers=3, chunk_rows=chunk_rows, use_shared_memory=use_shm
+        ) as pool:
+            assert np.array_equal(pool.evaluate(rows), reference)
+
+    @pytest.mark.parametrize("use_shm", [True, False])
+    def test_slow_workers_bit_identical(self, rig_and_rows, use_shm):
+        spec, rows, reference = rig_and_rows
+        parallel_module._FAULT_DELAY_S = 0.01
+        with ParallelEvaluationPool(
+            spec, num_workers=3, chunk_rows=7, use_shared_memory=use_shm
+        ) as pool:
+            assert np.array_equal(pool.evaluate(rows), reference)
+
+    @pytest.mark.parametrize("use_shm", [True, False])
+    def test_killed_worker_recovers_bit_identical(self, rig_and_rows, use_shm):
+        """The worker holding the chunk at row 14 kills itself mid-task: the
+        orphaned chunks are recomputed inline, the wedged pool is abandoned,
+        and the next generation dispatches on a fresh pool."""
+        spec, rows, reference = rig_and_rows
+        parallel_module._FAULT_KILL_CHUNK_START = 14
+        pool = ParallelEvaluationPool(
+            spec, num_workers=3, chunk_rows=7,
+            use_shared_memory=use_shm, task_timeout_s=2.0,
+        )
+        try:
+            assert np.array_equal(pool.evaluate(rows), reference)
+            parallel_module._FAULT_KILL_CHUNK_START = None
+            assert np.array_equal(pool.evaluate(rows), reference)
+        finally:
+            pool.close()
+
+    def test_shared_memory_ring_rotates_and_grows(self):
+        ring = SharedMemoryRing()
+        first = ring.acquire(64)
+        second = ring.acquire(64)
+        assert first.name != second.name  # consecutive generations rotate slots
+        third = ring.acquire(64)
+        assert third.name == first.name  # full rotation reuses the slot
+        grown = ring.acquire(first.size + 1)  # too small: recreated bigger
+        assert grown.name != second.name and grown.size >= first.size + 1
+        ring.close()
+        ring.close()  # idempotent

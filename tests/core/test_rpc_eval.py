@@ -16,6 +16,7 @@ without the timing races of an actual ``kill``.
 
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -303,7 +304,9 @@ class TestRpcBackendEquivalence:
                 batch.evaluate_population(population, count_samples=False),
                 rpc.evaluate_population(population, count_samples=False),
             )
-            assert server.evals_served == 1 and server.rows_served == 40
+            # Work-stealing dispatch: 40 rows at the default 16-row chunk
+            # height is three chunks (16 + 16 + 8), all pulled by the one host.
+            assert server.evals_served == 3 and server.rows_served == 40
         finally:
             rpc.close()
             server.shutdown()
@@ -362,10 +365,12 @@ class TestFaultTolerance:
             reference = batch.evaluate_population(population, count_samples=False)
             observed = rpc.evaluate_population(population, count_samples=False)
             assert np.array_equal(observed, reference)
-            # The dying host is struck off and the survivor did real work
-            # (its own shard plus the re-dispatched one).
+            # The dying host is struck off and the survivor did real work:
+            # the dying worker never completes a chunk, so every one of the
+            # three chunks (40 rows / 16-row height) lands on the survivor —
+            # including the one stolen back from the dead host's queue slot.
             assert rpc._pool.num_live_hosts == 1
-            assert healthy.evals_served == 2
+            assert healthy.evals_served == 3
             # Later generations proceed on the survivor alone, still correct.
             again = rpc.evaluate_population(
                 batch.codec.random_population(40, rng=7), count_samples=False
@@ -587,7 +592,8 @@ class TestWorkerLifecycle:
                     _spec_for(evaluator), hosts=[server.address], token=TOKEN
                 ) as pool:
                     assert np.array_equal(pool.evaluate(rows), reference)
-                assert server.evals_served == round_number
+                # 20 rows with one host = two work-stealing chunks (16 + 4).
+                assert server.evals_served == 2 * round_number
             assert server.connections_served == 2
         finally:
             server.shutdown()
@@ -621,3 +627,100 @@ class TestWorkerLifecycle:
             thread.join()
         server.shutdown()
         assert not errors
+
+
+class SlowWorker(EvalWorkerServer):
+    """A healthy but slow worker: every reply is correct, just late.
+
+    Under work-stealing dispatch a slow host simply pulls fewer chunks from
+    the shared queue; it must never change the gathered fitnesses.
+    """
+
+    def __init__(self, delay_s: float = 0.1, **kwargs):
+        super().__init__(**kwargs)
+        self.delay_s = delay_s
+
+    def _eval(self, rig, rows):
+        time.sleep(self.delay_s)
+        return super()._eval(rig, rows)
+
+
+class TestWorkStealingProperties:
+    """Chunked work-stealing over the fleet must be invisible in the results.
+
+    Mirror of the parallel-backend property suite
+    (``tests/core/test_parallel_eval.py::TestWorkStealingProperties``): for
+    every chunk size and fault schedule (slow host, host killed mid-chunk)
+    the gathered fitnesses are bit-identical to the in-process batch sweep —
+    chunking and steal order are pure throughput devices.
+    """
+
+    @pytest.fixture()
+    def spec_rows_reference(self):
+        platform, group = _problem("S2", 16.0, 10)
+        evaluator = MappingEvaluator(group, platform, backend="batch")
+        spec = _spec_for(evaluator)
+        rows = evaluator.codec.repair_batch(
+            evaluator.codec.random_population(73, rng=5)
+        )
+        return spec, rows, spec.build_rig().fitnesses_for_rows(rows)
+
+    @pytest.mark.parametrize("chunk_rows", [1, 3, 7, 16, 50])
+    def test_arbitrary_chunk_sizes_bit_identical(
+        self, workers, spec_rows_reference, chunk_rows
+    ):
+        spec, rows, reference = spec_rows_reference
+        pool = RpcEvaluationPool(
+            spec,
+            hosts=[server.address for server in workers],
+            token=TOKEN,
+            chunk_rows=chunk_rows,
+        )
+        try:
+            assert np.array_equal(pool.evaluate(rows), reference)
+        finally:
+            pool.close()
+
+    def test_slow_worker_steals_less_but_stays_bit_identical(
+        self, spec_rows_reference
+    ):
+        spec, rows, reference = spec_rows_reference
+        slow = SlowWorker(delay_s=0.1, token=TOKEN).start()
+        fast = EvalWorkerServer(token=TOKEN).start()
+        pool = RpcEvaluationPool(
+            spec, hosts=[slow.address, fast.address], token=TOKEN, chunk_rows=4
+        )
+        try:
+            assert np.array_equal(pool.evaluate(rows), reference)
+            # 73 rows at height 4 is 19 chunks.  The slow host sleeps 100ms
+            # per chunk while the fast host clears the whole queue in well
+            # under that, so stealing must have skewed the split — yet both
+            # hosts did real work (each popped at least its first chunk).
+            assert slow.evals_served >= 1
+            assert fast.evals_served > slow.evals_served
+        finally:
+            pool.close()
+            slow.shutdown()
+            fast.shutdown()
+
+    def test_killed_worker_with_tiny_chunks_bit_identical(
+        self, spec_rows_reference
+    ):
+        """A host that serves two chunks and then dies mid-queue: its third
+        chunk is requeued for the survivor and later generations keep
+        working, all bit-identical."""
+        spec, rows, reference = spec_rows_reference
+        dying = AbortingWorker(die_on_eval=3, token=TOKEN).start()
+        healthy = EvalWorkerServer(token=TOKEN).start()
+        pool = RpcEvaluationPool(
+            spec, hosts=[dying.address, healthy.address], token=TOKEN, chunk_rows=5
+        )
+        try:
+            assert np.array_equal(pool.evaluate(rows), reference)
+            assert pool.num_live_hosts == 1
+            # Next generation proceeds on the survivor alone, still exact.
+            assert np.array_equal(pool.evaluate(rows), reference)
+        finally:
+            pool.close()
+            dying.shutdown()
+            healthy.shutdown()

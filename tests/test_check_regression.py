@@ -2,6 +2,7 @@
 
 import importlib.util
 import json
+import sys
 from pathlib import Path
 
 import pytest
@@ -110,15 +111,51 @@ class TestGate:
             check_regression.load_baselines(str(baselines))
 
 
+def _bench_constant(module_file: str, name: str) -> float:
+    """A MIN_* floor constant as the benchmark module itself defines it."""
+    bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+    spec = importlib.util.spec_from_file_location(
+        module_file.removesuffix(".py"), bench_dir / module_file
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Some benchmark modules import siblings (e.g. profile_kernel); make the
+    # benchmarks directory importable for the duration of the load, exactly
+    # as pytest's rootdir-prepend collection does.
+    sys.path.insert(0, str(bench_dir))
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.path.remove(str(bench_dir))
+    return getattr(module, name)
+
+
 class TestCommittedBaselines:
     def test_committed_floors_match_the_benchmarks_own_minimums(self):
-        """The committed floors must agree with the MIN_SPEEDUP constants the
+        """The committed floors must agree with the MIN_* constants the
         benchmark files themselves assert, so the gate and the smoke tests
         can never disagree about what 'regressed' means."""
         committed = check_regression.load_baselines(str(check_regression.DEFAULT_BASELINES))
-        assert committed["BENCH_batch_eval.json"]["speedup"] == 3.0
-        assert committed["BENCH_parallel_eval.json"]["speedup"] == 2.0
-        assert committed["BENCH_rpc_eval.json"]["speedup"] == 1.5
+        expectations = {
+            ("BENCH_batch_eval.json", "speedup"): (
+                "test_batch_eval_speed.py", "MIN_SPEEDUP"),
+            ("BENCH_parallel_eval.json", "speedup"): (
+                "test_parallel_eval_speed.py", "MIN_SPEEDUP"),
+            ("BENCH_rpc_eval.json", "speedup"): (
+                "test_rpc_eval_speed.py", "MIN_SPEEDUP"),
+            ("BENCH_kernel_sweep.json", "s2_row_events_per_second"): (
+                "test_kernel_sweep.py", "MIN_S2_ROW_EVENTS_PER_SECOND"),
+            ("BENCH_kernel_sweep.json", "s6_row_events_per_second"): (
+                "test_kernel_sweep.py", "MIN_S6_ROW_EVENTS_PER_SECOND"),
+            ("BENCH_frame_codec.json", "ndarray_frame_gb_per_second"): (
+                "test_frame_codec_speed.py", "MIN_GB_PER_SECOND"),
+            ("BENCH_dispatch_overhead.json", "chunks_per_second"): (
+                "test_dispatch_overhead.py", "MIN_CHUNKS_PER_SECOND"),
+        }
+        for (bench_file, metric), (module_file, constant) in expectations.items():
+            assert committed[bench_file][metric] == _bench_constant(module_file, constant), (
+                f"{bench_file}:{metric} floor disagrees with "
+                f"benchmarks/{module_file}:{constant}"
+            )
 
     def test_gate_accepts_the_checked_in_bench_results(self):
         """The BENCH_*.json files committed at the repo root must pass their

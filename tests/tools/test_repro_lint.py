@@ -426,6 +426,68 @@ class TestRpcFrameChecker:
             """
         )
 
+    def test_detects_frombuffer_outside_decoder(self):
+        assert "RPL306" in rpc_codes(
+            """
+            import numpy as np
+
+            def sneak_array(sock):
+                return np.frombuffer(recv_frame(sock), dtype=np.float64)
+            """
+        )
+
+    def test_detects_ndarray_buffer_alias_outside_decoder(self):
+        assert "RPL306" in rpc_codes(
+            """
+            import numpy as np
+
+            def sneak_alias(sock):
+                raw = recv_frame(sock)
+                return np.ndarray((len(raw) // 8,), dtype=np.float64, buffer=raw)
+            """
+        )
+
+    def test_detects_recv_into_array_outside_decoder(self):
+        assert "RPL306" in rpc_codes(
+            """
+            import numpy as np
+
+            def sneak_fill(sock, shape):
+                array = np.empty(shape, dtype=np.float64)
+                sock.recv_into(memoryview(array).cast("B"))
+                return array
+            """
+        )
+
+    def test_ndarray_decode_inside_decoder_is_clean(self):
+        assert (
+            rpc_codes(
+                """
+            import numpy as np
+
+            def decode_array(sock, shape):
+                # rpc-frame: decoder
+                array = np.empty(shape, dtype=np.float64)
+                sock.recv_into(memoryview(array).cast("B"))
+                return array
+            """
+            )
+            == []
+        )
+
+    def test_ndarray_without_buffer_keyword_is_clean(self):
+        assert (
+            rpc_codes(
+                """
+            import numpy as np
+
+            def build(shape):
+                return np.ndarray(shape, dtype=np.float64)
+            """
+            )
+            == []
+        )
+
     def test_clean_auth_then_decode_handler(self):
         assert (
             rpc_codes(
