@@ -56,6 +56,16 @@ Any search-running command accepts ``--warm-store PATH`` to read/extend the
 same cross-run warm-start library::
 
     repro-magma search --task vision --warm-store warm.jsonl
+
+Observability (docs/OBSERVABILITY.md): ``--trace PATH`` records a structured
+JSONL trace of any search-running command (bit-identical results, traced or
+not), ``trace summarize`` renders it as a per-phase timeline table, and
+``metrics`` dumps the Prometheus-text metrics of this process or of a
+running service::
+
+    repro-magma search --task mix --trace search_trace.jsonl
+    repro-magma trace summarize search_trace.jsonl
+    repro-magma metrics --url http://127.0.0.1:8787
 """
 
 from __future__ import annotations
@@ -126,8 +136,18 @@ def _session_seed(args: argparse.Namespace) -> int:
     return seed
 
 
+def _configure_trace(args: argparse.Namespace) -> None:
+    """Honour ``--trace PATH``: enable tracing with a JSONL file sink."""
+    path = getattr(args, "trace", None)
+    if path:
+        from repro.obs import configure_tracing
+
+        configure_tracing(enabled=True, sink_path=path)
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     """Run a single mapping search and print the result summary."""
+    _configure_trace(args)
     seed = _session_seed(args)
     platform = build_setting(args.setting, args.bandwidth)
     task = TaskType(args.task)
@@ -156,6 +176,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     """Compare several optimizers on one problem and print a table."""
+    _configure_trace(args)
     scale = get_scale(args.scale)
     results = run_method_comparison(
         args.setting,
@@ -182,6 +203,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     registry, so ``--scale``, ``--seed``, ``--eval-backend``, and
     ``--eval-workers`` apply uniformly.
     """
+    _configure_trace(args)
     output = run_scenario(
         args.name,
         scale=args.scale,
@@ -195,6 +217,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     """Expand scenarios into search cells and stream results to a JSONL store."""
+    _configure_trace(args)
     scenarios: list = list(args.scenarios)
     if args.grid:
         with open(args.grid, "r", encoding="utf-8") as handle:
@@ -272,6 +295,7 @@ def _cmd_eval_worker(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the mapping service behind the localhost HTTP JSON API."""
+    _configure_trace(args)
     import signal
 
     from repro.service import MappingService, create_server
@@ -365,6 +389,51 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         reply = call(f"/result/{job_id}")
     print(json.dumps(reply, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Dump metrics in the Prometheus text format.
+
+    With ``--url`` the dump is scraped from a running mapping service's
+    ``GET /metrics``; without it, the registry of this CLI process is
+    rendered (useful under ``--trace``-style local runs and in tests).
+    """
+    if args.url:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + "/metrics"
+        try:
+            with urllib.request.urlopen(url, timeout=args.timeout) as response:
+                sys.stdout.write(response.read().decode("utf-8"))
+        except urllib.error.URLError as error:
+            raise ServiceError(f"cannot scrape {url}: {error.reason}") from error
+    else:
+        from repro.obs import render_prometheus
+
+        sys.stdout.write(render_prometheus())
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Render a recorded JSONL trace as a per-phase timeline table."""
+    from repro.obs import render_trace_summary, summarize_trace
+
+    summary = summarize_trace(args.path)
+    if not summary["records"]:
+        print(f"no trace records in {args.path}")
+        return 1
+    print(render_trace_summary(summary))
+    return 0
+
+
+def _add_trace_option(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` flag (structured JSONL tracing to a file sink)."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a structured JSONL trace of this run to PATH "
+        "(results stay bit-identical; summarize with 'repro-magma trace summarize PATH')",
+    )
 
 
 def _add_seed_option(parser: argparse.ArgumentParser) -> None:
@@ -473,6 +542,7 @@ def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
     _add_eval_backend_options(search)
     _add_warm_store_option(search)
     search.add_argument("--show-schedule", action="store_true")
+    _add_trace_option(search)
     search.set_defaults(func=_cmd_search)
 
     compare = subparsers.add_parser("compare", help="compare optimizers on one problem")
@@ -483,6 +553,7 @@ def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
     compare.add_argument("--scale", default=None, choices=list_scales())
     _add_seed_option(compare)
     _add_eval_backend_options(compare)
+    _add_trace_option(compare)
     compare.set_defaults(func=_cmd_compare)
 
     experiment = subparsers.add_parser("experiment", help="run one registered scenario")
@@ -491,6 +562,7 @@ def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
     _add_seed_option(experiment)
     _add_eval_backend_options(experiment)
     _add_warm_store_option(experiment)
+    _add_trace_option(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
     campaign = subparsers.add_parser(
@@ -526,6 +598,7 @@ def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
     )
     _add_eval_backend_options(campaign)
     _add_warm_store_option(campaign)
+    _add_trace_option(campaign)
     campaign.set_defaults(func=_cmd_campaign)
 
     eval_worker = subparsers.add_parser(
@@ -559,6 +632,7 @@ def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
     serve.add_argument("--scale", default=None, choices=list_scales())
     _add_eval_backend_options(serve)
     _add_warm_store_option(serve)
+    _add_trace_option(serve)
     serve.set_defaults(func=_cmd_serve)
 
     submit = subparsers.add_parser(
@@ -580,6 +654,27 @@ def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
     submit.add_argument("--poll", type=float, default=0.5, metavar="SECONDS")
     submit.add_argument("--timeout", type=float, default=30.0, metavar="SECONDS")
     submit.set_defaults(func=_cmd_submit)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="dump metrics in the Prometheus text format (docs/OBSERVABILITY.md)",
+    )
+    metrics.add_argument(
+        "--url", default=None, metavar="URL",
+        help="scrape GET /metrics of a running service instead of this process's registry",
+    )
+    metrics.add_argument("--timeout", type=float, default=10.0, metavar="SECONDS")
+    metrics.set_defaults(func=_cmd_metrics)
+
+    trace = subparsers.add_parser(
+        "trace", help="inspect recorded JSONL traces (docs/OBSERVABILITY.md)"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize", help="render a trace as a per-phase timeline table"
+    )
+    trace_summarize.add_argument("path", metavar="TRACE.jsonl")
+    trace_summarize.set_defaults(func=_cmd_trace_summarize)
 
     lint = subparsers.add_parser(
         "lint",

@@ -53,6 +53,7 @@ from repro.core.parallel import EvaluatorSpec, ParallelEvaluationPool, Simulatio
 from repro.core.rpc import RpcEvaluationPool
 from repro.core.schedule import Schedule
 from repro.exceptions import ConfigurationError, OptimizationError
+from repro.obs import get_metrics, get_tracer
 from repro.workloads.groups import JobGroup
 
 #: Valid values for the evaluator's ``backend`` argument.
@@ -163,6 +164,33 @@ class MappingEvaluator:
                 token=rpc_token,
             )
         self.sampling_budget = sampling_budget
+        # Telemetry (docs/OBSERVABILITY.md): per-generation spans when the
+        # process tracer is enabled, always-on cheap counters (one lock
+        # update per generation, never per row).  Observation only — nothing
+        # here feeds a seed, a fingerprint, or a control-flow decision.
+        self._tracer = get_tracer()
+        _metrics = get_metrics()
+        self._m_evals = _metrics.counter(
+            "repro_evals_total",
+            "Fitness evaluations performed, by evaluation backend",
+            labels={"backend": backend},
+        )
+        self._m_memo_hits = _metrics.counter(
+            "repro_memo_hits_total", "Encoding->fitness memo-cache hits (no re-simulation)"
+        )
+        self._m_memo_misses = _metrics.counter(
+            "repro_memo_misses_total", "Memo-cache misses (rows freshly simulated)"
+        )
+        self._m_row_events = _metrics.counter(
+            "repro_kernel_row_events_total",
+            "Simulated kernel row-events (freshly simulated rows x group size)",
+        )
+        #: Cumulative memo-cache statistics (the flight recorder reads these
+        #: at the end of a search).
+        self.memo_hits = 0
+        self.memo_misses = 0
+        #: Number of :meth:`evaluate_population` calls (≈ optimizer generations).
+        self.generations = 0
         #: Memoized repaired-encoding -> fitness map used by the batch
         #: backend.  Hits skip re-simulation but still consume budget.
         self._fitness_cache: Dict[bytes, float] = {}
@@ -256,15 +284,22 @@ class MappingEvaluator:
             key = repaired.tobytes()
             fitness = self._fitness_cache.get(key)
             if fitness is None:
+                self.memo_misses += 1
+                self._m_memo_misses.inc()
+                self._m_row_events.inc(self.group.size)
                 fitness = float(self._scalar_fitness(repaired))
                 if len(self._fitness_cache) < _FITNESS_CACHE_LIMIT:
                     self._fitness_cache[key] = fitness
+            else:
+                self.memo_hits += 1
+                self._m_memo_hits.inc()
         else:
             # The scalar oracle must score the *repaired* encoding, exactly
             # like the batch path: simulating the raw vector would let the two
             # backends (and the recorded best_encoding's fitness) disagree on
             # out-of-domain encodings.
             fitness = self._scalar_fitness(repaired)
+        self._m_evals.inc()
         if count_sample:
             self._record_sample(fitness, repaired)
         return fitness
@@ -291,23 +326,32 @@ class MappingEvaluator:
         if num_evaluated == 0:
             return fitnesses
 
-        if self.backend in _POOLED_BACKENDS:
-            values, repaired = self._memoized_fitnesses(
-                population[:num_evaluated], self._pool.evaluate
-            )
-        elif self.backend == "batch":
-            values, repaired = self._memoized_fitnesses(
-                population[:num_evaluated], self._rig.fitnesses_for_rows
-            )
-        else:
-            # The scalar oracle simulates the repaired rows (the batch path
-            # always has), so out-of-domain encodings score identically.
-            repaired = np.stack(
-                [self.codec.repair(population[i]) for i in range(num_evaluated)]
-            )
-            values = np.array(
-                [self._scalar_fitness(repaired[i]) for i in range(num_evaluated)]
-            )
+        self.generations += 1
+        with self._tracer.span(
+            "evaluator.generation",
+            backend=self.backend,
+            rows=int(num_evaluated),
+            gen=self.generations,
+        ):
+            if self.backend in _POOLED_BACKENDS:
+                values, repaired = self._memoized_fitnesses(
+                    population[:num_evaluated], self._pool.evaluate
+                )
+            elif self.backend == "batch":
+                values, repaired = self._memoized_fitnesses(
+                    population[:num_evaluated], self._rig.fitnesses_for_rows
+                )
+            else:
+                # The scalar oracle simulates the repaired rows (the batch path
+                # always has), so out-of-domain encodings score identically.
+                repaired = np.stack(
+                    [self.codec.repair(population[i]) for i in range(num_evaluated)]
+                )
+                values = np.array(
+                    [self._scalar_fitness(repaired[i]) for i in range(num_evaluated)]
+                )
+                self._m_row_events.inc(int(num_evaluated) * self.group.size)
+        self._m_evals.inc(int(num_evaluated))
 
         fitnesses[:num_evaluated] = values
         if count_samples:
@@ -374,8 +418,15 @@ class MappingEvaluator:
         for i, key in enumerate(keys):
             if key not in self._fitness_cache and key not in fresh:
                 fresh[key] = i
+        hits = len(keys) - len(fresh)
+        self.memo_hits += hits
+        self.memo_misses += len(fresh)
+        if hits:
+            self._m_memo_hits.inc(hits)
         computed: Dict[bytes, float] = {}
         if fresh:
+            self._m_memo_misses.inc(len(fresh))
+            self._m_row_events.inc(len(fresh) * self.group.size)
             values = simulate(repaired[list(fresh.values())])
             computed = {key: float(values[slot]) for slot, key in enumerate(fresh)}
             if len(self._fitness_cache) < _FITNESS_CACHE_LIMIT:

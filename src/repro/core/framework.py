@@ -23,6 +23,8 @@ from repro.core.rpc import parse_hosts
 from repro.core.objectives import Objective
 from repro.core.schedule import Schedule
 from repro.exceptions import ConfigurationError, OptimizationError
+from repro.obs import FlightRecorder, get_tracer
+from repro.obs.flight import null_phase
 from repro.utils.rng import SeedLike
 from repro.workloads.groups import JobGroup
 
@@ -78,6 +80,12 @@ class SearchResult:
     schedule: Schedule
     optimizer_name: str
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: Flight-recorder block (wall/cpu per phase, eval + cache counts) —
+    #: attached only when tracing is enabled, and deliberately *not* part of
+    #: ``metadata``: metadata is durable/fingerprintable, telemetry is
+    #: diagnostic and excluded from every store and fingerprint
+    #: (docs/OBSERVABILITY.md).
+    telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     @property
     def throughput_gflops(self) -> float:
@@ -248,45 +256,78 @@ class M3E:
             algorithm = build_optimizer(optimizer, seed=seed, **(optimizer_options or {}))
         seed_policy = getattr(algorithm, "seed_policy", None)
         resolved_seed = seed_policy.resolved_seed if seed_policy is not None else None
-        evaluator = self.build_evaluator(group, sampling_budget, resolved_seed=resolved_seed)
 
-        if initial_encodings is None and self.warm_store is not None:
-            # Perturbations of the extra warm seeds must be reproducible: with
-            # no explicit seed (e.g. campaign cells hand over a pre-seeded
-            # optimizer instance), draw from the algorithm's own deterministic
-            # stream instead of fresh OS entropy.
-            warm_rng = seed if seed is not None else getattr(algorithm, "rng", None)
-            initial_encodings = self.warm_store.warm_population(
-                group,
-                evaluator.codec,
-                objective=evaluator.objective.name,
-                count=_population_size_of(algorithm),
-                rng=warm_rng,
-            )
+        # Telemetry observes, never steers: the tracer/recorder touch no RNG
+        # and feed no fingerprint, so a traced search is bit-identical to an
+        # untraced one (asserted per backend by the tier-1 property tests).
+        tracer = get_tracer()
+        recorder = FlightRecorder() if tracer.enabled else None
 
-        try:
-            best_encoding = algorithm.optimize(evaluator, initial_encodings=initial_encodings)
-            if best_encoding is None:
-                if evaluator.best_encoding is None:
-                    raise OptimizationError(
-                        f"optimizer {algorithm.name!r} returned no solution and evaluated no samples"
+        def phase(name: str) -> Any:
+            return recorder.phase(name) if recorder is not None else null_phase()
+
+        with tracer.span(
+            "m3e.search",
+            optimizer=algorithm.name,
+            backend=self.eval_backend,
+            group_size=group.size,
+            seed=resolved_seed,
+        ):
+            with phase("analyze"):
+                evaluator = self.build_evaluator(group, sampling_budget, resolved_seed=resolved_seed)
+
+            with phase("warm_start"):
+                if initial_encodings is None and self.warm_store is not None:
+                    # Perturbations of the extra warm seeds must be
+                    # reproducible: with no explicit seed (e.g. campaign cells
+                    # hand over a pre-seeded optimizer instance), draw from the
+                    # algorithm's own deterministic stream instead of fresh OS
+                    # entropy.
+                    warm_rng = seed if seed is not None else getattr(algorithm, "rng", None)
+                    initial_encodings = self.warm_store.warm_population(
+                        group,
+                        evaluator.codec,
+                        objective=evaluator.objective.name,
+                        count=_population_size_of(algorithm),
+                        rng=warm_rng,
                     )
-                best_encoding = evaluator.best_encoding
 
-            detail = evaluator.detailed_evaluation(best_encoding)
-            schedule = evaluator.schedule_for(best_encoding)
-        finally:
-            # The parallel backend's worker pool persists across generations;
-            # release it once the search is over (no-op for other backends).
-            evaluator.close()
-        if self.warm_store is not None:
-            self.warm_store.observe(
-                group,
-                best_encoding,
-                evaluator.codec,
-                detail.fitness,
-                objective=evaluator.objective.name,
-            )
+            try:
+                with phase("optimize"):
+                    best_encoding = algorithm.optimize(evaluator, initial_encodings=initial_encodings)
+                    if best_encoding is None:
+                        if evaluator.best_encoding is None:
+                            raise OptimizationError(
+                                f"optimizer {algorithm.name!r} returned no solution and evaluated no samples"
+                            )
+                        best_encoding = evaluator.best_encoding
+
+                with phase("finalize"):
+                    detail = evaluator.detailed_evaluation(best_encoding)
+                    schedule = evaluator.schedule_for(best_encoding)
+            finally:
+                # The parallel backend's worker pool persists across
+                # generations; release it once the search is over (no-op for
+                # other backends).
+                evaluator.close()
+            if self.warm_store is not None:
+                with phase("finalize"):
+                    self.warm_store.observe(
+                        group,
+                        best_encoding,
+                        evaluator.codec,
+                        detail.fitness,
+                        objective=evaluator.objective.name,
+                    )
+
+        telemetry: Optional[Dict[str, Any]] = None
+        if recorder is not None:
+            recorder.count(f"evals_{self.eval_backend}", float(evaluator.samples_used))
+            recorder.count("generations", float(evaluator.generations))
+            recorder.count("memo_hits", float(evaluator.memo_hits))
+            recorder.count("memo_misses", float(evaluator.memo_misses))
+            telemetry = recorder.to_dict()
+            telemetry["backend"] = self.eval_backend
         metadata = dict(algorithm.metadata)
         if seed_policy is not None:
             # Record the seed that governed this search so replays (service,
@@ -303,6 +344,7 @@ class M3E:
             schedule=schedule,
             optimizer_name=algorithm.name,
             metadata=metadata,
+            telemetry=telemetry,
         )
 
     def compare(

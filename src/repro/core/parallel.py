@@ -53,6 +53,7 @@ from repro.core.encoding import MappingCodec
 from repro.core.objectives import Objective, get_objective
 from repro.core.schedule import Schedule
 from repro.exceptions import ConfigurationError
+from repro.obs import get_metrics, get_tracer
 
 #: Shards smaller than this are simulated inline in the main process: the
 #: pickling + dispatch overhead would exceed the simulation cost.
@@ -457,6 +458,26 @@ class ParallelEvaluationPool:
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._fallback_rig: Optional[SimulationRig] = None
         self._ring: Optional[SharedMemoryRing] = None
+        # Telemetry (docs/OBSERVABILITY.md): dispatch counters plus
+        # structured warnings on the recovery paths, coordinator-side only —
+        # workers never touch the tracer or the registry.
+        self._tracer = get_tracer()
+        _metrics = get_metrics()
+        self._m_chunks = _metrics.counter(
+            "repro_chunks_dispatched_total",
+            "Work-stealing chunks dispatched to evaluation workers",
+            labels={"backend": "parallel"},
+        )
+        self._m_fallback = _metrics.counter(
+            "repro_local_fallback_chunks_total",
+            "Chunks recomputed inline after a worker or fleet loss",
+            labels={"backend": "parallel"},
+        )
+        self._m_deaths = _metrics.counter(
+            "repro_worker_deaths_total",
+            "Workers (or whole pools) lost mid-evaluation",
+            labels={"backend": "parallel"},
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -514,6 +535,13 @@ class ParallelEvaluationPool:
             # the work anyway); run it in process and leave the pool alone.
             return self._local_rig().fitnesses_for_rows(rows)
         pool = self._ensure_pool()
+        self._m_chunks.inc(len(chunks))
+        self._tracer.event(
+            "parallel.dispatch",
+            chunks=len(chunks),
+            rows=len(rows),
+            transport="shm" if self.use_shared_memory else "pickle",
+        )
         if self.use_shared_memory:
             return self._evaluate_shared(pool, rows, chunks)
         return self._evaluate_pickled(pool, rows, chunks)
@@ -547,6 +575,7 @@ class ParallelEvaluationPool:
         acked = {start for start, _ in acks}
         missing = [chunk for chunk in chunks if chunk[0] not in acked]
         if missing:
+            self._note_inline_recovery(missing, transport="shm")
             rig = self._local_rig()
             for start, stop in missing:
                 shared_out[start:stop] = rig.fitnesses_for_rows(rows[start:stop])
@@ -569,10 +598,25 @@ class ParallelEvaluationPool:
             acked.add(start)
         missing = [chunk for chunk in chunks if chunk[0] not in acked]
         if missing:
+            self._note_inline_recovery(missing, transport="pickle")
             rig = self._local_rig()
             for start, stop in missing:
                 fitnesses[start:stop] = rig.fitnesses_for_rows(rows[start:stop])
         return fitnesses
+
+    def _note_inline_recovery(self, missing: List[Tuple[int, int]], transport: str) -> None:
+        """Make a silent recovery loud: which chunks a lost worker stranded.
+
+        Recovery itself stays automatic (results are bit-identical either
+        way), but fleet degradation must be visible — the warning is recorded
+        even with tracing disabled.
+        """
+        self._m_fallback.inc(len(missing))
+        self._tracer.warning(
+            "parallel.chunks-recovered-inline",
+            chunks=[[int(start), int(stop)] for start, stop in missing],
+            transport=transport,
+        )
 
     def _collect(self, iterator, expected: int) -> list:
         """Up to *expected* results from the steal queue, bailing out on timeout.
@@ -592,6 +636,12 @@ class ParallelEvaluationPool:
             except StopIteration:  # pragma: no cover - expected count is exact
                 break
             except multiprocessing.TimeoutError:
+                self._m_deaths.inc()
+                self._tracer.warning(
+                    "parallel.pool-abandoned",
+                    timeout_s=self.task_timeout_s,
+                    chunks_pending=expected - len(results),
+                )
                 self._abandon_pool()
                 break
         return results

@@ -69,6 +69,7 @@ from repro.core.parallel import (
     split_chunks,
 )
 from repro.exceptions import ConfigurationError, RpcError, WorkerDiedError
+from repro.obs import get_metrics, get_tracer
 
 #: Environment variable both sides read when no token is given explicitly.
 RPC_TOKEN_ENV = "REPRO_RPC_TOKEN"
@@ -178,9 +179,21 @@ def parse_hosts(
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
+#: Wire-volume counters, shared by every socket in the process (coordinator
+#: and in-process test workers alike).  Incremented once per frame / array
+#: payload — never per row — see docs/OBSERVABILITY.md.
+_M_BYTES_SENT = get_metrics().counter(
+    "repro_rpc_bytes_sent_total", "Bytes written to RPC sockets (frames and array payloads)."
+)
+_M_BYTES_RECEIVED = get_metrics().counter(
+    "repro_rpc_bytes_received_total", "Bytes read from RPC sockets (frames and array payloads)."
+)
+
+
 def send_frame(sock: socket.socket, payload: bytes) -> None:
     """Write one length-prefixed frame."""
     sock.sendall(_LENGTH_PREFIX.pack(len(payload)) + payload)
+    _M_BYTES_SENT.inc(_LENGTH_PREFIX.size + len(payload))
 
 
 def recv_frame(sock: socket.socket, limit: int = MAX_FRAME_BYTES) -> bytes:
@@ -210,6 +223,7 @@ def _recv_exact_into(sock: socket.socket, view: memoryview) -> None:
             raise WorkerDiedError("connection closed by peer mid-frame")
         offset += count
         remaining -= count
+    _M_BYTES_RECEIVED.inc(view.nbytes)
 
 
 def _recv_exact(sock: socket.socket, count: int) -> bytes:
@@ -222,6 +236,7 @@ def _send_message(sock: socket.socket, message: Dict[str, Any]) -> None:
     # rpc-frame: encoder allow=bootstrap,eval,ping,pong,ok,result,error,shutdown
     payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     sock.sendall(_LENGTH_PREFIX.pack(1 + len(payload)) + _FRAME_PICKLE + payload)
+    _M_BYTES_SENT.inc(_LENGTH_PREFIX.size + 1 + len(payload))
 
 
 def _send_array(sock: socket.socket, array: np.ndarray) -> None:
@@ -241,6 +256,7 @@ def _send_array(sock: socket.socket, array: np.ndarray) -> None:
     sock.sendall(_LENGTH_PREFIX.pack(1 + len(header) + array.nbytes) + _FRAME_NDARRAY + header)
     if array.nbytes:
         sock.sendall(memoryview(array).cast("B"))
+    _M_BYTES_SENT.inc(_LENGTH_PREFIX.size + 1 + len(header) + array.nbytes)
 
 
 def _recv_ndarray(sock: socket.socket, body_length: int) -> np.ndarray:
@@ -679,6 +695,37 @@ class RpcEvaluationPool:
         self._clients: Dict[Tuple[str, int], RpcWorkerClient] = {}
         self._dead: set = set()
         self._fallback_rig: Optional[SimulationRig] = None
+        # Observability (docs/OBSERVABILITY.md): fleet-degradation events are
+        # always recorded; counters tick once per chunk/host, never per row.
+        self._tracer = get_tracer()
+        metrics = get_metrics()
+        self._m_chunks = metrics.counter(
+            "repro_chunks_dispatched_total",
+            "Evaluation chunks handed to pool workers.",
+            labels={"backend": "rpc"},
+        )
+        self._m_requeues = metrics.counter(
+            "repro_rpc_chunk_requeues_total",
+            "Chunks requeued for surviving workers after a host died mid-chunk.",
+        )
+        self._m_steals = metrics.counter(
+            "repro_rpc_chunk_steals_total",
+            "Chunks a worker pulled beyond its even share (work stealing).",
+        )
+        self._m_fallback = metrics.counter(
+            "repro_local_fallback_chunks_total",
+            "Chunks evaluated on the coordinator after pool workers failed.",
+            labels={"backend": "rpc"},
+        )
+        self._m_deaths = metrics.counter(
+            "repro_worker_deaths_total",
+            "Pool workers declared dead and struck off.",
+            labels={"backend": "rpc"},
+        )
+        self._m_heartbeat_failures = metrics.counter(
+            "repro_rpc_heartbeat_failures_total",
+            "Heartbeat probes that failed and struck a worker off.",
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -747,6 +794,16 @@ class RpcEvaluationPool:
         client = self._clients.pop(host, None)
         if client is not None:
             client.close()
+        self._m_deaths.inc()
+        if reason == "heartbeat failed":
+            self._m_heartbeat_failures.inc()
+        self._tracer.warning(
+            "rpc.host-dead",
+            host=f"{host[0]}:{host[1]}",
+            reason=str(reason),
+            live=self.num_live_hosts,
+            total=len(self.hosts),
+        )
         warnings.warn(
             f"rpc evaluation worker {host[0]}:{host[1]} dropped ({reason}); "
             f"{self.num_live_hosts} of {len(self.hosts)} hosts remain"
@@ -803,8 +860,13 @@ class RpcEvaluationPool:
         done = [False] * len(chunks)
         lock = threading.Lock()
         failed_clients: List[RpcWorkerClient] = []
+        completed = [0] * len(clients)
+        self._m_chunks.inc(len(chunks))
+        self._tracer.event(
+            "rpc.dispatch", chunks=len(chunks), rows=len(rows), workers=len(clients)
+        )
 
-        def _run(client: RpcWorkerClient) -> None:
+        def _run(worker: int, client: RpcWorkerClient) -> None:
             while True:
                 with lock:
                     if not queue:
@@ -818,27 +880,47 @@ class RpcEvaluationPool:
                             f"worker {client.host}:{client.port} returned "
                             f"{len(result)} fitnesses for a {stop - start}-row chunk"
                         )
-                except Exception:
+                except Exception as error:
                     with lock:
                         queue.appendleft(index)
                         failed_clients.append(client)
+                    self._m_requeues.inc()
+                    self._tracer.warning(
+                        "rpc.chunk-requeued",
+                        host=f"{client.host}:{client.port}",
+                        chunk=[int(start), int(stop)],
+                        error=str(error),
+                    )
                     return
                 fitnesses[start:stop] = result  # disjoint rows: no lock needed
                 with lock:
                     done[index] = True
+                    completed[worker] += 1
 
         threads = [
-            threading.Thread(target=_run, args=(client,), daemon=True)
-            for client in clients
+            threading.Thread(target=_run, args=(worker, client), daemon=True)
+            for worker, client in enumerate(clients)
         ]
         for thread in threads:
             thread.start()
         for thread in threads:
             thread.join()
+        # A worker that finished more than its even share stole the surplus
+        # from slower (or dead) peers — the signature of healthy stealing.
+        even_share = -(-len(chunks) // len(clients))
+        steals = sum(max(0, count - even_share) for count in completed)
+        if steals:
+            self._m_steals.inc(steals)
         for client in failed_clients:
             self._mark_dead((client.host, client.port), "died mid-chunk")
         remaining = [index for index in range(len(chunks)) if not done[index]]
         if remaining:
+            self._m_fallback.inc(len(remaining))
+            self._tracer.warning(
+                "rpc.local-fallback",
+                chunks=[[int(chunks[i][0]), int(chunks[i][1])] for i in remaining],
+                rows=int(sum(chunks[i][1] - chunks[i][0] for i in remaining)),
+            )
             rig = self._local_rig()
             for index in remaining:
                 start, stop = chunks[index]

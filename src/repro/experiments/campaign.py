@@ -40,6 +40,7 @@ from repro.experiments.scenarios import (
     with_seed_replicates,
 )
 from repro.experiments.settings import ExperimentScale, get_scale
+from repro.obs import get_tracer
 from repro.utils.jsonl_store import AppendOnlyJsonlStore
 from repro.utils.rng import spawn_rngs
 from repro.utils.serialization import SearchResultSummary, jsonable
@@ -207,17 +208,27 @@ class CampaignRunner:
         """
         from repro.optimizers import build_optimizer
 
-        platform = build_setting(cell.setting, cell.bandwidth_gbps)
-        group = self.group_for(
-            cell.task, platform.num_sub_accelerators, cell.seed, cell.group_size
-        )
-        explorer = self.explorer(platform, sampling_budget=cell.budget, objective=cell.objective)
-        if cell.seed_strategy == "spawn":
-            rng = spawn_rngs(cell.seed, cell.num_methods)[cell.method_index]
-        else:
-            rng = cell.seed
-        optimizer = build_optimizer(cell.method, seed=rng, **dict(cell.optimizer_options))
-        return explorer.search(group, optimizer=optimizer, sampling_budget=cell.budget)
+        with get_tracer().span(
+            "campaign.cell",
+            setting=cell.setting,
+            task=cell.task,
+            method=cell.method,
+            objective=cell.objective,
+            seed=cell.seed,
+        ):
+            platform = build_setting(cell.setting, cell.bandwidth_gbps)
+            group = self.group_for(
+                cell.task, platform.num_sub_accelerators, cell.seed, cell.group_size
+            )
+            explorer = self.explorer(
+                platform, sampling_budget=cell.budget, objective=cell.objective
+            )
+            if cell.seed_strategy == "spawn":
+                rng = spawn_rngs(cell.seed, cell.num_methods)[cell.method_index]
+            else:
+                rng = cell.seed
+            optimizer = build_optimizer(cell.method, seed=rng, **dict(cell.optimizer_options))
+            return explorer.search(group, optimizer=optimizer, sampling_budget=cell.budget)
 
     # ------------------------------------------------------------------
     # Campaign driver

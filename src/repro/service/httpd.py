@@ -8,7 +8,10 @@ Routes (all JSON):
 * ``GET /status/<job-id>`` — job state (``queued/running/done/failed``).
 * ``GET /result/<job-id>`` — ``200`` with the search summary once done,
   ``202`` while queued/running, ``500`` with the error when failed.
-* ``GET /healthz`` — service liveness, queue depth, cache statistics.
+* ``GET /healthz`` — service liveness, queue depth, in-flight count, store
+  and warm-library sizes, cache statistics.
+* ``GET /metrics`` — the process metrics registry in the Prometheus text
+  exposition format (the one non-JSON route; see docs/OBSERVABILITY.md).
 
 The server is a :class:`http.server.ThreadingHTTPServer`, so slow searches
 never block status polls; all actual work still runs on the service's own
@@ -24,7 +27,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Tuple
 
 from repro.exceptions import ServiceError
+from repro.obs import render_prometheus
 from repro.service.service import MappingService
+
+#: Content type of the Prometheus text exposition format we emit.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
 class MappingServiceHTTPServer(ThreadingHTTPServer):
@@ -60,6 +67,8 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if path == "/healthz":
                 self._reply(200, service.healthz())
+            elif path == "/metrics":
+                self._reply_text(200, render_prometheus(), PROMETHEUS_CONTENT_TYPE)
             elif path.startswith("/status/"):
                 self._reply(200, service.status(path[len("/status/"):]))
             elif path.startswith("/result/"):
@@ -101,9 +110,12 @@ class _Handler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------------
     def _reply(self, code: int, payload: Dict[str, Any]) -> None:
-        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self._reply_text(code, json.dumps(payload, sort_keys=True), "application/json")
+
+    def _reply_text(self, code: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
         self.send_response(code)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)

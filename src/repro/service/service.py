@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field, fields as dataclass_fields
 from typing import Any, Dict, Optional, Sequence
@@ -34,6 +35,7 @@ from repro.core.evaluator import DEFAULT_EVAL_BACKEND
 from repro.core.objectives import list_objectives
 from repro.exceptions import ReproError, ServiceError
 from repro.experiments.campaign import CampaignRunner
+from repro.obs import get_metrics, get_tracer
 from repro.experiments.scenarios import default_optimizer_options
 from repro.experiments.settings import ExperimentScale
 from repro.service.store import SolutionStore
@@ -173,6 +175,9 @@ class MappingJob:
     error: Optional[str] = None
     result: Optional[SearchResultSummary] = None
     done_event: threading.Event = field(default_factory=threading.Event, repr=False)
+    #: Monotonic enqueue timestamp — queue-wait attribution only, never
+    #: serialized (status() builds its dict explicitly).
+    enqueued_at: float = field(default=0.0, repr=False, compare=False)
 
     def status(self) -> Dict[str, Any]:
         """JSON-ready job status (without the result payload)."""
@@ -259,6 +264,27 @@ class MappingService:
             "searches_run": 0,
             "failed": 0,
         }
+        # Observability (docs/OBSERVABILITY.md): request lifecycle events plus
+        # registry-backed gauges the healthz payload reads back.
+        self._tracer = get_tracer()
+        self._metrics = get_metrics()
+        self._g_queue_depth = self._metrics.gauge(
+            "repro_service_queue_depth", "Jobs accepted but not yet picked up by a worker."
+        )
+        self._g_inflight = self._metrics.gauge(
+            "repro_service_inflight", "Jobs currently executing on worker threads."
+        )
+        self._h_queue_wait = self._metrics.histogram(
+            "repro_service_queue_wait_seconds", "Time jobs spent queued before a worker ran them."
+        )
+        self._m_requests = {
+            outcome: self._metrics.counter(
+                "repro_service_requests_total",
+                "Submitted requests by outcome (cache-hit, deduped, queued).",
+                labels={"outcome": outcome},
+            )
+            for outcome in ("cache-hit", "deduped", "queued")
+        }
         # Never-corrupt startup: drop a torn trailing line a previous crash
         # may have left, then index best-per-fingerprint for instant hits.
         self.store.repair()
@@ -299,6 +325,7 @@ class MappingService:
             inflight = self._inflight.get(fingerprint)
             if inflight is not None:
                 self.stats["deduped"] += 1
+                self._note_submitted(inflight, "deduped")
                 return inflight
             job = MappingJob(job_id=self._next_id(), fingerprint=fingerprint, request=payload)
             self._jobs[job.job_id] = job
@@ -310,10 +337,26 @@ class MappingService:
                 job.state = "done"
                 job.done_event.set()
                 self._retire(job)
+                self._note_submitted(job, "cache-hit")
                 return job
+            job.enqueued_at = time.monotonic()
             self._inflight[fingerprint] = job
             self._queue.put(job)
+            self._note_submitted(job, "queued")
             return job
+
+    def _note_submitted(self, job: MappingJob, outcome: str) -> None:  # holds-lock: _lock
+        self._m_requests[outcome].inc()
+        self._refresh_gauges()
+        self._tracer.event(
+            "service.submitted", job=job.job_id, outcome=outcome, fingerprint=job.fingerprint
+        )
+
+    def _refresh_gauges(self) -> None:  # holds-lock: _lock
+        """Republish queue depth / in-flight gauges from the job table."""
+        states = [job.state for job in self._inflight.values()]
+        self._g_queue_depth.set(sum(1 for state in states if state == "queued"))
+        self._g_inflight.set(sum(1 for state in states if state == "running"))
 
     def _next_id(self) -> str:  # holds-lock: _lock
         self._counter += 1
@@ -357,17 +400,21 @@ class MappingService:
     # Introspection
     # ------------------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:
-        """Liveness/readiness payload for the HTTP frontend."""
+        """Liveness/readiness payload for the HTTP frontend.
+
+        ``queue_depth`` and ``in_flight`` are read back from the metrics
+        registry (after a refresh under the lock), so the health answer and
+        a ``GET /metrics`` scrape can never disagree about load.
+        """
         with self._lock:
-            queue_depth = sum(
-                1 for job in self._inflight.values() if job.state == "queued"
-            )
+            self._refresh_gauges()
             return {
                 "status": "closed" if self._closed else "ok",
                 "scale": self.scale.name,
                 "eval_backend": self._runner.eval_backend,
                 "workers": len(self._threads),
-                "queue_depth": queue_depth,
+                "queue_depth": int(self._metrics.value_of("repro_service_queue_depth")),
+                "in_flight": int(self._metrics.value_of("repro_service_inflight")),
                 "jobs": len(self._jobs),
                 "solutions": len(self._index),
                 "warm_tasks": len(self.warm_store) if self.warm_store is not None else 0,
@@ -388,8 +435,20 @@ class MappingService:
                     # Cancelled by a non-draining shutdown.
                     continue
                 job.state = "running"
+                self._refresh_gauges()
+            queue_wait_s = max(0.0, time.monotonic() - job.enqueued_at)
+            self._h_queue_wait.observe(queue_wait_s)
+            self._tracer.event(
+                "service.job-running", job=job.job_id, queue_wait_s=round(queue_wait_s, 6)
+            )
             try:
-                summary = self._execute(job)
+                with self._tracer.span(
+                    "service.job",
+                    job=job.job_id,
+                    fingerprint=job.fingerprint,
+                    method=job.request.get("method"),
+                ):
+                    summary = self._execute(job)
             except ReproError as error:
                 self._finish(job, error=str(error))
             except Exception as error:  # noqa: BLE001 — a worker must survive anything
@@ -436,7 +495,12 @@ class MappingService:
                 job.error = error
                 job.state = "failed"
             self._retire(job)
+            self._refresh_gauges()
         job.done_event.set()
+        if summary is not None:
+            self._tracer.event("service.job-done", job=job.job_id, state=job.state)
+        else:
+            self._tracer.warning("service.job-failed", job=job.job_id, error=str(error))
 
     # ------------------------------------------------------------------
     # Shutdown

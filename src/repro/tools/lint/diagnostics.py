@@ -1,0 +1,86 @@
+"""RPL6xx — diagnostics discipline: one observability channel, not three.
+
+The library's diagnostic output flows through :mod:`repro.obs` (structured
+trace events and the metrics registry) plus Python ``warnings`` for
+user-actionable degradation.  Ad-hoc ``print()`` calls and ``logging``
+handlers inside library code bypass all of that — they interleave with the
+CLI's real output, are invisible to the flight recorder, and (for
+``logging``) drag in global handler/level state the reproduction never
+configures.  This checker bans both inside ``src/repro``:
+
+* **RPL601** — ``print()`` in library code.  Exempt: the CLI entry points
+  (``cli.py`` / ``__main__.py`` basenames), whose *job* is to print.
+* **RPL602** — importing ``logging`` in library code.  Same exemptions.
+
+The :mod:`repro.obs` package itself is also exempt: it is the sanctioned
+sink the rest of the library is being pointed at (it still must not import
+``logging`` — only the ``print`` waiver applies there, for the renderers
+the CLI calls).  Suppress single deliberate uses with
+``# repro-lint: disable=RPL601 — rationale``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterator, Mapping
+
+from .engine import Checker, Finding, SourceFile, register
+
+#: Basenames whose whole purpose is terminal I/O.
+_CLI_BASENAMES = frozenset({"cli.py", "__main__.py"})
+
+
+def _is_cli_file(path: str) -> bool:
+    return os.path.basename(path) in _CLI_BASENAMES
+
+
+def _is_obs_file(path: str) -> bool:
+    parts = path.replace("\\", "/").split("/")
+    return "obs" in parts
+
+
+@register
+class DiagnosticsChecker(Checker):
+    """Flag print()/logging in library code (use repro.obs instead)."""
+
+    name = "diagnostics"
+    codes: Mapping[str, str] = {
+        "RPL601": "print() in library code bypasses the obs tracing/metrics spine",
+        "RPL602": "logging import in library code: repro emits via repro.obs",
+    }
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        cli_file = _is_cli_file(src.path)
+        obs_file = _is_obs_file(src.path)
+        for node in ast.walk(src.tree):
+            if (
+                not cli_file
+                and not obs_file
+                and isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    src,
+                    node,
+                    "RPL601",
+                    "library code must not print(): emit a trace event/metric "
+                    "(repro.obs) or a warnings.warn for user-actionable problems",
+                )
+            if not cli_file and self._imports_logging(node):
+                yield self.finding(
+                    src,
+                    node,
+                    "RPL602",
+                    "library code must not use the logging module: the repro.obs "
+                    "tracer/metrics registry is the one diagnostics channel",
+                )
+
+    # ------------------------------------------------------------------
+    def _imports_logging(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Import):
+            return any(alias.name.split(".")[0] == "logging" for alias in node.names)
+        if isinstance(node, ast.ImportFrom):
+            return node.level == 0 and (node.module or "").split(".")[0] == "logging"
+        return False

@@ -52,6 +52,7 @@ _CHECKER_MODULES: Tuple[str, ...] = (
     "rpc_frames",
     "resources",
     "excepts",
+    "diagnostics",
 )
 
 _DISABLE_RE = re.compile(

@@ -20,7 +20,7 @@ import enum
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, IO, Iterator, List, TYPE_CHECKING
+from typing import Any, Dict, IO, Iterator, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -65,6 +65,10 @@ def jsonable(value: Any) -> Any:
         return value.item()
     if isinstance(value, SearchResult):
         return SearchResultSummary.from_result(value).to_dict()
+    if isinstance(value, SearchResultSummary):
+        # Route through to_dict() so the telemetry-exclusion default applies;
+        # the generic dataclass branch below would leak the diagnostic block.
+        return value.to_dict()
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         return {f.name: jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
     to_dict = getattr(value, "to_dict", None)
@@ -102,10 +106,17 @@ class SearchResultSummary:
     best_encoding: List[float]
     history: List[float]
     metadata: Dict[str, Any] = field(default_factory=dict)
+    #: Optional flight-recorder block (docs/OBSERVABILITY.md): wall/cpu per
+    #: phase, eval counts, cache hit rate.  Diagnostic, never durable —
+    #: ``compare=False`` and excluded from :meth:`to_dict` by default, so
+    #: stores, fingerprints, and the tracing-on/off bit-identity property
+    #: tests never see wall-clock values.
+    telemetry: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     @classmethod
     def from_result(cls, result: "SearchResult") -> "SearchResultSummary":
         """Summarise a full search result."""
+        telemetry = getattr(result, "telemetry", None)
         return cls(
             optimizer_name=result.optimizer_name,
             best_fitness=float(result.best_fitness),
@@ -116,11 +127,20 @@ class SearchResultSummary:
             best_encoding=[float(v) for v in np.asarray(result.best_encoding, dtype=float)],
             history=[float(v) for v in result.history],
             metadata=jsonable(result.metadata),
+            telemetry=None if telemetry is None else jsonable(telemetry),
         )
 
-    def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form, safe for ``json.dumps``."""
-        return dataclasses.asdict(self)
+    def to_dict(self, include_telemetry: bool = False) -> Dict[str, Any]:
+        """Plain-dict form, safe for ``json.dumps``.
+
+        The ``telemetry`` block is excluded unless explicitly requested:
+        the durable record (stores, campaign resume, equality tests) must
+        stay byte-identical whether or not the producing search was traced.
+        """
+        data = dataclasses.asdict(self)
+        if not (include_telemetry and self.telemetry is not None):
+            data.pop("telemetry", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SearchResultSummary":

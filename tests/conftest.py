@@ -31,6 +31,25 @@ def _isolated_seed_policy():
     clear_global_seed()
 
 
+@pytest.fixture(autouse=True)
+def _isolated_observability():
+    """No tracer/metrics state leaks between tests.
+
+    The tracer and the metrics registry are process-local singletons
+    (docs/OBSERVABILITY.md); a test that enables tracing, points it at a
+    sink, or asserts on warning events must not see another test's records
+    — and must not leave tracing on for the rest of the suite.
+    """
+    from repro.obs import configure_tracing, get_tracer
+    from repro.obs.trace import DEFAULT_RING_CAPACITY
+
+    tracer = get_tracer()
+    tracer.clear()
+    yield
+    configure_tracing(enabled=False, sink_path=None, ring_capacity=DEFAULT_RING_CAPACITY)
+    tracer.clear()
+
+
 @pytest.fixture()
 def small_platform() -> AcceleratorPlatform:
     """A tiny 2-core heterogeneous platform used by most core/optimizer tests."""

@@ -358,7 +358,10 @@ class TestWorkStealingProperties:
         """The worker holding the chunk at row 14 kills itself mid-task: the
         orphaned chunks are recomputed inline, the wedged pool is abandoned,
         and the next generation dispatches on a fresh pool."""
+        from repro.obs import get_tracer
+
         spec, rows, reference = rig_and_rows
+        get_tracer().clear()
         parallel_module._FAULT_KILL_CHUNK_START = 14
         pool = ParallelEvaluationPool(
             spec, num_workers=3, chunk_rows=7,
@@ -370,6 +373,14 @@ class TestWorkStealingProperties:
             assert np.array_equal(pool.evaluate(rows), reference)
         finally:
             pool.close()
+        # Silent recovery is banned: the rebuild left structured warning
+        # events (with chunk identity) in the tracer ring even though
+        # tracing was never enabled.
+        warnings_seen = get_tracer().records(kind="event", level="warning")
+        names = {record["name"] for record in warnings_seen}
+        assert "parallel.pool-abandoned" in names
+        recovered = [r for r in warnings_seen if r["name"] == "parallel.chunks-recovered-inline"]
+        assert recovered and all(r["attrs"]["chunks"] for r in recovered)
 
     def test_shared_memory_ring_rotates_and_grows(self):
         ring = SharedMemoryRing()

@@ -365,6 +365,15 @@ class TestFaultTolerance:
             reference = batch.evaluate_population(population, count_samples=False)
             observed = rpc.evaluate_population(population, count_samples=False)
             assert np.array_equal(observed, reference)
+            # Silent recovery is banned: the strike-off left structured
+            # warning events with host and chunk identity in the tracer
+            # ring, even though tracing was never enabled.
+            from repro.obs import get_tracer
+
+            dead_events = get_tracer().records(kind="event", name="rpc.host-dead")
+            assert any(e["attrs"]["host"] == dying.address for e in dead_events)
+            requeued = get_tracer().records(kind="event", name="rpc.chunk-requeued")
+            assert requeued and all(len(e["attrs"]["chunk"]) == 2 for e in requeued)
             # The dying host is struck off and the survivor did real work:
             # the dying worker never completes a chunk, so every one of the
             # three chunks (40 rows / 16-row height) lands on the survivor —
@@ -402,6 +411,12 @@ class TestFaultTolerance:
                 batch.evaluate_population(population, count_samples=False),
             )
             assert rpc._pool.num_live_hosts == 0
+            # The stranded chunks' landing on the coordinator is an event,
+            # not a silence.
+            from repro.obs import get_tracer
+
+            fallback = get_tracer().records(kind="event", name="rpc.local-fallback")
+            assert fallback and fallback[-1]["attrs"]["chunks"]
         finally:
             rpc.close()
             for server in dying:

@@ -1,0 +1,141 @@
+"""Tracer mechanics: ring bounding, JSONL sink safety, parent ids, inertness."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import configure_tracing, get_tracer, read_trace
+from repro.obs.trace import Tracer
+
+
+class TestRingBounding:
+    def test_ring_keeps_only_the_newest_records(self):
+        tracer = Tracer(ring_capacity=5, enabled=True)
+        for index in range(20):
+            tracer.event("tick", index=index)
+        records = tracer.records(kind="event", name="tick")
+        assert len(records) == 5
+        assert [r["attrs"]["index"] for r in records] == [15, 16, 17, 18, 19]
+
+    def test_rebounding_keeps_the_newest_records(self):
+        tracer = Tracer(ring_capacity=10, enabled=True)
+        for index in range(10):
+            tracer.event("tick", index=index)
+        tracer.configure(ring_capacity=3)
+        assert [r["attrs"]["index"] for r in tracer.records()] == [7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(ring_capacity=0)
+        with pytest.raises(ValueError):
+            Tracer().configure(ring_capacity=-1)
+
+
+class TestSpansAndParents:
+    def test_nested_spans_record_explicit_parent_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("mark")
+        records = {r["name"]: r for r in tracer.records()}
+        outer, inner, mark = records["outer"], records["inner"], records["mark"]
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+        assert mark["parent"] == inner["id"]
+        # Children close (and therefore emit) before their parents.
+        names = [r["name"] for r in tracer.records()]
+        assert names.index("inner") < names.index("outer")
+
+    def test_span_ids_are_a_deterministic_counter(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        ids = [r["id"] for r in tracer.records()]
+        assert ids == sorted(ids)
+        assert all(isinstance(i, int) for i in ids)
+
+    def test_sibling_threads_get_independent_span_stacks(self):
+        tracer = Tracer(enabled=True)
+        seen = {}
+
+        def worker():
+            with tracer.span("child"):
+                pass
+
+        with tracer.span("main-span"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        child = tracer.records(kind="span", name="child")[0]
+        assert child["parent"] is None, "another thread's open span is not my parent"
+        assert seen == {}
+
+
+class TestDisabledInertness:
+    def test_disabled_tracer_records_no_spans_or_events(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("quiet"):
+            tracer.event("quiet-event")
+        assert tracer.records() == []
+
+    def test_disabled_span_is_the_reusable_null_span(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("a") is tracer.span("b")
+
+    def test_warnings_are_recorded_even_when_disabled(self):
+        tracer = Tracer(enabled=False)
+        tracer.warning("pool-died", host="h:1")
+        records = tracer.records(kind="event", level="warning")
+        assert len(records) == 1
+        assert records[0]["name"] == "pool-died"
+        assert records[0]["attrs"] == {"host": "h:1"}
+
+
+class TestJsonlSink:
+    def test_sink_appends_one_json_line_per_record(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True, sink_path=path)
+        with tracer.span("outer", label="x"):
+            tracer.event("mark")
+        tracer.close()
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert {r["kind"] for r in parsed} == {"event", "span"}
+
+    def test_read_trace_tolerates_a_torn_trailing_line(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True, sink_path=path)
+        for index in range(3):
+            tracer.event("tick", index=index)
+        tracer.close()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "event", "name": "torn')  # crash mid-write
+        records = list(read_trace(path))
+        assert [r["attrs"]["index"] for r in records] == [0, 1, 2]
+
+    def test_read_trace_of_a_missing_file_yields_nothing(self, tmp_path):
+        assert list(read_trace(str(tmp_path / "absent.jsonl"))) == []
+
+    def test_configure_none_removes_the_sink(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        tracer = Tracer(enabled=True, sink_path=path)
+        tracer.event("before")
+        tracer.configure(sink_path=None)
+        tracer.event("after")
+        names = [r["name"] for r in read_trace(path)]
+        assert names == ["before"]
+
+
+class TestGlobalTracer:
+    def test_configure_tracing_flips_the_process_tracer(self):
+        tracer = configure_tracing(enabled=True)
+        assert tracer is get_tracer()
+        assert tracer.enabled
+        tracer.event("global-mark")
+        assert tracer.records(name="global-mark")
+        configure_tracing(enabled=False)
+        assert not get_tracer().enabled

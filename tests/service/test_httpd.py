@@ -41,6 +41,50 @@ class TestRoutes:
         assert code == 200
         assert payload["status"] == "ok"
         assert payload["workers"] == 1
+        # Load figures are present and registry-sourced (docs/OBSERVABILITY.md).
+        assert payload["queue_depth"] == 0
+        assert payload["in_flight"] == 0
+        assert payload["solutions"] == 0
+        assert "warm_tasks" in payload
+
+    def test_metrics_scrape(self, frontend):
+        from repro.obs import get_metrics
+
+        service, base = frontend
+        # The registry is process-global and other tests submit jobs too, so
+        # assert on deltas, not absolute counts.
+        registry = get_metrics()
+        queued_before = registry.value_of(
+            "repro_service_requests_total", {"outcome": "queued"}
+        )
+        job = service.submit({"task": "vision", "seed": 0})
+        assert service.wait(job.job_id, timeout=120)
+        assert registry.value_of(
+            "repro_service_requests_total", {"outcome": "queued"}
+        ) == queued_before + 1
+
+        request = urllib.request.Request(base + "/metrics")
+        with urllib.request.urlopen(request, timeout=10) as response:
+            assert response.status == 200
+            content_type = response.headers.get("Content-Type", "")
+            text = response.read().decode("utf-8")
+        # Prometheus text exposition, not JSON.
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        lines = text.splitlines()
+        assert "# TYPE repro_service_requests_total counter" in lines
+        assert any(
+            line.startswith('repro_service_requests_total{outcome="queued"}')
+            for line in lines
+        )
+        assert "# TYPE repro_service_queue_depth gauge" in lines
+        assert "# TYPE repro_service_queue_wait_seconds histogram" in lines
+        assert any(line.startswith("repro_service_queue_wait_seconds_count") for line in lines)
+        # The search the job ran shows up in the engine-level counters.
+        assert any(
+            line.startswith("repro_evals_total{") and not line.endswith(" 0")
+            for line in lines
+        )
 
     def test_submit_status_result_round_trip(self, frontend):
         service, base = frontend

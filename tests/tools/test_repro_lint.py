@@ -812,3 +812,57 @@ class TestLintCli:
         assert lint_main(["--list-codes"]) == 0
         out = capsys.readouterr().out
         assert "RPL101" in out and "RPL502" in out
+
+
+# ----------------------------------------------------------------------
+# Diagnostics checker (RPL6xx)
+# ----------------------------------------------------------------------
+class TestDiagnosticsChecker:
+    def test_detects_print_in_library_code(self):
+        report = lint_source(
+            'def run():\n    print("done")\n', path="src/repro/core/framework.py"
+        )
+        assert [f.code for f in report.unsuppressed] == ["RPL601"]
+
+    def test_detects_logging_import_in_library_code(self):
+        report = lint_source(
+            "import logging\n", path="src/repro/service/service.py"
+        )
+        assert [f.code for f in report.unsuppressed] == ["RPL602"]
+        report = lint_source(
+            "from logging import getLogger\n", path="src/repro/service/service.py"
+        )
+        assert [f.code for f in report.unsuppressed] == ["RPL602"]
+
+    def test_cli_entry_points_may_print(self):
+        for path in ("src/repro/cli.py", "src/repro/tools/lint/__main__.py"):
+            report = lint_source('print("usage: ...")\n', path=path)
+            assert not report.unsuppressed, path
+
+    def test_obs_package_may_print_but_not_import_logging(self):
+        report = lint_source(
+            'def render():\n    print("table")\n', path="src/repro/obs/flight.py"
+        )
+        assert not report.unsuppressed
+        report = lint_source("import logging\n", path="src/repro/obs/trace.py")
+        assert [f.code for f in report.unsuppressed] == ["RPL602"]
+
+    def test_shadowed_print_and_submodule_imports_are_clean(self):
+        # A local variable named print-like attribute call is not print().
+        report = lint_source(
+            "class Report:\n"
+            "    def print(self):\n"
+            "        return 1\n"
+            "def run(report):\n"
+            "    report.print()\n",
+            path="src/repro/analysis/reporting.py",
+        )
+        assert not report.unsuppressed
+
+    def test_suppression_comment_is_honored(self):
+        report = lint_source(
+            'print("x")  # repro-lint: disable=RPL601 — fixture rationale\n',
+            path="src/repro/core/framework.py",
+        )
+        assert not report.unsuppressed
+        assert [f.code for f in report.suppressed] == ["RPL601"]
