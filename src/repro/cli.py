@@ -52,6 +52,17 @@ remembered solutions (Table V) — then submit queries to it::
     repro-magma serve --store solutions.jsonl --warm-store warm.jsonl
     repro-magma submit --task vision --setting S2 --wait
 
+Scale the service tier out to N replicas by pointing them at one shared
+store — ``sqlite:PATH`` for replicas on one host, or a ``tcp://`` store
+server for a fleet (every ``--store``/``--warm-store``/``--out`` accepts
+these URLs; bare paths mean ``jsonl:``; see docs/SERVICE.md)::
+
+    repro-magma store serve --listen 127.0.0.1:9917 --backing sqlite:shared.sqlite3
+    repro-magma serve --port 8787 --store tcp://127.0.0.1:9917 --replica-id a
+    repro-magma serve --port 8788 --store tcp://127.0.0.1:9917 --replica-id b
+    repro-magma store info tcp://127.0.0.1:9917
+    repro-magma store compact sqlite:shared.sqlite3 --max-records 100000
+
 Any search-running command accepts ``--warm-store PATH`` to read/extend the
 same cross-run warm-start library::
 
@@ -78,7 +89,7 @@ from typing import Any, Optional, Sequence
 from repro.accelerator import build_setting, list_settings
 from repro.analysis.gantt import render_ascii_gantt
 from repro.analysis.reporting import ComparisonReport
-from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS
+from repro.core.evalconfig import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, EvalConfig
 from repro.core.framework import M3E
 from repro.core.objectives import list_objectives
 from repro.exceptions import ConfigurationError, ExperimentError, ServiceError
@@ -161,7 +172,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
         platform,
         sampling_budget=args.budget,
         warm_store=_warm_library(args),
-        **_eval_kwargs(args),
+        eval_config=_eval_config(args),
     )
     result = explorer.search(group, optimizer=args.optimizer, seed=seed)
     print(platform.describe())
@@ -185,7 +196,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         methods=args.optimizers,
         scale=scale,
         seed=_session_seed(args),
-        **_eval_kwargs(args),
+        eval_config=_eval_config(args),
     )
     report = ComparisonReport(
         title=f"{args.task} on {args.setting} (BW={args.bandwidth} GB/s, scale={scale.name})"
@@ -209,7 +220,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=_session_seed(args),
         warm_store=_warm_library(args),
-        **_eval_kwargs(args),
+        eval_config=_eval_config(args),
     )
     print(json.dumps(jsonable(output), indent=2, sort_keys=True))
     return 0
@@ -225,15 +236,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     if not scenarios:
         raise ExperimentError("campaign needs scenario names and/or --grid")
 
-    eval_kwargs = _eval_kwargs(args)
-    if args.jobs is not None and args.jobs > 1 and eval_kwargs["eval_backend"] == DEFAULT_EVAL_BACKEND:
-        eval_kwargs["eval_backend"] = "parallel"
-        eval_kwargs["eval_workers"] = eval_kwargs["eval_workers"] or args.jobs
+    eval_config = _eval_config(args)
+    if args.jobs is not None and args.jobs > 1 and eval_config.backend == DEFAULT_EVAL_BACKEND:
+        eval_config = EvalConfig(backend="parallel", workers=args.eval_workers or args.jobs)
 
     engine = CampaignRunner(
         scale=args.scale,
         warm_store=_warm_library(args),
-        **eval_kwargs,
+        eval_config=eval_config,
     )
     report = engine.run(
         scenarios,
@@ -293,6 +303,62 @@ def _cmd_eval_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store_serve(args: argparse.Namespace) -> int:
+    """Serve one local store to the network (the ``tcp://`` backend's server).
+
+    Any number of ``repro-magma serve`` replicas — on any host — can then
+    share the store by pointing ``--store tcp://HOST:PORT`` at it.
+    """
+    import signal
+
+    from repro.service.netstore import NetworkStoreServer, serve_store
+
+    def _announce(server: NetworkStoreServer) -> None:
+        print(
+            f"store server listening on {server.url} "
+            f"(backing: {server.backing.url})",
+            flush=True,
+        )
+
+    def _graceful(signum: int, frame: Any) -> None:
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _graceful)
+    try:
+        serve_store(args.listen, args.backing, token=args.token, ready=_announce)
+    except KeyboardInterrupt:
+        print("\nstore server shutting down")
+    return 0
+
+
+def _cmd_store_compact(args: argparse.Namespace) -> int:
+    """Apply a compaction policy to a store and print what it dropped."""
+    from repro.utils.storage import CompactionPolicy, open_store_backend
+
+    policy = CompactionPolicy(
+        keep_best_per_fingerprint=not args.no_keep_best,
+        max_records=args.max_records,
+        max_bytes=args.max_bytes,
+    )
+    with open_store_backend(args.store) as backend:
+        backend.repair()
+        kept, dropped = backend.compact(policy)
+        print(json.dumps(
+            {"store": backend.url, "kept": kept, "dropped": dropped, "policy": policy.to_dict()},
+            indent=2, sort_keys=True,
+        ))
+    return 0
+
+
+def _cmd_store_info(args: argparse.Namespace) -> int:
+    """Print a JSON summary of a store (any backend URL)."""
+    from repro.utils.storage import open_store_backend
+
+    with open_store_backend(args.store) as backend:
+        print(json.dumps(jsonable(backend.describe()), indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the mapping service behind the localhost HTTP JSON API."""
     _configure_trace(args)
@@ -305,7 +371,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         warm_store=args.warm_store,
         scale=args.scale,
         workers=args.workers,
-        **_eval_kwargs(args),
+        eval_config=_eval_config(args),
+        replica_id=args.replica_id,
     )
     try:
         server = create_server(service, host=args.host, port=args.port, quiet=False)
@@ -316,9 +383,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         raise
     host, port = server.server_address[:2]
     print(f"mapping service listening on http://{host}:{port}")
-    print(f"  solution store: {service.store.path}")
+    print(f"  replica: {service.replica_id}")
+    print(f"  solution store: {service.store.url}")
     if service.warm_store is not None:
-        print(f"  warm-start library: {service.warm_store.path}")
+        print(f"  warm-start library: {service.warm_store.url}")
 
     def _graceful(signum: int, frame: Any) -> None:
         # SIGTERM (docker stop, kill) drains like Ctrl-C instead of dying
@@ -447,9 +515,10 @@ def _add_seed_option(parser: argparse.ArgumentParser) -> None:
 def _add_warm_store_option(parser: argparse.ArgumentParser) -> None:
     """The persistent warm-start flag shared by search-running commands."""
     parser.add_argument(
-        "--warm-store", default=None, metavar="PATH",
-        help="persistent warm-start library (JSONL): searches seed from the best "
-        "prior same-task solution and record their winners back",
+        "--warm-store", default=None, metavar="URL",
+        help="persistent warm-start library (a path or jsonl:/sqlite:/tcp:// "
+        "store URL): searches seed from the best prior same-task solution "
+        "and record their winners back",
     )
 
 
@@ -484,8 +553,8 @@ def _add_eval_backend_options(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _eval_kwargs(args: argparse.Namespace) -> dict:
-    """Evaluation-backend keyword arguments for M3E/CampaignRunner/services.
+def _eval_config(args: argparse.Namespace) -> EvalConfig:
+    """The :class:`EvalConfig` the CLI flags describe (M3E/campaign/service).
 
     The API tolerates ``rpc`` with no hosts (local-fallback mode), but a CLI
     user typing ``--eval-backend rpc`` without ``--eval-hosts`` almost
@@ -497,12 +566,12 @@ def _eval_kwargs(args: argparse.Namespace) -> dict:
             "--eval-backend rpc requires --eval-hosts HOST:PORT[,HOST:PORT...] "
             "(start workers with: repro-magma eval-worker --listen HOST:PORT)"
         )
-    return {
-        "eval_backend": args.eval_backend,
-        "eval_workers": args.eval_workers,
-        "eval_hosts": args.eval_hosts,
-        "rpc_token": args.eval_rpc_token,
-    }
+    return EvalConfig(
+        backend=args.eval_backend,
+        workers=args.eval_workers,
+        hosts=args.eval_hosts,
+        rpc_token=args.eval_rpc_token,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -586,8 +655,9 @@ def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
         help="skip cells whose fingerprints are already in the --out store",
     )
     campaign.add_argument(
-        "--out", default="campaign_results.jsonl", metavar="PATH",
-        help="JSONL results store (default: campaign_results.jsonl)",
+        "--out", default="campaign_results.jsonl", metavar="URL",
+        help="results store: a path or jsonl:/sqlite:/tcp:// URL "
+        "(default: campaign_results.jsonl)",
     )
     campaign.add_argument("--scale", default=None, choices=list_scales())
     _add_seed_option(campaign)
@@ -622,18 +692,70 @@ def _populate_parser(parser: argparse.ArgumentParser) -> argparse.ArgumentParser
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8787)
     serve.add_argument(
-        "--store", default="solutions.jsonl", metavar="PATH",
-        help="persistent solution store (default: solutions.jsonl)",
+        "--store", default="solutions.jsonl", metavar="URL",
+        help="persistent solution store: a path or jsonl:/sqlite:/tcp:// URL "
+        "(default: solutions.jsonl; shared backends let several replicas "
+        "answer from one store — see docs/SERVICE.md)",
     )
     serve.add_argument(
         "--workers", type=int, default=2, metavar="N",
         help="worker threads executing queued searches (default: 2)",
+    )
+    serve.add_argument(
+        "--replica-id", default=None, metavar="NAME",
+        help="identity this replica reports on /healthz (default: hostname:pid)",
     )
     serve.add_argument("--scale", default=None, choices=list_scales())
     _add_eval_backend_options(serve)
     _add_warm_store_option(serve)
     _add_trace_option(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    store = subparsers.add_parser(
+        "store", help="manage pluggable store backends (docs/SERVICE.md)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_serve = store_sub.add_parser(
+        "serve",
+        help="serve a local store to the network (the tcp:// backend's server)",
+    )
+    store_serve.add_argument(
+        "--listen", default="127.0.0.1:9917", metavar="HOST:PORT",
+        help="address to listen on (default: 127.0.0.1:9917; port 0 picks a free port)",
+    )
+    store_serve.add_argument(
+        "--backing", default="sqlite:store.sqlite3", metavar="URL",
+        help="local store the server persists through: a jsonl:/sqlite: URL "
+        "or a bare path meaning jsonl: (default: sqlite:store.sqlite3)",
+    )
+    store_serve.add_argument(
+        "--token", default=None, metavar="TOKEN",
+        help="shared auth token clients must present "
+        "(default: the REPRO_RPC_TOKEN environment variable)",
+    )
+    store_serve.set_defaults(func=_cmd_store_serve)
+    store_compact = store_sub.add_parser(
+        "compact", help="bound a store: keep best per fingerprint, newest N, size cap"
+    )
+    store_compact.add_argument("store", metavar="URL", help="store path or URL to compact")
+    store_compact.add_argument(
+        "--max-records", type=int, default=None, metavar="N",
+        help="keep only the newest N surviving records",
+    )
+    store_compact.add_argument(
+        "--max-bytes", type=int, default=None, metavar="BYTES",
+        help="drop oldest survivors until the rendered store fits BYTES",
+    )
+    store_compact.add_argument(
+        "--no-keep-best", action="store_true",
+        help="skip best-per-fingerprint dedup (only apply the size/count bounds)",
+    )
+    store_compact.set_defaults(func=_cmd_store_compact)
+    store_info = store_sub.add_parser(
+        "info", help="print a JSON summary of a store (any backend URL)"
+    )
+    store_info.add_argument("store", metavar="URL", help="store path or URL to inspect")
+    store_info.set_defaults(func=_cmd_store_info)
 
     submit = subparsers.add_parser(
         "submit", help="submit one mapping request to a running service"

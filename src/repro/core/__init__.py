@@ -18,7 +18,8 @@ from repro.core.objectives import (
     EDPObjective,
     get_objective,
 )
-from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, MappingEvaluator, EvaluationResult
+from repro.core.evalconfig import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, EvalConfig
+from repro.core.evaluator import MappingEvaluator, EvaluationResult
 from repro.core.framework import M3E, SearchResult
 from repro.core.parallel import EvaluatorSpec, ParallelEvaluationPool, SimulationRig
 
@@ -29,6 +30,7 @@ __all__ = [
     "BatchBandwidthAllocator",
     "DEFAULT_EVAL_BACKEND",
     "EVAL_BACKENDS",
+    "EvalConfig",
     "JobAnalyzer",
     "JobAnalysisTable",
     "JobProfile",

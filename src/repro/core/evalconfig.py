@@ -1,0 +1,177 @@
+"""One frozen configuration object for the evaluation engine.
+
+Every layer that runs searches — :class:`~repro.core.framework.M3E`, the
+:class:`~repro.core.evaluator.MappingEvaluator`, the campaign engine, the
+experiment runners, the mapping service, and the CLI — needs the same four
+decisions: which evaluation backend, how many worker processes, which remote
+hosts, which RPC token.  Since PR 5 those four travelled as separate
+``eval_backend/eval_workers/eval_hosts/rpc_token`` keyword arguments through
+*seven* constructor signatures, each re-validating the combinations.
+
+:class:`EvalConfig` collapses the sprawl: one frozen, hashable dataclass,
+validated once at construction, accepted everywhere as ``eval_config=``.
+The old kwargs still work on every public entry point — they build the same
+``EvalConfig`` internally via :func:`resolve_eval_config` and are therefore
+bit-identical by construction — but emit :class:`DeprecationWarning`.
+
+The canonical backend names also live here (re-exported from
+:mod:`repro.core.evaluator` for compatibility).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Registered evaluation backends, in oracle-to-fleet order.
+EVAL_BACKENDS: Tuple[str, ...] = ("scalar", "batch", "parallel", "rpc")
+
+#: The default backend: the vectorized batch sweep (fast everywhere, no
+#: worker processes to manage).
+DEFAULT_EVAL_BACKEND = "batch"
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """How fitness evaluations run: backend, local workers, remote fleet.
+
+    Parameters
+    ----------
+    backend:
+        ``"batch"`` (vectorized population sweep, the default), ``"parallel"``
+        (the batch sweep sharded across worker processes), ``"rpc"`` (the
+        same sweep sharded across remote worker hosts), or ``"scalar"`` (the
+        one-at-a-time reference oracle).  All four are bit-identical.
+    workers:
+        Worker-process count for the ``parallel`` backend (default: one per
+        CPU core).  Rejected for other backends, where it would be silently
+        meaningless.
+    hosts:
+        Remote worker addresses for the ``rpc`` backend — a
+        ``"host:port,host:port"`` string or a sequence of ``host:port``
+        entries (normalised to a tuple), each running ``repro-magma
+        eval-worker``.  Rejected for other backends.  ``None`` with
+        ``backend="rpc"`` is the degenerate no-fleet mode: everything
+        evaluates locally.
+    rpc_token:
+        Shared authentication token for the ``rpc`` backend (default: the
+        ``REPRO_RPC_TOKEN`` environment variable).
+    """
+
+    backend: str = DEFAULT_EVAL_BACKEND
+    workers: Optional[int] = None
+    hosts: Optional[Tuple[str, ...]] = None
+    rpc_token: Optional[str] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.backend not in EVAL_BACKENDS:
+            raise ConfigurationError(
+                f"unknown evaluation backend {self.backend!r}; available: {list(EVAL_BACKENDS)}"
+            )
+        if self.workers is not None:
+            if self.backend != "parallel":
+                raise ConfigurationError(
+                    f"eval workers are only meaningful for the 'parallel' backend, "
+                    f"not {self.backend!r}"
+                )
+            if int(self.workers) < 1:
+                raise ConfigurationError(f"eval workers must be >= 1, got {self.workers}")
+            object.__setattr__(self, "workers", int(self.workers))
+        if self.hosts is not None or self.rpc_token is not None:
+            if self.backend != "rpc":
+                raise ConfigurationError(
+                    f"eval hosts/rpc_token are only meaningful for the 'rpc' backend, "
+                    f"not {self.backend!r}"
+                )
+        if isinstance(self.hosts, str):
+            object.__setattr__(
+                self,
+                "hosts",
+                tuple(part.strip() for part in self.hosts.split(",") if part.strip()),
+            )
+        elif self.hosts is not None:
+            object.__setattr__(self, "hosts", tuple(str(host) for host in self.hosts))
+        if self.backend == "rpc":
+            # Malformed host lists must fail at configuration time, not on
+            # the first evaluated population.  Imported lazily: the rpc
+            # module builds on core layers that import this one.
+            from repro.core.rpc import parse_hosts
+
+            parse_hosts(self.hosts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe form (the token is deliberately included — callers that
+        serialize configs for display should drop it themselves)."""
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "hosts": list(self.hosts) if self.hosts is not None else None,
+            "rpc_token": self.rpc_token,
+        }
+
+
+def resolve_eval_config(
+    eval_config: "EvalConfig | None",
+    *,
+    where: str,
+    eval_backend: Optional[str] = None,
+    eval_workers: Optional[int] = None,
+    eval_hosts: "str | Sequence[str] | None" = None,
+    rpc_token: Optional[str] = None,
+    stacklevel: int = 3,
+    warn_on: Optional[Sequence[str]] = None,
+) -> EvalConfig:
+    """The one migration shim behind every ``eval_config=`` entry point.
+
+    New code passes ``eval_config=EvalConfig(...)`` and nothing else.  Old
+    code keeps passing the four legacy kwargs: they build the identical
+    ``EvalConfig`` (bit-identical results by construction) and emit one
+    :class:`DeprecationWarning` naming the call site's owner *where*.
+    Mixing both styles is ambiguous and fails loudly.  *warn_on* restricts
+    which legacy kwargs trigger the warning (the evaluator keeps
+    ``backend``/``num_workers`` as silent conveniences); ``None`` warns on
+    all of them.
+    """
+    legacy = {
+        "eval_backend": eval_backend,
+        "eval_workers": eval_workers,
+        "eval_hosts": eval_hosts,
+        "rpc_token": rpc_token,
+    }
+    used = [name for name, value in legacy.items() if value is not None]
+    if eval_config is not None:
+        if used:
+            raise ConfigurationError(
+                f"{where}: pass either eval_config= or the legacy "
+                f"{'/'.join(used)} keyword(s), not both"
+            )
+        if not isinstance(eval_config, EvalConfig):
+            raise ConfigurationError(
+                f"{where}: eval_config must be an EvalConfig, got {eval_config!r}"
+            )
+        return eval_config
+    warned = used if warn_on is None else [name for name in used if name in warn_on]
+    if warned:
+        warnings.warn(
+            f"{where}: the {'/'.join(warned)} keyword(s) are deprecated; "
+            f"pass eval_config=EvalConfig(...) instead",
+            DeprecationWarning,
+            stacklevel=stacklevel,
+        )
+    return EvalConfig(
+        backend=eval_backend if eval_backend is not None else DEFAULT_EVAL_BACKEND,
+        workers=eval_workers,
+        hosts=eval_hosts,  # type: ignore[arg-type]  # normalised in __post_init__
+        rpc_token=rpc_token,
+    )
+
+
+__all__ = [
+    "DEFAULT_EVAL_BACKEND",
+    "EVAL_BACKENDS",
+    "EvalConfig",
+    "resolve_eval_config",
+]

@@ -48,22 +48,22 @@ from repro.accelerator import AcceleratorPlatform
 from repro.core.analyzer import JobAnalysisTable, JobAnalyzer
 from repro.core.bw_allocator import BandwidthAllocator, BatchBandwidthAllocator
 from repro.core.encoding import Mapping, MappingCodec
+from repro.core.evalconfig import (
+    DEFAULT_EVAL_BACKEND,
+    EVAL_BACKENDS,
+    EvalConfig,
+    resolve_eval_config,
+)
 from repro.core.objectives import Objective, get_objective
 from repro.core.parallel import EvaluatorSpec, ParallelEvaluationPool, SimulationRig
 from repro.core.rpc import RpcEvaluationPool
 from repro.core.schedule import Schedule
-from repro.exceptions import ConfigurationError, OptimizationError
+from repro.exceptions import OptimizationError
 from repro.obs import get_metrics, get_tracer
 from repro.workloads.groups import JobGroup
 
-#: Valid values for the evaluator's ``backend`` argument.
-EVAL_BACKENDS: Tuple[str, ...] = ("scalar", "batch", "parallel", "rpc")
-
 #: Backends that dispatch population shards to a pool of workers.
 _POOLED_BACKENDS: Tuple[str, ...] = ("parallel", "rpc")
-
-#: Default evaluation backend (the vectorized fast path).
-DEFAULT_EVAL_BACKEND = "batch"
 
 #: Soft cap on the number of memoized encoding->fitness entries.
 _FITNESS_CACHE_LIMIT = 200_000
@@ -94,20 +94,30 @@ class MappingEvaluator:
         objective: Objective | str = "throughput",
         analysis_table: Optional[JobAnalysisTable] = None,
         sampling_budget: Optional[int] = None,
-        backend: str = DEFAULT_EVAL_BACKEND,
+        backend: Optional[str] = None,
         num_workers: Optional[int] = None,
         eval_hosts: "str | Sequence[str] | None" = None,
         rpc_token: Optional[str] = None,
         resolved_seed: Optional[int] = None,
+        eval_config: Optional[EvalConfig] = None,
     ):
-        if backend not in EVAL_BACKENDS:
-            raise ConfigurationError(
-                f"unknown evaluation backend {backend!r}; available: {list(EVAL_BACKENDS)}"
-            )
+        # ``eval_config`` is the configuration path; ``backend``/
+        # ``num_workers`` remain silent per-evaluator conveniences, while
+        # the fleet kwargs ride the shared deprecation shim.
+        eval_config = resolve_eval_config(
+            eval_config,
+            where="MappingEvaluator",
+            eval_backend=backend,
+            eval_workers=num_workers,
+            eval_hosts=eval_hosts,
+            rpc_token=rpc_token,
+            warn_on=("eval_hosts", "rpc_token"),
+        )
+        self.eval_config = eval_config
         self.group = group
         self.platform = platform
         self.objective = get_objective(objective)
-        self.backend = backend
+        self.backend = eval_config.backend
         #: The search's resolved seed (recorded here so worker bootstraps in
         #: the parallel/rpc backends carry it instead of re-deriving one).
         self.resolved_seed = resolved_seed
@@ -132,26 +142,18 @@ class MappingEvaluator:
             objective=self.objective,
             resolved_seed=resolved_seed,
         )
+        # Backend/worker/host combinations were validated once, by
+        # ``EvalConfig.__post_init__``.
         self._pool: "Optional[ParallelEvaluationPool | RpcEvaluationPool]" = None
-        if num_workers is not None and backend != "parallel":
-            raise ConfigurationError(
-                f"num_workers is only meaningful for the 'parallel' backend, "
-                f"not {backend!r}"
-            )
-        if (eval_hosts is not None or rpc_token is not None) and backend != "rpc":
-            raise ConfigurationError(
-                f"eval_hosts/rpc_token are only meaningful for the 'rpc' backend, "
-                f"not {backend!r}"
-            )
-        if backend == "parallel":
+        if self.backend == "parallel":
             self._pool = ParallelEvaluationPool(
                 spec=EvaluatorSpec.capture(
                     self.codec, self.batch_allocator, self.table, self.objective,
                     resolved_seed=resolved_seed,
                 ),
-                num_workers=num_workers,
+                num_workers=eval_config.workers,
             )
-        elif backend == "rpc":
+        elif self.backend == "rpc":
             # No hosts (or none alive) degrades to local evaluation — the
             # pool's contract is "use the fleet when it is there", so results
             # never depend on fleet health.
@@ -160,8 +162,8 @@ class MappingEvaluator:
                     self.codec, self.batch_allocator, self.table, self.objective,
                     resolved_seed=resolved_seed,
                 ),
-                hosts=eval_hosts,
-                token=rpc_token,
+                hosts=eval_config.hosts,
+                token=eval_config.rpc_token,
             )
         self.sampling_budget = sampling_budget
         # Telemetry (docs/OBSERVABILITY.md): per-generation spans when the
@@ -173,7 +175,7 @@ class MappingEvaluator:
         self._m_evals = _metrics.counter(
             "repro_evals_total",
             "Fitness evaluations performed, by evaluation backend",
-            labels={"backend": backend},
+            labels={"backend": self.backend},
         )
         self._m_memo_hits = _metrics.counter(
             "repro_memo_hits_total", "Encoding->fitness memo-cache hits (no re-simulation)"

@@ -18,11 +18,11 @@ import numpy as np
 from repro.accelerator import AcceleratorPlatform
 from repro.core.analyzer import AnalysisTableCache, JobAnalysisTable, JobAnalyzer
 from repro.core.encoding import Mapping
-from repro.core.evaluator import DEFAULT_EVAL_BACKEND, EVAL_BACKENDS, MappingEvaluator
-from repro.core.rpc import parse_hosts
+from repro.core.evalconfig import EvalConfig, resolve_eval_config
+from repro.core.evaluator import MappingEvaluator
 from repro.core.objectives import Objective
 from repro.core.schedule import Schedule
-from repro.exceptions import ConfigurationError, OptimizationError
+from repro.exceptions import OptimizationError
 from repro.obs import FlightRecorder, get_tracer
 from repro.obs.flight import null_phase
 from repro.utils.rng import SeedLike
@@ -104,25 +104,16 @@ class M3E:
         Objective name or instance (default ``"throughput"``).
     sampling_budget:
         Number of fitness evaluations each search may use (paper: 10K).
-    eval_backend:
-        Evaluation backend handed to every evaluator this explorer builds:
-        ``"batch"`` (vectorized population sweep, the default), ``"parallel"``
-        (the batch sweep sharded across worker processes), ``"rpc"`` (the
-        same sweep sharded across remote worker hosts), or ``"scalar"`` (the
-        one-at-a-time reference oracle).
-    eval_workers:
-        Worker-process count for the ``parallel`` backend (default: one per
-        CPU core).  Rejected for the other backends, where it would be
-        silently meaningless.
-    eval_hosts:
-        Remote worker addresses for the ``rpc`` backend — a
-        ``"host:port,host:port"`` string or a sequence of ``host:port``
-        entries, each running ``repro-magma eval-worker``.  Rejected for the
-        other backends.  ``None`` with ``eval_backend="rpc"`` is the
-        degenerate no-fleet mode: everything evaluates locally.
-    rpc_token:
-        Shared authentication token for the ``rpc`` backend (default: the
-        ``REPRO_RPC_TOKEN`` environment variable).
+    eval_config:
+        The evaluation-engine configuration
+        (:class:`~repro.core.evalconfig.EvalConfig`): backend, local worker
+        count, remote fleet, token — one validated object handed to every
+        evaluator this explorer builds.
+    eval_backend / eval_workers / eval_hosts / rpc_token:
+        Deprecated spelling of ``eval_config`` (one keyword per field).
+        They build the identical config — results stay bit-identical — but
+        emit :class:`DeprecationWarning`; they cannot be mixed with
+        ``eval_config``.
     table_cache:
         Job-analysis-table cache to consult before building a table.  By
         default every explorer gets a private cache; the campaign engine
@@ -146,43 +137,50 @@ class M3E:
         platform: AcceleratorPlatform,
         objective: Objective | str = "throughput",
         sampling_budget: int = DEFAULT_SAMPLING_BUDGET,
-        eval_backend: str = DEFAULT_EVAL_BACKEND,
+        eval_backend: Optional[str] = None,
         eval_workers: Optional[int] = None,
         eval_hosts: "str | Sequence[str] | None" = None,
         rpc_token: Optional[str] = None,
         table_cache: Optional[AnalysisTableCache] = None,
         warm_store: Optional[Any] = None,
+        eval_config: Optional[EvalConfig] = None,
     ):
         if sampling_budget <= 0:
             raise OptimizationError(f"sampling_budget must be positive, got {sampling_budget}")
-        if eval_backend not in EVAL_BACKENDS:
-            raise ConfigurationError(
-                f"unknown evaluation backend {eval_backend!r}; available: {list(EVAL_BACKENDS)}"
-            )
-        if eval_workers is not None and eval_backend != "parallel":
-            raise ConfigurationError(
-                f"eval_workers is only meaningful for the 'parallel' backend, "
-                f"not {eval_backend!r}"
-            )
-        if (eval_hosts is not None or rpc_token is not None) and eval_backend != "rpc":
-            raise ConfigurationError(
-                f"eval_hosts/rpc_token are only meaningful for the 'rpc' backend, "
-                f"not {eval_backend!r}"
-            )
-        if eval_backend == "rpc":
-            # Malformed host lists must fail at configuration time, not on
-            # the first evaluated population.
-            parse_hosts(eval_hosts)
+        # All backend/worker/host validation lives in EvalConfig; the legacy
+        # kwargs build the identical config (and warn) via the shared shim.
+        self.eval_config = resolve_eval_config(
+            eval_config,
+            where="M3E",
+            eval_backend=eval_backend,
+            eval_workers=eval_workers,
+            eval_hosts=eval_hosts,
+            rpc_token=rpc_token,
+        )
         self.platform = platform
         self.objective = objective
         self.sampling_budget = sampling_budget
-        self.eval_backend = eval_backend
-        self.eval_workers = eval_workers
-        self.eval_hosts = eval_hosts
-        self.rpc_token = rpc_token
         self.warm_store = warm_store
         self._analyzer = JobAnalyzer(platform)
         self._table_cache = table_cache if table_cache is not None else AnalysisTableCache()
+
+    # Read-only views of the evaluation configuration, kept for the callers
+    # (service healthz, tests, user code) that grew up on the old kwargs.
+    @property
+    def eval_backend(self) -> str:
+        return self.eval_config.backend
+
+    @property
+    def eval_workers(self) -> Optional[int]:
+        return self.eval_config.workers
+
+    @property
+    def eval_hosts(self) -> "Sequence[str] | None":
+        return self.eval_config.hosts
+
+    @property
+    def rpc_token(self) -> Optional[str]:
+        return self.eval_config.rpc_token
 
     # ------------------------------------------------------------------
     def analyze(self, group: JobGroup) -> JobAnalysisTable:
@@ -215,10 +213,7 @@ class M3E:
             objective=self.objective,
             analysis_table=self.analyze(group),
             sampling_budget=sampling_budget if sampling_budget is not None else self.sampling_budget,
-            backend=self.eval_backend,
-            num_workers=self.eval_workers,
-            eval_hosts=self.eval_hosts,
-            rpc_token=self.rpc_token,
+            eval_config=self.eval_config,
             resolved_seed=resolved_seed,
         )
 

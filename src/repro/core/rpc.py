@@ -127,8 +127,12 @@ def _enable_keepalive(sock: socket.socket) -> None:
                 pass
 
 
-def _is_loopback(host: str) -> bool:
+def is_loopback_host(host: str) -> bool:
+    """True for addresses that never leave this machine."""
     return host in ("localhost", "::1") or host.startswith("127.")
+
+
+_is_loopback = is_loopback_host
 
 
 def resolve_token(token: Optional[str]) -> str:
@@ -203,6 +207,34 @@ def recv_frame(sock: socket.socket, limit: int = MAX_FRAME_BYTES) -> bytes:
     if length > limit:
         raise RpcError(f"frame of {length} bytes exceeds the {limit}-byte limit")
     return _recv_exact(sock, length)
+
+
+def authenticate_inbound(conn: socket.socket, token: str) -> bool:  # rpc-frame: auth-gate
+    """Server side of the token handshake; nothing is decoded before it passes.
+
+    The check runs on raw frame bytes with a constant-time compare, the auth
+    frame is size-capped (tokens are short), and the frame must arrive within
+    a timeout — so an unauthenticated peer can neither pin a handler thread
+    nor make the server buffer memory.  Shared by every listener that rides
+    this framing (the eval workers and the network store server).
+    """
+    conn.settimeout(AUTH_TIMEOUT_SECONDS)
+    try:
+        presented = recv_frame(conn, limit=MAX_AUTH_FRAME_BYTES)
+        if not hmac.compare_digest(presented, token.encode("utf-8")):
+            send_frame(conn, _AUTH_DENIED)
+            return False
+        send_frame(conn, _AUTH_OK)
+    finally:
+        conn.settimeout(None)
+    return True
+
+
+def authenticate_outbound(sock: socket.socket, token: str, peer: str) -> None:
+    """Client side of the token handshake; raises :class:`RpcError` on denial."""
+    send_frame(sock, token.encode("utf-8"))
+    if recv_frame(sock) != _AUTH_OK:
+        raise RpcError(f"{peer} rejected the authentication token")
 
 
 def _recv_exact_into(sock: socket.socket, view: memoryview) -> None:
@@ -485,22 +517,8 @@ class EvalWorkerServer:
                 pass
 
     def _authenticate(self, conn: socket.socket) -> bool:  # rpc-frame: auth-gate
-        """Token check on raw bytes — nothing is unpickled before this passes.
-
-        Unauthenticated peers are kept on a short leash: the auth frame is
-        size-capped (tokens are short) and must arrive within a timeout, so
-        a port-scanner cannot pin handler threads or buffer memory.
-        """
-        conn.settimeout(AUTH_TIMEOUT_SECONDS)
-        try:
-            presented = recv_frame(conn, limit=MAX_AUTH_FRAME_BYTES)
-            if not hmac.compare_digest(presented, self.token.encode("utf-8")):
-                send_frame(conn, _AUTH_DENIED)
-                return False
-            send_frame(conn, _AUTH_OK)
-        finally:
-            conn.settimeout(None)
-        return True
+        """Token check on raw bytes — nothing is unpickled before this passes."""
+        return authenticate_inbound(conn, self.token)
 
     def _build_rig(self, spec: EvaluatorSpec) -> SimulationRig:
         # The coordinator's resolved seed arrives inside the bootstrap spec
@@ -572,12 +590,7 @@ class RpcWorkerClient:
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             _enable_keepalive(sock)
-            send_frame(sock, self.token.encode("utf-8"))
-            reply = recv_frame(sock)
-            if reply != _AUTH_OK:
-                raise RpcError(
-                    f"worker {self.host}:{self.port} rejected the authentication token"
-                )
+            authenticate_outbound(sock, self.token, f"worker {self.host}:{self.port}")
             # Shard evaluation time is unbounded (it scales with the problem),
             # so the steady-state socket is fully blocking; liveness is the
             # heartbeat's job, and a killed worker still surfaces promptly as

@@ -10,9 +10,9 @@ A *campaign* executes one or more declarative scenarios
   objectives, seeds, or bandwidth points of one setting — builds each
   analysis table exactly once.  Identical cells appearing in several
   scenarios run once per campaign.
-* **Uniform backend threading** — ``eval_backend``/``eval_workers`` apply to
-  every cell (and to the custom scenario runners via
-  :meth:`CampaignRunner.explorer`).
+* **Uniform backend threading** — one ``eval_config``
+  (:class:`~repro.core.evalconfig.EvalConfig`) applies to every cell (and to
+  the custom scenario runners via :meth:`CampaignRunner.explorer`).
 * **Resumable results store** — each finished cell is appended to a JSONL
   store keyed by the cell's deterministic fingerprint; re-running with
   ``resume=True`` skips every fingerprint already on disk, so an
@@ -28,9 +28,9 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.accelerator import AcceleratorPlatform, build_setting
 from repro.core.analyzer import AnalysisTableCache, JobAnalysisTable, shared_table_cache
-from repro.core.evaluator import DEFAULT_EVAL_BACKEND
+from repro.core.evalconfig import EvalConfig, resolve_eval_config
 from repro.core.framework import M3E, SearchResult
-from repro.exceptions import ConfigurationError, ExperimentError
+from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import (
     ScenarioSpec,
     SearchCell,
@@ -41,25 +41,26 @@ from repro.experiments.scenarios import (
 )
 from repro.experiments.settings import ExperimentScale, get_scale
 from repro.obs import get_tracer
-from repro.utils.jsonl_store import AppendOnlyJsonlStore
 from repro.utils.rng import spawn_rngs
+from repro.utils.storage import BackedStore
 from repro.utils.serialization import SearchResultSummary, jsonable
 from repro.workloads.benchmark import TaskType, build_task_workload
 from repro.workloads.groups import JobGroup
 
 
-class CampaignResultsStore(AppendOnlyJsonlStore):
-    """Append-only JSONL store of per-cell campaign results.
+class CampaignResultsStore(BackedStore):
+    """Append-only store of per-cell campaign results.
 
-    One line per completed cell: ``{"fingerprint", "scenario", "cell",
+    One record per completed cell: ``{"fingerprint", "scenario", "cell",
     "result"}``.  The fingerprint is the cell's deterministic identity
     (:meth:`~repro.experiments.scenarios.SearchCell.fingerprint`), which is
     what makes interrupted campaigns resumable.  Append/repair/fingerprint
-    mechanics live in :class:`~repro.utils.jsonl_store.AppendOnlyJsonlStore`
-    (shared with the mapping service's solution store); in particular
-    ``fingerprints()`` scans the fingerprint key without parsing whole
-    records, so resuming a large campaign does not pay for re-reading every
-    stored convergence history.
+    mechanics live with the pluggable :class:`~repro.utils.storage.StoreBackend`
+    (shared with the mapping service's solution store) — ``--out`` accepts
+    any store URL, so several campaign processes can feed one ``sqlite:`` or
+    ``tcp://`` store.  On the default JSONL backend ``fingerprints()`` scans
+    the fingerprint key without parsing whole records, so resuming a large
+    campaign does not pay for re-reading every stored convergence history.
     """
 
     def append(self, fingerprint: str, scenario: str, cell: Dict[str, Any], result: Dict[str, Any]) -> None:
@@ -96,11 +97,13 @@ class CampaignRunner:
     scale:
         Experiment scale (name, instance, or ``None`` for the environment
         default) every cell resolves budgets/group sizes against.
+    eval_config:
+        Evaluation-engine configuration
+        (:class:`~repro.core.evalconfig.EvalConfig`) threaded into every
+        explorer the engine builds — one knob for every cell of every
+        scenario.
     eval_backend / eval_workers / eval_hosts / rpc_token:
-        Evaluation backend configuration threaded into every explorer the
-        engine builds — one knob for every cell of every scenario.
-        ``eval_hosts``/``rpc_token`` configure the ``rpc`` backend's remote
-        worker fleet (``repro-magma eval-worker`` instances).
+        Deprecated spelling of ``eval_config`` (bit-identical, warns).
     table_cache:
         Analysis-table cache to share; defaults to the process-wide cache so
         independent runners in one process still dedup table builds.
@@ -114,32 +117,46 @@ class CampaignRunner:
     def __init__(
         self,
         scale: "ExperimentScale | str | None" = None,
-        eval_backend: str = DEFAULT_EVAL_BACKEND,
+        eval_backend: Optional[str] = None,
         eval_workers: Optional[int] = None,
         eval_hosts: "str | Sequence[str] | None" = None,
         rpc_token: Optional[str] = None,
         table_cache: Optional[AnalysisTableCache] = None,
         warm_store: Optional[Any] = None,
+        eval_config: Optional[EvalConfig] = None,
     ):
-        if (eval_hosts is not None or rpc_token is not None) and eval_backend != "rpc":
-            # Mirror M3E's validation: a campaign/service configured with a
-            # worker fleet but the wrong backend must fail loudly, not
-            # silently evaluate every cell locally.
-            raise ConfigurationError(
-                f"eval_hosts/rpc_token are only meaningful for the 'rpc' backend, "
-                f"not {eval_backend!r}"
-            )
         self.scale = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
-        self.eval_backend = eval_backend
-        self.eval_workers = eval_workers
-        self.eval_hosts = eval_hosts
-        self.rpc_token = rpc_token
+        self.eval_config = resolve_eval_config(
+            eval_config,
+            where="CampaignRunner",
+            eval_backend=eval_backend,
+            eval_workers=eval_workers,
+            eval_hosts=eval_hosts,
+            rpc_token=rpc_token,
+        )
         self.table_cache = table_cache if table_cache is not None else shared_table_cache()
         self.warm_store = warm_store
         self._groups: Dict[Tuple[str, int, int, int], JobGroup] = {}  # guarded-by: _groups_lock
         # The mapping service drives one runner from several worker threads;
         # the group memo is the only mutable state they all write.
         self._groups_lock = threading.Lock()
+
+    # Read-only views kept for callers of the pre-EvalConfig attributes.
+    @property
+    def eval_backend(self) -> str:
+        return self.eval_config.backend
+
+    @property
+    def eval_workers(self) -> Optional[int]:
+        return self.eval_config.workers
+
+    @property
+    def eval_hosts(self) -> "Tuple[str, ...] | None":
+        return self.eval_config.hosts
+
+    @property
+    def rpc_token(self) -> Optional[str]:
+        return self.eval_config.rpc_token
 
     # ------------------------------------------------------------------
     # Building blocks (also used by custom scenario runners)
@@ -155,10 +172,7 @@ class CampaignRunner:
             platform,
             objective=objective,
             sampling_budget=sampling_budget if sampling_budget is not None else self.scale.sampling_budget,
-            eval_backend=self.eval_backend,
-            eval_workers=self.eval_workers if self.eval_backend == "parallel" else None,
-            eval_hosts=self.eval_hosts,
-            rpc_token=self.rpc_token,
+            eval_config=self.eval_config,
             table_cache=self.table_cache,
             warm_store=self.warm_store,
         )
@@ -257,9 +271,24 @@ class CampaignRunner:
         specs = [get_scenario(s) if isinstance(s, str) else s for s in scenarios]
         if seed_replicates is not None:
             specs = [with_seed_replicates(spec, seed_replicates) for spec in specs]
+        owns_store = isinstance(store, str)
         if isinstance(store, str):
+            # Any store URL (bare path = jsonl:), resolved by the one parser.
             store = CampaignResultsStore(store)
+        try:
+            return self._run(specs, store, resume, base_seed, progress)
+        finally:
+            if owns_store and store is not None:
+                store.close()
 
+    def _run(
+        self,
+        specs: Sequence[ScenarioSpec],
+        store: Optional[CampaignResultsStore],
+        resume: bool,
+        base_seed: int,
+        progress: Optional[Callable[[str], None]],
+    ) -> CampaignReport:
         stored: Set[str] = set()
         if store is not None:
             # Repairing first keeps both branches safe against a torn trailing

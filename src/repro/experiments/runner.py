@@ -30,7 +30,7 @@ from repro.analysis.gantt import schedule_to_bandwidth_series, schedule_to_gantt
 from repro.analysis.pca import project_encodings
 from repro.analysis.reporting import normalized_values_with_reference, normalized_with_reference
 from repro.core.analyzer import JobAnalyzer
-from repro.core.evaluator import DEFAULT_EVAL_BACKEND
+from repro.core.evalconfig import EvalConfig, resolve_eval_config
 from repro.core.framework import M3E, SearchResult
 from repro.exceptions import ExperimentError
 from repro.experiments.scenarios import (
@@ -102,10 +102,11 @@ def run_method_comparison(
     scale: Optional[ExperimentScale] = None,
     seed: int = 0,
     group: Optional[JobGroup] = None,
-    eval_backend: str = DEFAULT_EVAL_BACKEND,
+    eval_backend: Optional[str] = None,
     eval_workers: Optional[int] = None,
     eval_hosts: "str | Sequence[str] | None" = None,
     rpc_token: Optional[str] = None,
+    eval_config: Optional[EvalConfig] = None,
 ) -> Dict[str, SearchResult]:
     """Run several mapping methods on one (setting, bandwidth, task) problem.
 
@@ -115,11 +116,11 @@ def run_method_comparison(
     campaign engine's cell executor
     (:meth:`~repro.experiments.campaign.CampaignRunner.run_cell`) mirrors
     these semantics exactly, so a figure run cell-by-cell is bit-identical
-    to this direct loop.  ``eval_backend`` selects the fitness-evaluation
-    path (``"batch"`` — the vectorized default — ``"parallel"`` — the same
-    sweep sharded across ``eval_workers`` processes — ``"rpc"`` — sharded
-    across the remote ``eval_hosts`` workers — or the ``"scalar"`` reference
-    oracle); all produce bit-identical results.
+    to this direct loop.  ``eval_config``
+    (:class:`~repro.core.evalconfig.EvalConfig`) selects the
+    fitness-evaluation path; all backends produce bit-identical results.
+    The legacy ``eval_backend``/``eval_workers``/``eval_hosts``/``rpc_token``
+    keywords build the identical config but emit ``DeprecationWarning``.
     """
     scale = scale or get_scale()
     platform = build_setting(setting, bandwidth_gbps)
@@ -128,10 +129,14 @@ def run_method_comparison(
     explorer = M3E(
         platform,
         sampling_budget=scale.sampling_budget,
-        eval_backend=eval_backend,
-        eval_workers=eval_workers,
-        eval_hosts=eval_hosts,
-        rpc_token=rpc_token,
+        eval_config=resolve_eval_config(
+            eval_config,
+            where="run_method_comparison",
+            eval_backend=eval_backend,
+            eval_workers=eval_workers,
+            eval_hosts=eval_hosts,
+            rpc_token=rpc_token,
+        ),
     )
     rngs = spawn_rngs(seed, len(methods))
     results: Dict[str, SearchResult] = {}

@@ -29,6 +29,7 @@ from repro.utils.serialization import payload_fingerprint
 from repro.utils.tables import unique_key
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.evalconfig import EvalConfig
     from repro.core.framework import SearchResult
     from repro.experiments.campaign import CampaignRunner
 
@@ -427,18 +428,21 @@ def run_scenario(
     engine: Optional["CampaignRunner"] = None,
     options: Optional[Dict[str, Any]] = None,
     warm_store: Optional[Any] = None,
+    eval_config: Optional["EvalConfig"] = None,
 ) -> Dict[str, Any]:
     """Run one scenario end to end and return its post-processed output.
 
     This is the single entry point behind ``repro experiment <name>`` and
     the historical ``run_fig*`` wrappers.  ``engine`` reuses an existing
     campaign runner (sharing its caches and backend settings); otherwise one
-    is built from ``scale``/``eval_backend``/``eval_workers``/``warm_store``
-    (the latter a persistent warm-start provider such as
+    is built from ``scale``/``eval_config``/``warm_store`` (the latter a
+    persistent warm-start provider such as
     :class:`~repro.service.warmlib.WarmStartLibrary`, threaded into every
-    explorer the scenario builds).
+    explorer the scenario builds).  The legacy
+    ``eval_backend``/``eval_workers``/``eval_hosts``/``rpc_token`` keywords
+    build the identical config but emit :class:`DeprecationWarning`.
     """
-    from repro.core.evaluator import DEFAULT_EVAL_BACKEND
+    from repro.core.evalconfig import resolve_eval_config
     from repro.experiments.campaign import CampaignRunner
 
     spec = get_scenario(scenario) if isinstance(scenario, str) else scenario
@@ -446,10 +450,14 @@ def run_scenario(
         resolved = scale if isinstance(scale, ExperimentScale) else get_scale(scale)
         engine = CampaignRunner(
             scale=resolved,
-            eval_backend=eval_backend or DEFAULT_EVAL_BACKEND,
-            eval_workers=eval_workers,
-            eval_hosts=eval_hosts,
-            rpc_token=rpc_token,
+            eval_config=resolve_eval_config(
+                eval_config,
+                where="run_scenario",
+                eval_backend=eval_backend,
+                eval_workers=eval_workers,
+                eval_hosts=eval_hosts,
+                rpc_token=rpc_token,
+            ),
             warm_store=warm_store,
         )
     context = ScenarioContext(spec=spec, engine=engine, base_seed=seed, options=dict(options or {}))

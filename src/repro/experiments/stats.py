@@ -196,16 +196,22 @@ def rows_from_store(store: Any) -> List[Tuple[Dict[str, Any], Dict[str, Any]]]:
     """
     from repro.experiments.campaign import CampaignResultsStore
 
-    if isinstance(store, str):
+    owns_store = isinstance(store, str)
+    if owns_store:
+        # Any store URL (bare path = jsonl:); closed again before returning.
         store = CampaignResultsStore(store)
-    rows = []
-    for record in store.records():
-        cell = record.get("cell") or {}
-        result = record.get("result") or {}
-        if cell.get("custom") or "output" in result:
-            continue
-        rows.append((cell, result))
-    return rows
+    try:
+        rows = []
+        for record in store.records():
+            cell = record.get("cell") or {}
+            result = record.get("result") or {}
+            if cell.get("custom") or "output" in result:
+                continue
+            rows.append((cell, result))
+        return rows
+    finally:
+        if owns_store:
+            store.close()
 
 
 def replicate_summary(

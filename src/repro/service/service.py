@@ -22,7 +22,9 @@
 
 from __future__ import annotations
 
+import os
 import queue
+import socket
 import threading
 import time
 from collections import deque
@@ -31,7 +33,7 @@ from typing import Any, Dict, Optional, Sequence
 
 from repro.accelerator import build_setting, list_settings
 from repro.core.analyzer import AnalysisTableCache
-from repro.core.evaluator import DEFAULT_EVAL_BACKEND
+from repro.core.evalconfig import EvalConfig, resolve_eval_config
 from repro.core.objectives import list_objectives
 from repro.exceptions import ReproError, ServiceError
 from repro.experiments.campaign import CampaignRunner
@@ -197,18 +199,30 @@ class MappingService:
     Parameters
     ----------
     store:
-        :class:`SolutionStore` (or its path) of solved requests.
+        :class:`SolutionStore` of solved requests, or anything
+        :func:`~repro.utils.storage.parse_store_url` accepts (a bare path,
+        a ``jsonl:``/``sqlite:``/``tcp://`` URL, or an open backend).  On a
+        shared backend several service replicas answer from — and feed —
+        one store.  A store the service opened itself (from a path/URL) is
+        closed by :meth:`close`; an already open store/backend stays the
+        caller's to close.
     warm_store:
         Optional :class:`~repro.service.warmlib.WarmStartLibrary` (or its
-        path).  When present, cache *misses* still benefit from history:
+        path/URL).  When present, cache *misses* still benefit from history:
         searches warm-start from the best prior same-task solution.
     scale:
         Experiment scale unresolved request knobs default to.
+    eval_config:
+        Evaluation-engine configuration
+        (:class:`~repro.core.evalconfig.EvalConfig`) for every search the
+        service runs.  With ``backend="rpc"`` service jobs fan their
+        fitness evaluations out to the remote worker fleet.
     eval_backend / eval_workers / eval_hosts / rpc_token:
-        Evaluation backend configuration for every search the service runs.
-        With ``eval_backend="rpc"`` service jobs fan their fitness
-        evaluations out to the remote ``eval_hosts`` workers
-        (``repro-magma eval-worker`` fleet), authenticated by ``rpc_token``.
+        Deprecated spelling of ``eval_config`` (bit-identical, warns).
+    replica_id:
+        Stable identity this replica reports on ``/healthz`` (default:
+        ``<hostname>:<pid>``) — how operators tell the members of a
+        shared-store service tier apart.
     workers:
         Worker threads executing queued jobs concurrently.
     max_finished_jobs:
@@ -224,79 +238,97 @@ class MappingService:
         store: "SolutionStore | str",
         warm_store: "WarmStartLibrary | str | None" = None,
         scale: "ExperimentScale | str | None" = None,
-        eval_backend: str = DEFAULT_EVAL_BACKEND,
+        eval_backend: Optional[str] = None,
         eval_workers: Optional[int] = None,
         eval_hosts: "str | Sequence[str] | None" = None,
         rpc_token: Optional[str] = None,
         workers: int = 2,
         table_cache: Optional[AnalysisTableCache] = None,
         max_finished_jobs: int = 10_000,
+        eval_config: Optional[EvalConfig] = None,
+        replica_id: Optional[str] = None,
     ):
         if workers <= 0:
             raise ServiceError(f"workers must be positive, got {workers}")
         if max_finished_jobs <= 0:
             raise ServiceError(f"max_finished_jobs must be positive, got {max_finished_jobs}")
+        self._owns_store = not isinstance(store, SolutionStore)
         self.store = store if isinstance(store, SolutionStore) else SolutionStore(store)
-        if isinstance(warm_store, str):
-            warm_store = WarmStartLibrary(warm_store)
-        self.warm_store = warm_store
-        self._runner = CampaignRunner(
-            scale=scale,
-            eval_backend=eval_backend,
-            eval_workers=eval_workers,
-            eval_hosts=eval_hosts,
-            rpc_token=rpc_token,
-            table_cache=table_cache if table_cache is not None else AnalysisTableCache(),
-            warm_store=warm_store,
-        )
-        self._lock = threading.Lock()
-        self._queue: "queue.Queue[Optional[MappingJob]]" = queue.Queue()
-        self._jobs: Dict[str, MappingJob] = {}  # guarded-by: _lock
-        self._inflight: Dict[str, MappingJob] = {}  # guarded-by: _lock
-        self._finished: "deque[str]" = deque()  # guarded-by: _lock
-        self._max_finished_jobs = max_finished_jobs
-        self._counter = 0  # guarded-by: _lock
-        self._closed = False  # guarded-by: _lock
-        self.stats: Dict[str, int] = {  # guarded-by: _lock
-            "submitted": 0,
-            "cache_hits": 0,
-            "deduped": 0,
-            "searches_run": 0,
-            "failed": 0,
-        }
-        # Observability (docs/OBSERVABILITY.md): request lifecycle events plus
-        # registry-backed gauges the healthz payload reads back.
-        self._tracer = get_tracer()
-        self._metrics = get_metrics()
-        self._g_queue_depth = self._metrics.gauge(
-            "repro_service_queue_depth", "Jobs accepted but not yet picked up by a worker."
-        )
-        self._g_inflight = self._metrics.gauge(
-            "repro_service_inflight", "Jobs currently executing on worker threads."
-        )
-        self._h_queue_wait = self._metrics.histogram(
-            "repro_service_queue_wait_seconds", "Time jobs spent queued before a worker ran them."
-        )
-        self._m_requests = {
-            outcome: self._metrics.counter(
-                "repro_service_requests_total",
-                "Submitted requests by outcome (cache-hit, deduped, queued).",
-                labels={"outcome": outcome},
+        self._owns_warm = isinstance(warm_store, str)
+        self.warm_store: Optional[WarmStartLibrary] = None
+        self.replica_id = replica_id or f"{socket.gethostname()}:{os.getpid()}"
+        # Everything below may fail (bad eval config, unreadable store, a
+        # dead network store, ...); a half-built service must not leak the
+        # store handles it just opened.
+        try:
+            if isinstance(warm_store, str):
+                warm_store = WarmStartLibrary(warm_store)
+            self.warm_store = warm_store
+            self._runner = CampaignRunner(
+                scale=scale,
+                eval_config=resolve_eval_config(
+                    eval_config,
+                    where="MappingService",
+                    eval_backend=eval_backend,
+                    eval_workers=eval_workers,
+                    eval_hosts=eval_hosts,
+                    rpc_token=rpc_token,
+                ),
+                table_cache=table_cache if table_cache is not None else AnalysisTableCache(),
+                warm_store=warm_store,
             )
-            for outcome in ("cache-hit", "deduped", "queued")
-        }
-        # Never-corrupt startup: drop a torn trailing line a previous crash
-        # may have left, then index best-per-fingerprint for instant hits.
-        self.store.repair()
-        self._index: Dict[str, SearchResultSummary] = {}  # guarded-by: _lock
-        for fingerprint, record in self.store.best_by_fingerprint().items():
-            self._index[fingerprint] = SearchResultSummary.from_dict(record["result"])
-        self._threads = [
-            threading.Thread(target=self._worker, name=f"mapping-worker-{i}", daemon=True)
-            for i in range(workers)
-        ]
-        for thread in self._threads:
-            thread.start()
+            self._lock = threading.Lock()
+            self._queue: "queue.Queue[Optional[MappingJob]]" = queue.Queue()
+            self._jobs: Dict[str, MappingJob] = {}  # guarded-by: _lock
+            self._inflight: Dict[str, MappingJob] = {}  # guarded-by: _lock
+            self._finished: "deque[str]" = deque()  # guarded-by: _lock
+            self._max_finished_jobs = max_finished_jobs
+            self._counter = 0  # guarded-by: _lock
+            self._closed = False  # guarded-by: _lock
+            self.stats: Dict[str, int] = {  # guarded-by: _lock
+                "submitted": 0,
+                "cache_hits": 0,
+                "deduped": 0,
+                "searches_run": 0,
+                "failed": 0,
+            }
+            # Observability (docs/OBSERVABILITY.md): request lifecycle events
+            # plus registry-backed gauges the healthz payload reads back.
+            self._tracer = get_tracer()
+            self._metrics = get_metrics()
+            self._g_queue_depth = self._metrics.gauge(
+                "repro_service_queue_depth", "Jobs accepted but not yet picked up by a worker."
+            )
+            self._g_inflight = self._metrics.gauge(
+                "repro_service_inflight", "Jobs currently executing on worker threads."
+            )
+            self._h_queue_wait = self._metrics.histogram(
+                "repro_service_queue_wait_seconds", "Time jobs spent queued before a worker ran them."
+            )
+            self._m_requests = {
+                outcome: self._metrics.counter(
+                    "repro_service_requests_total",
+                    "Submitted requests by outcome (cache-hit, deduped, queued).",
+                    labels={"outcome": outcome},
+                )
+                for outcome in ("cache-hit", "deduped", "queued")
+            }
+            # Never-corrupt startup: drop a torn trailing line a previous
+            # crash may have left, then index best-per-fingerprint for
+            # instant hits.
+            self.store.repair()
+            self._index: Dict[str, SearchResultSummary] = {}  # guarded-by: _lock
+            for fingerprint, record in self.store.best_by_fingerprint().items():
+                self._index[fingerprint] = SearchResultSummary.from_dict(record["result"])
+            self._threads = [
+                threading.Thread(target=self._worker, name=f"mapping-worker-{i}", daemon=True)
+                for i in range(workers)
+            ]
+            for thread in self._threads:
+                thread.start()
+        except BaseException:
+            self._close_stores()
+            raise
 
     @property
     def scale(self) -> ExperimentScale:
@@ -318,6 +350,17 @@ class MappingService:
             request = MappingRequest.from_dict(request)
         payload = request.resolve(self.scale)
         fingerprint = payload_fingerprint(payload)
+        remote = None
+        if self.store.shared:
+            # Another replica feeding the shared store may have solved this
+            # fingerprint since our startup index was built.  Consulting the
+            # store happens *before* taking the lock (it may be network I/O);
+            # the race of a concurrent local solve is harmless — duplicate
+            # appends resolve to the best record.
+            with self._lock:
+                unknown = fingerprint not in self._index and fingerprint not in self._inflight
+            if unknown:
+                remote = self.store.lookup_result(fingerprint)
         with self._lock:
             if self._closed:
                 raise ServiceError("service is shut down")
@@ -330,6 +373,8 @@ class MappingService:
             job = MappingJob(job_id=self._next_id(), fingerprint=fingerprint, request=payload)
             self._jobs[job.job_id] = job
             cached = self._index.get(fingerprint)
+            if cached is None and remote is not None:
+                cached = self._index.setdefault(fingerprint, remote)
             if cached is not None:
                 self.stats["cache_hits"] += 1
                 job.cached = True
@@ -410,8 +455,11 @@ class MappingService:
             self._refresh_gauges()
             return {
                 "status": "closed" if self._closed else "ok",
+                "replica": self.replica_id,
                 "scale": self.scale.name,
                 "eval_backend": self._runner.eval_backend,
+                "store_backend": self.store.kind,
+                "store_url": self.store.url,
                 "workers": len(self._threads),
                 "queue_depth": int(self._metrics.value_of("repro_service_queue_depth")),
                 "in_flight": int(self._metrics.value_of("repro_service_inflight")),
@@ -531,6 +579,15 @@ class MappingService:
             self._queue.put(None)
         for thread in self._threads:
             thread.join()
+        # Only after the last worker has finished its final store append.
+        self._close_stores()
+
+    def _close_stores(self) -> None:
+        """Close the store handles this service opened itself (idempotent)."""
+        if self._owns_warm and self.warm_store is not None:
+            self.warm_store.close()
+        if self._owns_store:
+            self.store.close()
 
     def __enter__(self) -> "MappingService":
         return self

@@ -3,12 +3,18 @@
 Every record pairs a fully resolved :class:`~repro.service.service.MappingRequest`
 payload with the :class:`~repro.utils.serialization.SearchResultSummary` of
 the search that solved it, keyed by the request's deterministic fingerprint
-(canonical-JSON SHA-256, the same identity scheme campaign cells use).  The
-store is append-only JSONL like the campaign results store — appends are
-single flushed writes behind a lock, torn trailing lines are repairable —
-so a service crash can never corrupt previously solved work.
+(canonical-JSON SHA-256, the same identity scheme campaign cells use).
 
-Append-only means a fingerprint may appear on several lines (two service
+Since the store-backend split the solution store is transport-agnostic: it
+defines the record schema and the duplicate-resolution semantics, and
+persists through any :class:`~repro.utils.storage.StoreBackend` —
+``jsonl:path`` (the default; byte-compatible with every store file written
+before backends existed), ``sqlite:path`` for concurrent local replicas, or
+``tcp://host:port`` for a fleet of service replicas sharing one store
+(docs/SERVICE.md has the matrix).  Appends stay atomic and crash-safe on
+every transport.
+
+Append-only means a fingerprint may appear in several records (two service
 workers racing on near-identical requests, or a re-run with a fresh library
 finding a different-quality solution).  Readers resolve duplicates by
 *fitness*: :meth:`SolutionStore.lookup` returns the best-fitness record, so
@@ -19,12 +25,12 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional
 
-from repro.utils.jsonl_store import AppendOnlyJsonlStore
 from repro.utils.serialization import SearchResultSummary
+from repro.utils.storage import BackedStore, record_fitness
 
 
-class SolutionStore(AppendOnlyJsonlStore):
-    """Append-only JSONL store of ``{"fingerprint", "request", "task_key", "result"}``."""
+class SolutionStore(BackedStore):
+    """Store of ``{"fingerprint", "request", "task_key", "result"}`` records."""
 
     def append(
         self,
@@ -48,15 +54,10 @@ class SolutionStore(AppendOnlyJsonlStore):
         """The best-fitness record for *fingerprint*, or ``None``.
 
         Ties keep the earliest record, so a store with duplicate equal
-        solutions answers deterministically.
+        solutions answers deterministically.  Indexed backends resolve this
+        without scanning the whole store.
         """
-        best: Optional[Dict[str, Any]] = None
-        for record in self.iter_records():
-            if record.get("fingerprint") != fingerprint:
-                continue
-            if best is None or _fitness(record) > _fitness(best):
-                best = record
-        return best
+        return self.backend.lookup(fingerprint)
 
     def lookup_result(self, fingerprint: str) -> Optional[SearchResultSummary]:
         """The stored search summary for *fingerprint*, or ``None``."""
@@ -69,17 +70,9 @@ class SolutionStore(AppendOnlyJsonlStore):
         """The best-fitness record per fingerprint (one pass over the store).
 
         This is the service's startup index: answering a repeated request
-        from it is a dict lookup, not a file scan.
+        from it is a dict lookup, not a store scan.
         """
-        best: Dict[str, Dict[str, Any]] = {}
-        for record in self.iter_records():
-            fingerprint = record.get("fingerprint")
-            if not fingerprint:
-                continue
-            current = best.get(fingerprint)
-            if current is None or _fitness(record) > _fitness(current):
-                best[fingerprint] = record
-        return best
+        return self.backend.best_records("fingerprint")
 
     def best_by_task(self) -> Dict[str, Dict[str, Any]]:
         """The best-fitness record per task key (warm-start library seed).
@@ -87,19 +80,9 @@ class SolutionStore(AppendOnlyJsonlStore):
         Task keys are namespaced by objective (``"<task>/<objective>"``), so
         a throughput-optimal solution never warm-starts an energy search.
         """
-        best: Dict[str, Dict[str, Any]] = {}
-        for record in self.iter_records():
-            task_key = record.get("task_key")
-            if not task_key:
-                continue
-            current = best.get(task_key)
-            if current is None or _fitness(record) > _fitness(current):
-                best[task_key] = record
-        return best
+        return self.backend.best_records("task_key")
 
 
 def _fitness(record: Dict[str, Any]) -> float:
-    try:
-        return float(record["result"]["best_fitness"])
-    except (KeyError, TypeError, ValueError):
-        return float("-inf")
+    # Kept as an alias: duplicate resolution now lives with the backends.
+    return record_fitness(record)

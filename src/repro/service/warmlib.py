@@ -4,10 +4,13 @@ The paper's warm-start engine (Section V-C) remembers the best solution per
 task type and seeds new searches with it — 7.4x-152x better starting points
 in Table V — but the in-memory :class:`~repro.optimizers.warmstart.WarmStartEngine`
 forgets everything at process exit.  :class:`WarmStartLibrary` wraps it with
-a JSONL file: every improvement is appended as one crash-safe line, and a
-new process replays the file into a fresh engine, so *any* later search —
-service request, campaign cell, or one-off CLI search — warm-starts from the
-best solution any previous run ever found for its task type.
+a durable store (any :class:`~repro.utils.storage.StoreBackend` — the
+historical JSONL file by default): every improvement is appended as one
+crash-safe record, and a new process replays the store into a fresh engine,
+so *any* later search — service request, campaign cell, or one-off CLI
+search — warm-starts from the best solution any previous run ever found for
+its task type.  On a shared backend (``sqlite:``/``tcp://``) the remembered
+improvements of every replica accumulate in one place.
 
 Keys are namespaced by objective (``"<task>/<objective>"``): a
 throughput-optimal mapping is not a useful seed for an energy search.
@@ -27,8 +30,8 @@ import numpy as np
 
 from repro.core.encoding import MappingCodec
 from repro.optimizers.warmstart import WarmStartEngine
-from repro.utils.jsonl_store import AppendOnlyJsonlStore
 from repro.utils.rng import SeedLike
+from repro.utils.storage import StoreBackend, StoreUrl, open_store_backend
 from repro.workloads.benchmark import TaskType
 from repro.workloads.groups import JobGroup
 
@@ -52,34 +55,54 @@ class WarmStartLibrary:
 
     Parameters
     ----------
-    path:
-        JSONL file holding one line per remembered improvement
-        (``{"task_key", "encoding", "num_jobs", "num_sub_accelerators",
-        "fitness"}``).  Missing file = empty library.  The file is replayed
-        through the engine's best-solution-wins rule at load, so duplicate
-        or stale lines are harmless and the file needs no compaction.
+    store:
+        Anything :func:`~repro.utils.storage.parse_store_url` accepts — a
+        bare path (the historical JSONL file), a ``jsonl:``/``sqlite:``/
+        ``tcp://`` URL, or an already open backend — holding one record per
+        remembered improvement (``{"task_key", "encoding", "num_jobs",
+        "num_sub_accelerators", "fitness"}``).  Missing store = empty
+        library.  Records are replayed through the engine's
+        best-solution-wins rule at load, so duplicate or stale records are
+        harmless and the store needs no compaction.
     """
 
-    def __init__(self, path: str):
-        self._file = AppendOnlyJsonlStore(path)
+    def __init__(self, store: "str | StoreUrl | StoreBackend"):
+        self._owns_backend = not isinstance(store, StoreBackend)
+        self._file = open_store_backend(store)
         self._lock = threading.Lock()
-        self._file.repair()
-        state: Dict[str, Dict] = {}
-        for record in self._file.iter_records():
-            task_key = record.get("task_key")
-            if not task_key or any(field not in record for field in _SOLUTION_FIELDS):
-                continue
-            entry = {field: record[field] for field in _SOLUTION_FIELDS}
-            current = state.get(task_key)
-            if current is None or float(entry["fitness"]) > float(current["fitness"]):
-                state[str(task_key)] = entry
+        try:
+            self._file.repair()
+            state: Dict[str, Dict] = {}
+            for record in self._file.iter_records():
+                task_key = record.get("task_key")
+                if not task_key or any(field not in record for field in _SOLUTION_FIELDS):
+                    continue
+                entry = {field: record[field] for field in _SOLUTION_FIELDS}
+                current = state.get(task_key)
+                if current is None or float(entry["fitness"]) > float(current["fitness"]):
+                    state[str(task_key)] = entry
+        except BaseException:
+            # A library that failed to load must not leak the backend it
+            # just opened (replay errors, unreachable network store, ...).
+            self.close()
+            raise
         self._engine = WarmStartEngine.from_state(state)
 
     # ------------------------------------------------------------------
     @property
     def path(self) -> str:
-        """Location of the backing JSONL file."""
-        return self._file.path
+        """Location of the backing store (a path for file-backed stores)."""
+        return str(getattr(self._file, "path", self._file.url))
+
+    @property
+    def url(self) -> str:
+        """Canonical store URL of the backing store."""
+        return self._file.url
+
+    def close(self) -> None:
+        """Close the backing store if this library opened it (idempotent)."""
+        if self._owns_backend:
+            self._file.close()
 
     @staticmethod
     def key_for(task: str, objective: str) -> str:

@@ -40,6 +40,7 @@ QUALIFIED_CREATORS = frozenset(
         "socket.socket",
         "socket.create_connection",
         "socket.create_server",
+        "sqlite3.connect",
         "subprocess.Popen",
         "tempfile.NamedTemporaryFile",
         "tempfile.TemporaryFile",

@@ -20,6 +20,13 @@ This module owns the mechanics they share:
   summaries (encodings + convergence histories) this is an order of
   magnitude cheaper than ``json.loads`` per line, which is what resuming a
   large campaign or warming a service pays at startup.
+
+Since the store-backend split (:mod:`repro.utils.storage`) this class is the
+``jsonl:`` implementation of :class:`~repro.utils.storage.StoreBackend` —
+the default backend, byte-compatible with every store file written before
+backends existed.  It remains single-process (appends are thread-safe, but
+two OS processes appending to one file race); multi-replica deployments use
+the ``sqlite:`` or ``tcp://`` backends instead.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ import threading
 from typing import Any, Dict, Iterator, List, Set
 
 from repro.utils.serialization import dump_jsonl_line, load_jsonl
+from repro.utils.storage import StoreBackend
 
 #: Matches the *top-level* fingerprint key of a record rendered by
 #: :func:`~repro.utils.serialization.dump_jsonl_line` (sorted keys).  The
@@ -41,12 +49,23 @@ from repro.utils.serialization import dump_jsonl_line, load_jsonl
 _FINGERPRINT_RE = re.compile(r'"fingerprint":\s*"([^"]*)"')
 
 
-class AppendOnlyJsonlStore:
-    """Base class for append-only, fingerprint-keyed JSONL result stores."""
+class AppendOnlyJsonlStore(StoreBackend):
+    """The ``jsonl:`` store backend: an append-only, single-file JSONL store."""
+
+    kind = "jsonl"
+    shared = False
 
     def __init__(self, path: str) -> None:
+        super().__init__()
         self.path = str(path)
         self._lock = threading.Lock()
+
+    @property
+    def url(self) -> str:
+        return f"jsonl:{self.path}"
+
+    def close(self) -> None:
+        """Nothing to release: appends open and close the file per record."""
 
     # ------------------------------------------------------------------
     # Reading
@@ -69,6 +88,7 @@ class AppendOnlyJsonlStore:
         trusted: its fingerprint may belong to a record that was never
         durably written, and :meth:`repair` would drop it.
         """
+        self._count_op("scan")
         fingerprints: Set[str] = set()
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
@@ -102,16 +122,28 @@ class AppendOnlyJsonlStore:
 
     def truncate(self) -> None:  # acquires-lock: _lock
         """Start the store afresh."""
+        self._count_op("truncate")
         with self._lock:
             self._ensure_parent()
             open(self.path, "w", encoding="utf-8").close()
 
     def append_record(self, record: Dict[str, Any]) -> None:  # acquires-lock: _lock
         """Append one record as a single flushed line (crash/thread-safe)."""
+        self._count_op("append")
         with self._lock:
             self._ensure_parent()
             with open(self.path, "a", encoding="utf-8") as handle:
                 dump_jsonl_line(record, handle)
+
+    def _replace_records(self, records: List[Dict[str, Any]]) -> None:  # acquires-lock: _lock
+        """Atomically replace the whole file (compaction commit path)."""
+        with self._lock:
+            self._ensure_parent()
+            temp_path = self.path + ".compact"
+            with open(temp_path, "w", encoding="utf-8") as handle:
+                for record in records:
+                    dump_jsonl_line(record, handle)
+            os.replace(temp_path, self.path)
 
     def repair(self) -> int:  # acquires-lock: _lock
         """Drop a torn trailing line left by a hard mid-write interruption.
@@ -122,6 +154,7 @@ class AppendOnlyJsonlStore:
         this rewrites the store to its valid prefix.  Returns the number of
         intact records kept.
         """
+        self._count_op("repair")
         with self._lock:
             try:
                 with open(self.path, "r", encoding="utf-8") as handle:

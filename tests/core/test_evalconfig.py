@@ -1,0 +1,165 @@
+"""Tests for the unified :class:`EvalConfig` and its deprecation shim.
+
+The contract under test: every entry point accepts ``eval_config=``, the
+legacy ``eval_backend/eval_workers/eval_hosts/rpc_token`` kwargs still work
+but warn, mixing the two styles fails loudly, and — the acceptance bar —
+a search configured through the legacy kwargs is *bit-identical* to the
+same search configured through ``EvalConfig``.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core import EvalConfig, M3E
+from repro.core.evalconfig import (
+    DEFAULT_EVAL_BACKEND,
+    EVAL_BACKENDS,
+    resolve_eval_config,
+)
+from repro.exceptions import ConfigurationError
+from repro.experiments.campaign import CampaignRunner
+
+
+class TestEvalConfigValidation:
+    def test_defaults(self):
+        config = EvalConfig()
+        assert config.backend == DEFAULT_EVAL_BACKEND
+        assert config.workers is None and config.hosts is None
+        assert config.rpc_token is None
+
+    def test_every_registered_backend_constructs(self):
+        for backend in EVAL_BACKENDS:
+            assert EvalConfig(backend=backend).backend == backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown evaluation backend"):
+            EvalConfig(backend="gpu")
+
+    def test_workers_only_for_parallel(self):
+        assert EvalConfig(backend="parallel", workers=2).workers == 2
+        with pytest.raises(ConfigurationError, match="parallel"):
+            EvalConfig(backend="batch", workers=2)
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            EvalConfig(backend="parallel", workers=0)
+
+    def test_hosts_only_for_rpc_and_normalised_to_tuple(self):
+        config = EvalConfig(backend="rpc", hosts="a:1, b:2")
+        assert config.hosts == ("a:1", "b:2")
+        assert EvalConfig(backend="rpc", hosts=["c:3"]).hosts == ("c:3",)
+        with pytest.raises(ConfigurationError, match="rpc"):
+            EvalConfig(backend="batch", hosts="a:1")
+        with pytest.raises(ConfigurationError, match="rpc"):
+            EvalConfig(backend="batch", rpc_token="secret")
+
+    def test_malformed_rpc_hosts_fail_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            EvalConfig(backend="rpc", hosts="no-port-here")
+
+    def test_frozen_and_hashable(self):
+        config = EvalConfig(backend="parallel", workers=2)
+        with pytest.raises(AttributeError):
+            config.backend = "batch"
+        assert config == EvalConfig(backend="parallel", workers=2)
+        assert hash(config) == hash(EvalConfig(backend="parallel", workers=2))
+
+    def test_token_stays_out_of_repr(self):
+        assert "hunter2" not in repr(EvalConfig(backend="rpc", rpc_token="hunter2"))
+
+    def test_to_dict_round_trip(self):
+        config = EvalConfig(backend="rpc", hosts="h:1", rpc_token="t")
+        assert config.to_dict() == {
+            "backend": "rpc",
+            "workers": None,
+            "hosts": ["h:1"],
+            "rpc_token": "t",
+        }
+
+
+class TestResolveShim:
+    def test_eval_config_passes_through_untouched(self):
+        config = EvalConfig(backend="scalar")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_eval_config(config, where="here") is config
+
+    def test_legacy_kwargs_build_identical_config_with_warning(self):
+        with pytest.warns(DeprecationWarning, match="here.*deprecated"):
+            resolved = resolve_eval_config(
+                None, where="here", eval_backend="parallel", eval_workers=2
+            )
+        assert resolved == EvalConfig(backend="parallel", workers=2)
+
+    def test_mixing_styles_fails_loudly(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            resolve_eval_config(
+                EvalConfig(), where="here", eval_backend="scalar"
+            )
+
+    def test_non_evalconfig_object_rejected(self):
+        with pytest.raises(ConfigurationError, match="must be an EvalConfig"):
+            resolve_eval_config({"backend": "batch"}, where="here")
+
+    def test_warn_on_filters_which_kwargs_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolved = resolve_eval_config(
+                None,
+                where="here",
+                eval_backend="scalar",
+                warn_on=("eval_hosts", "rpc_token"),
+            )
+        assert resolved.backend == "scalar"
+
+    def test_no_kwargs_is_silent_default(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_eval_config(None, where="here") == EvalConfig()
+
+
+class TestEntryPointsAcceptEvalConfig:
+    def test_m3e_legacy_kwargs_warn_and_match_eval_config(self, small_platform, mix_group):
+        new_style = M3E(
+            small_platform, sampling_budget=60, eval_config=EvalConfig(backend="scalar")
+        )
+        with pytest.warns(DeprecationWarning):
+            old_style = M3E(small_platform, sampling_budget=60, eval_backend="scalar")
+        assert new_style.eval_config == old_style.eval_config
+        # Acceptance: the two spellings produce bit-identical searches.
+        a = new_style.search(mix_group, seed=7)
+        b = old_style.search(mix_group, seed=7)
+        assert a.best_encoding.tolist() == b.best_encoding.tolist()
+        assert a.best_fitness == b.best_fitness
+        assert a.history == b.history
+        assert a.samples_used == b.samples_used
+
+    def test_m3e_exposes_legacy_read_only_views(self, small_platform):
+        engine = M3E(
+            small_platform,
+            eval_config=EvalConfig(backend="parallel", workers=2),
+        )
+        assert engine.eval_backend == "parallel"
+        assert engine.eval_workers == 2
+        assert engine.eval_hosts is None and engine.rpc_token is None
+
+    def test_m3e_rejects_mixed_styles(self, small_platform):
+        with pytest.raises(ConfigurationError, match="not both"):
+            M3E(
+                small_platform,
+                eval_config=EvalConfig(),
+                eval_backend="scalar",
+            )
+
+    def test_campaign_runner_threads_eval_config_through(self):
+        runner = CampaignRunner(eval_config=EvalConfig(backend="scalar"))
+        assert runner.eval_config == EvalConfig(backend="scalar")
+        assert runner.eval_backend == "scalar"
+        with pytest.warns(DeprecationWarning):
+            legacy = CampaignRunner(eval_backend="scalar")
+        assert legacy.eval_config == runner.eval_config
+
+    def test_campaign_runner_default_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            runner = CampaignRunner()
+        assert runner.eval_config == EvalConfig()

@@ -208,3 +208,56 @@ class TestServiceCommands:
 
         with pytest.raises(ServiceError, match="cannot reach"):
             main(["submit", "--url", "http://127.0.0.1:9", "--timeout", "1"])
+
+
+class TestStoreCommands:
+    def _seed(self, url):
+        from repro.utils.storage import open_store_backend
+
+        with open_store_backend(url) as backend:
+            for i in range(6):
+                backend.append_record(
+                    {"fingerprint": "fp-a" if i % 2 else "fp-b",
+                     "result": {"best_fitness": float(i)}}
+                )
+
+    def test_store_info_prints_backend_summary(self, capsys, tmp_path):
+        url = f"sqlite:{tmp_path / 'db.sqlite3'}"
+        self._seed(url)
+        assert main(["store", "info", url]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "sqlite"
+        assert payload["records"] == 6
+        assert payload["fingerprints"] == 2
+
+    def test_store_compact_applies_policy_and_reports(self, capsys, tmp_path):
+        url = f"sqlite:{tmp_path / 'db.sqlite3'}"
+        self._seed(url)
+        assert main(["store", "compact", url]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kept"] == 2 and payload["dropped"] == 4
+        assert payload["policy"]["keep_best_per_fingerprint"] is True
+        from repro.utils.storage import open_store_backend
+
+        with open_store_backend(url) as backend:
+            assert len(backend) == 2
+
+    def test_store_compact_max_records(self, capsys, tmp_path):
+        url = f"jsonl:{tmp_path / 'db.jsonl'}"
+        self._seed(url)
+        argv = ["store", "compact", url, "--no-keep-best", "--max-records", "3"]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kept"] == 3 and payload["dropped"] == 3
+
+    def test_store_serve_parser_defaults(self):
+        args = build_parser().parse_args(["store", "serve"])
+        assert args.listen == "127.0.0.1:9917"
+        assert args.backing == "sqlite:store.sqlite3"
+
+    def test_serve_parser_accepts_replica_id_and_store_url(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "tcp://127.0.0.1:9917", "--replica-id", "a"]
+        )
+        assert args.store == "tcp://127.0.0.1:9917"
+        assert args.replica_id == "a"

@@ -1,0 +1,291 @@
+"""Backend-conformance suite for the pluggable store backends.
+
+Every test in :class:`TestBackendConformance` runs against all three
+transports — ``jsonl:``, ``sqlite:`` and ``tcp://`` (a network store backed
+by SQLite) — so a behavioural divergence between backends fails the same
+test three ways instead of hiding behind whichever backend a feature test
+happened to use.  The URL grammar and compaction policy get their own unit
+classes since they are backend-independent.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.netstore import NetworkStoreBackend, NetworkStoreServer
+from repro.exceptions import ConfigurationError
+from repro.utils.jsonl_store import AppendOnlyJsonlStore
+from repro.utils.sqlite_store import SqliteStoreBackend
+from repro.utils.storage import (
+    CompactionPolicy,
+    StoreUrl,
+    open_store_backend,
+    parse_store_url,
+    record_fitness,
+    render_record,
+)
+
+TOKEN = "conformance-secret"
+
+
+def _record(fingerprint, fitness, **extra):
+    record = {"fingerprint": fingerprint, "result": {"best_fitness": fitness}}
+    record.update(extra)
+    return record
+
+
+@pytest.fixture(params=["jsonl", "sqlite", "tcp"])
+def backend(request, tmp_path, monkeypatch):
+    """One open store backend per transport; torn down after the test."""
+    monkeypatch.delenv("REPRO_RPC_TOKEN", raising=False)
+    if request.param == "jsonl":
+        store = AppendOnlyJsonlStore(str(tmp_path / "store.jsonl"))
+        yield store
+        store.close()
+    elif request.param == "sqlite":
+        store = SqliteStoreBackend(str(tmp_path / "store.sqlite3"))
+        yield store
+        store.close()
+    else:
+        server = NetworkStoreServer(
+            f"sqlite:{tmp_path / 'backing.sqlite3'}", token=TOKEN
+        ).start()
+        store = NetworkStoreBackend(server.host, server.port, token=TOKEN)
+        yield store
+        store.close()
+        server.shutdown()
+
+
+class TestBackendConformance:
+    def test_append_iter_round_trip_preserves_order_and_content(self, backend):
+        records = [_record(f"fp-{i}", float(i), payload={"i": i}) for i in range(10)]
+        for record in records:
+            backend.append_record(record)
+        assert backend.records() == records
+        assert len(backend) == 10
+
+    def test_empty_store_reads_empty(self, backend):
+        assert backend.records() == []
+        assert backend.fingerprints() == set()
+        assert len(backend) == 0
+        assert backend.repair() == 0
+
+    def test_fingerprints_match_full_parse(self, backend):
+        for i in range(25):
+            backend.append_record(_record(f"{i:032x}", float(i)))
+        backend.append_record({"task_key": "no-fingerprint", "x": 1})
+        assert backend.fingerprints() == {f"{i:032x}" for i in range(25)}
+
+    def test_lookup_resolves_duplicates_to_best_fitness_ties_earliest(self, backend):
+        backend.append_record(_record("fp", 5.0, tag="first"))
+        backend.append_record(_record("fp", 9.0, tag="winner"))
+        backend.append_record(_record("fp", 9.0, tag="late-tie"))
+        backend.append_record(_record("fp", 7.0, tag="worse"))
+        best = backend.lookup("fp")
+        assert best["tag"] == "winner"
+        assert backend.lookup("missing") is None
+
+    def test_best_records_by_alternate_key(self, backend):
+        backend.append_record({"task_key": "a", "result": {"best_fitness": 1.0}})
+        backend.append_record({"task_key": "a", "result": {"best_fitness": 3.0}})
+        backend.append_record({"task_key": "b", "result": {"best_fitness": 2.0}})
+        best = backend.best_records(key="task_key")
+        assert set(best) == {"a", "b"}
+        assert record_fitness(best["a"]) == 3.0
+
+    def test_truncate_empties_the_store(self, backend):
+        backend.append_record(_record("fp", 1.0))
+        backend.truncate()
+        assert backend.records() == []
+        assert len(backend) == 0
+
+    def test_repair_reports_intact_count(self, backend):
+        for i in range(7):
+            backend.append_record(_record(f"fp-{i}", float(i)))
+        assert backend.repair() == 7
+        assert len(backend) == 7
+
+    def test_records_survive_close_and_reopen(self, backend, tmp_path):
+        for i in range(5):
+            backend.append_record(_record(f"fp-{i}", float(i)))
+        expected = backend.records()
+        url = backend.url if backend.kind != "tcp" else f"{backend.url}?token={TOKEN}"
+        if backend.kind != "tcp":
+            backend.close()
+        with open_store_backend(url) as reopened:
+            assert reopened.kind == backend.kind
+            assert reopened.records() == expected
+
+    def test_concurrent_appends_never_tear_or_drop(self, backend):
+        per_worker, workers = 50, 4
+        errors = []
+
+        def writer(worker):
+            try:
+                for i in range(per_worker):
+                    backend.append_record(
+                        _record(f"w{worker}-{i:04d}", float(i), worker=worker)
+                    )
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=writer, args=(w,)) for w in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert backend.repair() == per_worker * workers
+        fingerprints = [record["fingerprint"] for record in backend.records()]
+        assert len(fingerprints) == per_worker * workers
+        assert len(set(fingerprints)) == per_worker * workers
+
+    def test_compaction_keeps_best_per_fingerprint_and_is_idempotent(self, backend):
+        for i in range(4):
+            backend.append_record(_record("fp-a", float(i)))
+            backend.append_record(_record("fp-b", float(10 - i)))
+        backend.append_record({"task_key": "keyless", "x": 1})
+        kept, dropped = backend.compact(CompactionPolicy(keep_best_per_fingerprint=True))
+        assert (kept, dropped) == (3, 6)
+        assert record_fitness(backend.lookup("fp-a")) == 3.0
+        assert record_fitness(backend.lookup("fp-b")) == 10.0
+        # Idempotent: compacting an already-compacted store drops nothing.
+        assert backend.compact(CompactionPolicy(keep_best_per_fingerprint=True)) == (3, 0)
+
+    def test_compaction_max_records_keeps_newest(self, backend):
+        for i in range(10):
+            backend.append_record(_record(f"fp-{i}", float(i)))
+        policy = CompactionPolicy(keep_best_per_fingerprint=False, max_records=3)
+        assert backend.compact(policy) == (3, 7)
+        assert [r["fingerprint"] for r in backend.records()] == ["fp-7", "fp-8", "fp-9"]
+
+    def test_describe_reports_kind_url_and_counts(self, backend):
+        backend.append_record(_record("fp", 1.0))
+        info = backend.describe()
+        assert info["kind"] == backend.kind
+        assert info["records"] == 1
+        assert info["fingerprints"] == 1
+        assert info["url"]
+
+    def test_store_ops_counters_increment(self, backend):
+        from repro.obs.metrics import get_metrics
+
+        registry = get_metrics()
+        labels = {"backend": backend.kind, "op": "append"}
+        before = registry.value_of("repro_store_ops_total", labels)
+        backend.append_record(_record("fp", 1.0))
+        assert registry.value_of("repro_store_ops_total", labels) == before + 1
+
+
+class TestCrossBackendMigration:
+    def test_records_migrate_byte_identically_between_jsonl_and_sqlite(self, tmp_path):
+        """The canonical rendering is shared, so a sqlite round trip of a
+        JSONL store reproduces the original file byte for byte."""
+        source = AppendOnlyJsonlStore(str(tmp_path / "source.jsonl"))
+        for i in range(20):
+            source.append_record(_record(f"fp-{i}", float(i), note=f"n{i}"))
+        with open(source.path, "rb") as handle:
+            original_bytes = handle.read()
+
+        middle = SqliteStoreBackend(str(tmp_path / "middle.sqlite3"))
+        for record in source.records():
+            middle.append_record(record)
+        final = AppendOnlyJsonlStore(str(tmp_path / "final.jsonl"))
+        for record in middle.records():
+            final.append_record(record)
+        middle.close()
+        with open(final.path, "rb") as handle:
+            assert handle.read() == original_bytes
+
+    def test_render_record_is_canonical_json(self):
+        rendered = render_record({"b": 1, "a": [1.0, 2]})
+        assert rendered == json.dumps({"b": 1, "a": [1.0, 2]}, sort_keys=True)
+        assert json.loads(rendered) == {"b": 1, "a": [1.0, 2]}
+
+
+class TestParseStoreUrl:
+    def test_bare_path_means_jsonl(self):
+        assert parse_store_url("results/run.jsonl") == StoreUrl(
+            kind="jsonl", path="results/run.jsonl"
+        )
+
+    def test_explicit_jsonl_and_sqlite_schemes(self):
+        assert parse_store_url("jsonl:store.jsonl").kind == "jsonl"
+        assert parse_store_url("sqlite:store.sqlite3") == StoreUrl(
+            kind="sqlite", path="store.sqlite3"
+        )
+
+    def test_url_style_double_slash_is_tolerated(self):
+        assert parse_store_url("sqlite://db.sqlite3").path == "db.sqlite3"
+        assert parse_store_url("sqlite:///abs/db.sqlite3").path == "/abs/db.sqlite3"
+
+    def test_tcp_with_and_without_token(self):
+        plain = parse_store_url("tcp://10.0.0.7:9917")
+        assert (plain.kind, plain.host, plain.port, plain.token) == (
+            "tcp", "10.0.0.7", 9917, None,
+        )
+        authed = parse_store_url("tcp://store.local:9917?token=secret")
+        assert authed.token == "secret"
+
+    def test_render_round_trips_and_elides_token(self):
+        assert parse_store_url("sqlite:db").render() == "sqlite:db"
+        assert parse_store_url("tcp://h:1?token=s").render() == "tcp://h:1"
+
+    def test_unknown_scheme_fails_loudly(self):
+        with pytest.raises(ConfigurationError, match="unknown store scheme"):
+            parse_store_url("sqlit:typo.db")
+
+    def test_windows_drive_letter_is_a_path_not_a_scheme(self):
+        assert parse_store_url(r"C:\stores\x.jsonl").kind == "jsonl"
+
+    def test_malformed_tcp_and_empty_urls_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_store_url("tcp://no-port")
+        with pytest.raises(ConfigurationError):
+            parse_store_url("")
+        with pytest.raises(ConfigurationError):
+            parse_store_url("sqlite:")
+
+    def test_open_store_backend_rejects_unknown_scheme(self):
+        with pytest.raises(ConfigurationError):
+            open_store_backend("redis:whatever")
+
+
+class TestCompactionPolicy:
+    def test_survivors_keep_best_per_fingerprint_ties_earliest(self):
+        records = [
+            _record("fp", 1.0, tag="a"),
+            _record("fp", 2.0, tag="b"),
+            _record("fp", 2.0, tag="c"),
+        ]
+        kept = CompactionPolicy().survivors(records)
+        assert [r["tag"] for r in kept] == ["b"]
+
+    def test_keyless_records_always_survive(self):
+        records = [{"task_key": "x"}, _record("fp", 1.0), _record("fp", 2.0)]
+        kept = CompactionPolicy().survivors(records)
+        assert {"task_key": "x"} in kept and len(kept) == 2
+
+    def test_max_bytes_drops_oldest_first(self):
+        records = [_record(f"fp-{i}", float(i)) for i in range(5)]
+        size_of_last_two = sum(
+            len(render_record(r).encode()) + 1 for r in records[3:]
+        )
+        policy = CompactionPolicy(
+            keep_best_per_fingerprint=False, max_bytes=size_of_last_two
+        )
+        kept = policy.survivors(records)
+        assert [r["fingerprint"] for r in kept] == ["fp-3", "fp-4"]
+
+    def test_negative_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompactionPolicy(max_records=-1)
+        with pytest.raises(ConfigurationError):
+            CompactionPolicy(max_bytes=-1)
+
+    def test_round_trips_through_dict_and_rejects_unknown_fields(self):
+        policy = CompactionPolicy(max_records=5, key="task_key")
+        assert CompactionPolicy.from_dict(policy.to_dict()) == policy
+        with pytest.raises(ConfigurationError):
+            CompactionPolicy.from_dict({"max_recordz": 5})
